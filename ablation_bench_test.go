@@ -1,0 +1,124 @@
+package coruscant
+
+import (
+	"testing"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// Ablation benchmarks for the design choices the paper motivates:
+// transverse write vs whole-nanowire shifting (§IV-B), carry-save
+// reduction vs chained additions (§III-D3), per-step vs end-of-add NMR
+// voting (§III-F), and the TRD sensitivity (§V-E). Each reports the
+// device-cycle cost as a metric so a bench run documents the trade-off.
+
+// BenchmarkAblationMaxTW compares the TW-based max rotation against the
+// whole-nanowire-shift baseline; the paper claims a 28.5% cycle saving.
+func BenchmarkAblationMaxTW(b *testing.B) {
+	mk := func() []dbc.Row {
+		cands := make([]dbc.Row, 7)
+		for i := range cands {
+			vals := make([]uint64, 8)
+			for l := range vals {
+				vals[l] = uint64((i*53 + l*17) % 256)
+			}
+			cands[i] = pim.MustPackLanes(vals, 8, 64)
+		}
+		return cands
+	}
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	var twCycles, fsCycles int
+	for i := 0; i < b.N; i++ {
+		u := pim.MustNewUnit(cfg)
+		if _, err := u.MaxTR(mk(), 8); err != nil {
+			b.Fatal(err)
+		}
+		twCycles = u.Stats().Cycles()
+		u2 := pim.MustNewUnit(cfg)
+		if _, err := u2.MaxTRFullShift(mk(), 8); err != nil {
+			b.Fatal(err)
+		}
+		fsCycles = u2.Stats().Cycles()
+	}
+	b.ReportMetric(float64(twCycles), "tw-cycles")
+	b.ReportMetric(float64(fsCycles), "fullshift-cycles")
+	b.ReportMetric(100*(1-float64(twCycles)/float64(fsCycles)), "saving-%")
+}
+
+// BenchmarkAblationCSAReduction compares the carry-save large addition
+// against chained multi-operand adds for a 33-operand reduction.
+func BenchmarkAblationCSAReduction(b *testing.B) {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	operands := make([]dbc.Row, 33)
+	for i := range operands {
+		operands[i] = pim.MustPackLanes([]uint64{uint64(i * 999)}, 32, 64)
+	}
+	var csa, chained int
+	for i := 0; i < b.N; i++ {
+		u := pim.MustNewUnit(cfg)
+		if _, err := u.AddLarge(operands, 32); err != nil {
+			b.Fatal(err)
+		}
+		csa = u.Stats().Cycles()
+		u2 := pim.MustNewUnit(cfg)
+		if _, err := u2.AddChained(operands, 32); err != nil {
+			b.Fatal(err)
+		}
+		chained = u2.Stats().Cycles()
+	}
+	b.ReportMetric(float64(csa), "csa-cycles")
+	b.ReportMetric(float64(chained), "chained-cycles")
+	b.ReportMetric(float64(chained)/float64(csa), "speedup")
+}
+
+// BenchmarkAblationTRD sweeps the transverse-read distance over the
+// 8-bit multiply (the §V-E sensitivity study's core operation).
+func BenchmarkAblationTRD(b *testing.B) {
+	cycles := map[params.TRD]int{}
+	for i := 0; i < b.N; i++ {
+		for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+			cfg := params.DefaultConfig()
+			cfg.TRD = trd
+			cfg.Geometry.TrackWidth = 16
+			u := pim.MustNewUnit(cfg)
+			if _, err := u.MultiplyValues([]uint64{201}, []uint64{57}, 8); err != nil {
+				b.Fatal(err)
+			}
+			cycles[trd] = u.Stats().Cycles()
+		}
+	}
+	b.ReportMetric(float64(cycles[params.TRD3]), "mult-cycles-trd3")
+	b.ReportMetric(float64(cycles[params.TRD5]), "mult-cycles-trd5")
+	b.ReportMetric(float64(cycles[params.TRD7]), "mult-cycles-trd7")
+}
+
+// BenchmarkAblationNMRVoting compares per-step against end-of-operation
+// TMR for the 8-bit add (the §III-F performance side of the trade-off;
+// the reliability side is in the reliability package).
+func BenchmarkAblationNMRVoting(b *testing.B) {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 8
+	a := pim.MustPackLanes([]uint64{123}, 8, 8)
+	c := pim.MustPackLanes([]uint64{99}, 8, 8)
+	var perStep, end int
+	for i := 0; i < b.N; i++ {
+		u := pim.MustNewUnit(cfg)
+		if _, err := u.AddMultiNMR(3, []dbc.Row{a, c}, 8); err != nil {
+			b.Fatal(err)
+		}
+		perStep = u.Stats().Cycles()
+		u2 := pim.MustNewUnit(cfg)
+		if _, err := u2.RunNMR(3, func() (dbc.Row, error) {
+			return u2.AddMulti([]dbc.Row{a, c}, 8)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		end = u2.Stats().Cycles()
+	}
+	b.ReportMetric(float64(perStep), "per-step-cycles")
+	b.ReportMetric(float64(end), "end-vote-cycles")
+}

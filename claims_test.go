@@ -1,0 +1,128 @@
+package coruscant_test
+
+import (
+	"strconv"
+	"testing"
+
+	coruscant "repro"
+)
+
+// TestAbstractClaims is the acceptance test for the reproduction: every
+// quantitative claim in the paper's abstract must hold in this
+// implementation (within the tolerance bands recorded in
+// EXPERIMENTS.md). It exercises only the public façade.
+func TestAbstractClaims(t *testing.T) {
+	// "CORUSCANT provides a 1.6× speedup compared to the leading DRAM
+	// PIM technique for query applications."
+	t.Run("bitmap-query-1.6x", func(t *testing.T) {
+		tb, err := coruscant.Experiment("fig12")
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, row := range tb.Rows {
+			if row[0] == "2" && row[1] == "CORUSCANT" {
+				found = true
+				v, err := strconv.ParseFloat(row[4], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v < 1.4 || v > 1.9 {
+					t.Errorf("w=2 speedup over ELP2IM = %.2f, abstract claims 1.6x", v)
+				}
+			}
+		}
+		if !found {
+			t.Fatal("fig12 CORUSCANT row missing")
+		}
+	})
+
+	// "Compared to the leading PIM technique for DWM, CORUSCANT improves
+	// performance by 6.9×, 2.3× and energy by 5.5×, 3.4× for 8-bit
+	// addition and multiplication."
+	t.Run("vs-spim-ops", func(t *testing.T) {
+		// One 8-bit lane, matching Table III's per-operation anchors.
+		cfg := coruscant.DefaultConfig()
+		cfg.Geometry.TrackWidth = 8
+		u, err := coruscant.NewUnit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]coruscant.Row, 5)
+		for i := range rows {
+			rows[i], _ = coruscant.PackLanes([]uint64{uint64(17 * (i + 1))}, 8, 8)
+		}
+		if _, err := u.AddMulti(rows, 8); err != nil {
+			t.Fatal(err)
+		}
+		// SPIM 5-op add latency-optimized: 179 cycles / 121.6 pJ.
+		speed := 179.0 / float64(u.Stats().Cycles())
+		energy := 121.6 / u.Cost().EnergyPJ
+		if speed < 6.0 || speed > 7.8 {
+			t.Errorf("add speedup vs SPIM = %.1f, abstract claims 6.9x", speed)
+		}
+		if energy < 4.5 || energy > 6.5 {
+			t.Errorf("add energy gain vs SPIM = %.1f, abstract claims 5.5x", energy)
+		}
+
+		// The multiply needs one 16-bit product lane.
+		cfg.Geometry.TrackWidth = 16
+		u2, err := coruscant.NewUnit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := u2.MultiplyValues([]uint64{199}, []uint64{76}, 8); err != nil {
+			t.Fatal(err)
+		}
+		// SPIM 2-op multiply: 149 cycles.
+		multSpeed := 149.0 / float64(u2.Stats().Cycles())
+		if multSpeed < 1.9 || multSpeed > 3.0 {
+			t.Errorf("mult speedup vs SPIM = %.1f, abstract claims 2.3x", multSpeed)
+		}
+	})
+
+	// "For arithmetic heavy benchmarks, CORUSCANT reduces access latency
+	// by 2.1×, while decreasing energy consumption by 25.2× ... versus
+	// non-PIM DWM."
+	t.Run("polybench-2.1x-25x", func(t *testing.T) {
+		lat, err := coruscant.Experiment("fig10")
+		if err != nil {
+			t.Fatal(err)
+		}
+		avgRow := lat.Rows[len(lat.Rows)-1]
+		v, err := strconv.ParseFloat(avgRow[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 1.8 || v > 2.5 {
+			t.Errorf("average latency gain = %.2f, abstract claims 2.1x", v)
+		}
+		en, err := coruscant.Experiment("fig11")
+		if err != nil {
+			t.Fatal(err)
+		}
+		avgRow = en.Rows[len(en.Rows)-1]
+		v, err = strconv.ParseFloat(avgRow[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 20 || v > 45 {
+			t.Errorf("average energy gain = %.1f, abstract claims 25.2x", v)
+		}
+	})
+
+	// "...for a 10% area overhead."
+	t.Run("area-10pct", func(t *testing.T) {
+		tb, err := coruscant.Experiment("table1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := tb.Rows[len(tb.Rows)-1]
+		if last[0] != "MUL+ADD5+BBO" {
+			t.Fatalf("unexpected final design row %q", last[0])
+		}
+		if last[1] != "10.0%" {
+			t.Errorf("full-design overhead = %s, abstract claims 10%%", last[1])
+		}
+	})
+}

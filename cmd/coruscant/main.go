@@ -1,0 +1,177 @@
+// Command coruscant regenerates the paper's evaluation tables and
+// figures and offers small demonstrations of the PIM unit.
+//
+// Usage:
+//
+//	coruscant all                 # every table and figure, paper order
+//	coruscant table1 table3 ...   # selected experiments
+//	coruscant fig10 fig11 fig12
+//	coruscant demo                # bit-level PIM walkthrough
+//	coruscant list                # experiment ids
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/dbc"
+	"repro/internal/experiments"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coruscant:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	for _, arg := range args {
+		switch arg {
+		case "help", "-h", "--help":
+			usage()
+		case "list":
+			for _, id := range experiments.IDs() {
+				fmt.Println(id)
+			}
+		case "all":
+			tables, err := experiments.All()
+			if err != nil {
+				return err
+			}
+			for _, t := range tables {
+				t.Render(os.Stdout)
+			}
+		case "demo":
+			if err := demo(); err != nil {
+				return err
+			}
+		case "json":
+			tables, err := experiments.All()
+			if err != nil {
+				return err
+			}
+			for i, t := range tables {
+				b, err := t.JSON()
+				if err != nil {
+					return err
+				}
+				if i > 0 {
+					fmt.Println(",")
+				} else {
+					fmt.Println("[")
+				}
+				os.Stdout.Write(b)
+			}
+			fmt.Println("\n]")
+		case "svg":
+			// Render the figure-style experiments to SVG files in the
+			// working directory.
+			for _, id := range []string{"fig10", "fig11", "fig12", "sens"} {
+				svg, err := experiments.FigureSVG(id)
+				if err != nil {
+					return err
+				}
+				name := id + ".svg"
+				if err := os.WriteFile(name, []byte(svg), 0o644); err != nil {
+					return err
+				}
+				fmt.Println("wrote", name)
+			}
+		default:
+			gen, err := experiments.ByID(arg)
+			if err != nil {
+				return err
+			}
+			t, err := gen()
+			if err != nil {
+				return err
+			}
+			t.Render(os.Stdout)
+		}
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Println("usage: coruscant [all|demo|svg|json|list|<experiment>...]")
+	fmt.Println("experiments:", experiments.IDs())
+}
+
+// demo walks through the PIM unit's core operations at the bit level.
+func demo() error {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	u, err := pim.NewUnit(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PIM unit: %d nanowires x %d rows, %v (window at rows %d..%d)\n",
+		u.Width(), cfg.Geometry.RowsPerDBC, cfg.TRD,
+		first(params.PortPlacement(cfg.Geometry.RowsPerDBC, cfg.TRD)),
+		second(params.PortPlacement(cfg.Geometry.RowsPerDBC, cfg.TRD)))
+
+	// Five-operand addition, eight 8-bit lanes at once.
+	vals := [][]uint64{
+		{10, 20, 30, 40, 50, 60, 70, 80},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{100, 90, 80, 70, 60, 50, 40, 30},
+		{5, 5, 5, 5, 5, 5, 5, 5},
+		{9, 8, 7, 6, 5, 4, 3, 2},
+	}
+	rows := make([]dbc.Row, len(vals))
+	for i, v := range vals {
+		r, err := pim.PackLanes(v, 8, u.Width())
+		if err != nil {
+			return err
+		}
+		rows[i] = r
+	}
+	sum, err := u.AddMulti(rows, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Println("5-operand add:", pim.UnpackLanes(sum, 8))
+	fmt.Println("trace:", u.Stats())
+
+	// Multiplication.
+	u.ResetStats()
+	prods, err := u.MultiplyValues([]uint64{13, 250, 99, 7}, []uint64{11, 250, 44, 200}, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Println("multiply:", prods)
+	fmt.Println("trace:", u.Stats())
+
+	// Max pooling.
+	u.ResetStats()
+	cands := make([]dbc.Row, 4)
+	for i, v := range [][]uint64{
+		{3, 200, 17, 4, 90, 6, 250, 1},
+		{77, 3, 18, 200, 13, 91, 4, 2},
+		{5, 100, 200, 6, 7, 8, 9, 255},
+		{60, 60, 60, 60, 60, 60, 60, 60},
+	} {
+		r, err := pim.PackLanes(v, 8, u.Width())
+		if err != nil {
+			return err
+		}
+		cands[i] = r
+	}
+	maxRow, err := u.MaxTR(cands, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Println("max (TR tournament):", pim.UnpackLanes(maxRow, 8))
+	fmt.Println("trace:", u.Stats())
+	return nil
+}
+
+func first(a, _ int) int  { return a }
+func second(_, b int) int { return b }

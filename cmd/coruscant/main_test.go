@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run([]string{"nosuch-experiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiple(t *testing.T) {
+	if err := run([]string{"table1", "sens"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemo(t *testing.T) {
+	if err := run([]string{"demo"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHelpAndEmpty(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command pimasm assembles and disassembles cpim instruction words
+// (§III-E), the binary form a CPU writes to the memory controller.
+//
+// Usage:
+//
+//	pimasm asm "add b2.s10.t0.d15.r0 bs=8 k=3"
+//	pimasm dis 0x20078142a
+//	pimasm ops                     # list mnemonics and limits
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/params"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pimasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		fmt.Println("usage: pimasm asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops")
+		return nil
+	}
+	cfg := params.DefaultConfig()
+	switch args[0] {
+	case "asm":
+		if len(args) < 2 {
+			return fmt.Errorf("asm needs an instruction string")
+		}
+		in, err := isa.ParseInstruction(strings.Join(args[1:], " "))
+		if err != nil {
+			return err
+		}
+		word, err := in.Encode(cfg.Geometry, cfg.TRD)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%#011x  ; %s\n", word, isa.FormatInstruction(in))
+		return nil
+	case "dis":
+		if len(args) < 2 {
+			return fmt.Errorf("dis needs a hex word")
+		}
+		word, err := strconv.ParseUint(strings.TrimPrefix(args[1], "0x"), 16, 64)
+		if err != nil {
+			return err
+		}
+		in := isa.Decode(word)
+		if err := in.Validate(cfg.Geometry, cfg.TRD); err != nil {
+			return fmt.Errorf("decoded instruction invalid: %w", err)
+		}
+		fmt.Println(isa.FormatInstruction(in))
+		return nil
+	case "ops":
+		fmt.Println("mnemonics: nop read write and or nand nor xor xnor not add mult max relu vote")
+		fmt.Printf("blocksizes: %v\n", params.BlockSizes)
+		fmt.Printf("operands: 1..%d (TRD=%d)\n", cfg.TRD.MaxBulkOperands(), int(cfg.TRD))
+		return nil
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunAsmDis(t *testing.T) {
+	if err := run([]string{"asm", "add", "b2.s10.t0.d15.r0", "bs=8", "k=3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"dis", "0x20078142a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"ops"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"asm"},
+		{"asm", "bogus instruction"},
+		{"dis"},
+		{"dis", "zzz"},
+		{"frob"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package coruscant is the public API of the CORUSCANT reproduction: a
+// bit-level simulator of processing-in-racetrack-memory (DWM PIM) as
+// described in "CORUSCANT: Fast Efficient Processing-in-Racetrack
+// Memories" (MICRO 2022).
+//
+// The façade re-exports the building blocks a downstream user needs:
+//
+//   - Config/TRD/Geometry — device and system parameters (Table II);
+//   - Unit — a PIM-enabled domain-block cluster executing multi-operand
+//     bulk-bitwise logic, addition, carry-save reduction, multiplication,
+//     max/ReLU, and N-modular-redundancy voting, all bit-exact and with
+//     cycle/energy accounting;
+//   - Controller/Instruction — the cpim ISA front end (§III-E);
+//   - System — the memory-hierarchy timing/energy model;
+//   - the experiment generators that regenerate every table and figure
+//     of the paper's evaluation.
+//
+// Quickstart:
+//
+//	u, err := coruscant.NewUnit(coruscant.DefaultConfig())
+//	...
+//	sums, err := u.AddMulti(rows, 8) // five-operand lane-wise addition
+//
+// See the examples directory for runnable programs.
+package coruscant
+
+import (
+	"repro/internal/dbc"
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/memory"
+	"repro/internal/params"
+	"repro/internal/pim"
+	"repro/internal/trace"
+)
+
+// Core parameter types.
+type (
+	// Config bundles the device, geometry, timing and energy parameters.
+	Config = params.Config
+	// TRD is a transverse-read distance (3, 5 or 7).
+	TRD = params.TRD
+	// Geometry describes the bank/subarray/tile/DBC organization.
+	Geometry = params.Geometry
+	// Energy is the per-primitive energy table.
+	Energy = params.Energy
+	// Timing carries the DDR3 and device clock parameters.
+	Timing = params.Timing
+)
+
+// Supported transverse-read distances.
+const (
+	TRD3 = params.TRD3
+	TRD5 = params.TRD5
+	TRD7 = params.TRD7
+)
+
+// DefaultConfig returns the paper's primary configuration: TRD=7 with
+// the Table II geometry and calibrated energies.
+func DefaultConfig() Config { return params.DefaultConfig() }
+
+// Device and cluster types.
+type (
+	// Nanowire is a single DWM wire with two access ports, transverse
+	// read and transverse write.
+	Nanowire = device.Nanowire
+	// DBC is a domain-block cluster of lockstepped nanowires.
+	DBC = dbc.DBC
+	// Row is a bit vector across a DBC's nanowires.
+	Row = dbc.Row
+	// Op is a bulk-bitwise polymorphic-gate operation.
+	Op = dbc.Op
+	// FaultInjector perturbs transverse reads and shifts (§V-F).
+	FaultInjector = device.FaultInjector
+)
+
+// Bulk-bitwise operations of the PIM logic block (Fig. 4(b)).
+const (
+	OpOR   = dbc.OpOR
+	OpNOR  = dbc.OpNOR
+	OpAND  = dbc.OpAND
+	OpNAND = dbc.OpNAND
+	OpXOR  = dbc.OpXOR
+	OpXNOR = dbc.OpXNOR
+	OpNOT  = dbc.OpNOT
+	OpMAJ  = dbc.OpMAJ
+)
+
+// NewNanowire builds a single wire with the given data rows and window.
+func NewNanowire(rows int, trd TRD) (*Nanowire, error) {
+	return device.NewNanowire(rows, trd)
+}
+
+// NewFaultInjector returns a deterministic fault source.
+func NewFaultInjector(trProb, shiftProb float64, seed int64) *FaultInjector {
+	return device.NewFaultInjector(trProb, shiftProb, seed)
+}
+
+// PIM execution.
+type (
+	// Unit is one PIM-enabled DBC with its sensing and logic circuits —
+	// the primary object of this library.
+	Unit = pim.Unit
+	// Reduction is the S/C/C' output of a carry-save reduction.
+	Reduction = pim.Reduction
+	// Stats counts device primitives executed by a Unit.
+	Stats = trace.Stats
+	// Cost is a latency/energy pair.
+	Cost = trace.Cost
+)
+
+// NewUnit builds a PIM unit for the configuration.
+func NewUnit(cfg Config) (*Unit, error) { return pim.NewUnit(cfg) }
+
+// PackLanes packs values into a row of lane-bit lanes (little-endian
+// along the wire index).
+func PackLanes(vals []uint64, lane, width int) (Row, error) {
+	return pim.PackLanes(vals, lane, width)
+}
+
+// UnpackLanes extracts lane values from a row.
+func UnpackLanes(row Row, lane int) []uint64 { return pim.UnpackLanes(row, lane) }
+
+// CSD returns the canonical signed-digit recoding used by constant
+// multiplication (§III-D1).
+func CSD(c uint64) []pim.SignedDigit { return pim.CSD(c) }
+
+// ISA front end.
+type (
+	// Controller expands cpim instructions into PIM operations.
+	Controller = isa.Controller
+	// Instruction is one cpim operation.
+	Instruction = isa.Instruction
+	// Addr locates a row in the memory hierarchy.
+	Addr = isa.Addr
+	// OpCode enumerates cpim operations.
+	OpCode = isa.OpCode
+)
+
+// cpim opcodes (§III-E).
+const (
+	OpcodeNop   = isa.OpNop
+	OpcodeRead  = isa.OpRead
+	OpcodeWrite = isa.OpWrite
+	OpcodeAnd   = isa.OpAnd
+	OpcodeOr    = isa.OpOr
+	OpcodeNand  = isa.OpNand
+	OpcodeNor   = isa.OpNor
+	OpcodeXor   = isa.OpXor
+	OpcodeXnor  = isa.OpXnor
+	OpcodeNot   = isa.OpNot
+	OpcodeAdd   = isa.OpAdd
+	OpcodeMult  = isa.OpMult
+	OpcodeMax   = isa.OpMax
+	OpcodeRelu  = isa.OpRelu
+	OpcodeVote  = isa.OpVote
+)
+
+// NewController builds a cpim controller over a fresh PIM unit.
+func NewController(cfg Config) (*Controller, error) { return isa.NewController(cfg) }
+
+// System model.
+type (
+	// System is the Table II machine model used by the system-level
+	// experiments.
+	System = mem.System
+	// Tech selects DRAM or DWM timing.
+	Tech = mem.Tech
+)
+
+// Memory technologies.
+const (
+	DRAM = mem.DRAM
+	DWM  = mem.DWM
+)
+
+// NewSystem returns the Table II system model.
+func NewSystem(cfg Config) *System { return mem.NewSystem(cfg) }
+
+// Memory is the functional whole-memory model: the Fig. 2 hierarchy
+// behind one address space, with row-buffer data movement and in-place
+// cpim execution in the PIM-enabled DBCs.
+type Memory = memory.Memory
+
+// MoveStats counts row-granularity data movement inside a Memory.
+type MoveStats = memory.MoveStats
+
+// NewMemory returns an empty functional memory (clusters materialize
+// lazily, so the full 1 GB geometry is addressable).
+func NewMemory(cfg Config) (*Memory, error) { return memory.New(cfg) }
+
+// Experiments.
+type (
+	// ExperimentTable is one regenerated table or figure.
+	ExperimentTable = experiments.Table
+)
+
+// Experiment runs the named experiment ("table1", "table3", "table4",
+// "table5", "table6", "fig10", "fig11", "fig12", "tops").
+func Experiment(id string) (*ExperimentTable, error) {
+	g, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return g()
+}
+
+// ExperimentIDs lists the available experiments in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// AllExperiments regenerates every table and figure.
+func AllExperiments() ([]*ExperimentTable, error) { return experiments.All() }

@@ -1,0 +1,161 @@
+package coruscant_test
+
+import (
+	"testing"
+
+	coruscant "repro"
+)
+
+// The façade tests exercise the library exactly as the examples and a
+// downstream user would: through the re-exported API only.
+
+func newUnit(t *testing.T, width int) *coruscant.Unit {
+	t.Helper()
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = width
+	u, err := coruscant.NewUnit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	u := newUnit(t, 64)
+	a, err := coruscant.PackLanes([]uint64{100, 200}, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := coruscant.PackLanes([]uint64{55, 60}, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := u.Add2(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := coruscant.UnpackLanes(sum, 8)
+	if got[0] != 155 || got[1] != 4 { // 260 mod 256
+		t.Errorf("Add2 = %v", got)
+	}
+	if u.Stats().Cycles() == 0 {
+		t.Error("no cycles traced")
+	}
+	if u.Cost().EnergyPJ <= 0 {
+		t.Error("no energy traced")
+	}
+}
+
+func TestFacadeBulkOps(t *testing.T) {
+	u := newUnit(t, 16)
+	a := coruscant.Row{1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 0}
+	b := coruscant.Row{1, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	res, err := u.BulkBitwise(coruscant.OpNAND, []coruscant.Row{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i] != 1-a[i]&b[i] {
+			t.Fatalf("NAND bit %d", i)
+		}
+	}
+}
+
+func TestFacadeNanowire(t *testing.T) {
+	w, err := coruscant.NewNanowire(32, coruscant.TRD7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalDomains() != 57 {
+		t.Errorf("TotalDomains = %d, want 57", w.TotalDomains())
+	}
+	w.PokeWindow(2, 1)
+	w.PokeWindow(4, 1)
+	if w.TR() != 2 {
+		t.Errorf("TR = %d, want 2", w.TR())
+	}
+}
+
+func TestFacadeController(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 32
+	c, err := coruscant.NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := coruscant.PackLanes([]uint64{3, 5}, 16, 32)
+	b, _ := coruscant.PackLanes([]uint64{4, 6}, 16, 32)
+	in := coruscant.Instruction{Op: coruscant.OpcodeAdd, Blocksize: 16, Operands: 2}
+	sum, err := c.Execute(in, []coruscant.Row{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := coruscant.UnpackLanes(sum, 16)
+	if got[0] != 7 || got[1] != 11 {
+		t.Errorf("controller add = %v", got)
+	}
+}
+
+func TestFacadeCSD(t *testing.T) {
+	digits := coruscant.CSD(20061)
+	var v int64
+	for _, d := range digits {
+		v += int64(d.Sign) << uint(d.Shift)
+	}
+	if v != 20061 {
+		t.Errorf("CSD evaluates to %d", v)
+	}
+}
+
+func TestFacadeFaultInjection(t *testing.T) {
+	u := newUnit(t, 16)
+	u.D.SetFaultInjector(coruscant.NewFaultInjector(1.0, 0, 5))
+	a := make(coruscant.Row, 16)
+	res, err := u.BulkBitwise(coruscant.OpXOR, []coruscant.Row{a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := false
+	for _, b := range res {
+		if b != 0 {
+			faulty = true
+		}
+	}
+	if !faulty {
+		t.Error("probability-1 fault injection produced no faults")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := coruscant.ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments")
+	}
+	tb, err := coruscant.Experiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "table1" || len(tb.Rows) != 4 {
+		t.Errorf("table1 malformed: %+v", tb)
+	}
+	if _, err := coruscant.Experiment("bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeSystemModel(t *testing.T) {
+	sys := coruscant.NewSystem(coruscant.DefaultConfig())
+	if sys.MissLatencyNS(coruscant.DRAM) <= sys.MissLatencyNS(coruscant.DWM) {
+		t.Error("DRAM miss should exceed DWM miss")
+	}
+}
+
+func TestFacadeGeometry(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	if cfg.Geometry.TotalBytes() != 1<<30 {
+		t.Error("default geometry is not 1 GiB")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package coruscant_test
+
+import (
+	"fmt"
+	"log"
+
+	coruscant "repro"
+)
+
+// Example demonstrates the core flow: pack lane values, run a
+// multi-operand addition on the PIM unit, inspect the cost.
+func Example() {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 32
+	u, err := coruscant.NewUnit(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := coruscant.PackLanes([]uint64{100, 200, 30, 4}, 8, 32)
+	b, _ := coruscant.PackLanes([]uint64{28, 60, 70, 8}, 8, 32)
+	c, _ := coruscant.PackLanes([]uint64{1, 2, 3, 4}, 8, 32)
+	sum, err := u.AddMulti([]coruscant.Row{a, b, c}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(coruscant.UnpackLanes(sum, 8))
+	fmt.Println("cycles:", u.Stats().Cycles())
+	// Output:
+	// [129 6 103 16]
+	// cycles: 22
+}
+
+// ExampleUnit_MultiplyValues shows exact in-memory multiplication.
+func ExampleUnit_MultiplyValues() {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 32
+	u, err := coruscant.NewUnit(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prods, err := u.MultiplyValues([]uint64{12, 255}, []uint64{12, 255}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(prods)
+	// Output:
+	// [144 65025]
+}
+
+// ExampleUnit_BulkBitwise shows a three-operand XOR through a single
+// transverse read.
+func ExampleUnit_BulkBitwise() {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 8
+	u, err := coruscant.NewUnit(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := u.BulkBitwise(coruscant.OpXOR, []coruscant.Row{
+		{1, 1, 0, 0, 1, 1, 0, 0},
+		{1, 0, 1, 0, 1, 0, 1, 0},
+		{1, 1, 1, 1, 0, 0, 0, 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+	// Output:
+	// [1 0 0 1 0 1 1 0]
+}
+
+// ExampleCSD shows the constant-multiplication recoding of the paper's
+// running example.
+func ExampleCSD() {
+	for _, d := range coruscant.CSD(20061) {
+		fmt.Printf("%+d·2^%d ", d.Sign, d.Shift)
+	}
+	fmt.Println()
+	// Output:
+	// +1·2^0 -1·2^2 -1·2^5 +1·2^7 -1·2^9 +1·2^12 +1·2^14
+}
+
+// ExampleNewNanowire shows the device-level transverse read.
+func ExampleNewNanowire() {
+	w, err := coruscant.NewNanowire(32, coruscant.TRD7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.PokeWindow(1, 1)
+	w.PokeWindow(3, 1)
+	w.PokeWindow(6, 1)
+	fmt.Println("ones in window:", w.TR())
+	// Output:
+	// ones in window: 3
+}

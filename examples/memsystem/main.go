@@ -1,0 +1,73 @@
+// Whole-memory view (Fig. 2): addresses in the bank/subarray/tile/DBC
+// hierarchy, row-buffer data movement between clusters, and cpim
+// instructions executing on addressed rows inside a PIM-enabled DBC —
+// the complete §III-A/§III-E offload path on the functional memory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coruscant "repro"
+	"repro/internal/isa"
+)
+
+func main() {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	m, err := coruscant.NewMemory(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := cfg.Geometry
+	fmt.Printf("memory: %d banks x %d subarrays x %d tiles x %d DBCs (%d PIM-enabled)\n\n",
+		g.Banks, g.SubarraysPerBank, g.TilesPerSubarray, g.DBCsPerTile, g.TotalPIMDBCs())
+
+	// Application data lives in ordinary DBCs spread over the hierarchy.
+	vecA := isa.Addr{Bank: 2, Subarray: 10, Tile: 4, DBC: 3, Row: 7}
+	vecB := isa.Addr{Bank: 2, Subarray: 10, Tile: 4, DBC: 3, Row: 8}
+	vecC := isa.Addr{Bank: 7, Subarray: 1, Tile: 9, DBC: 0, Row: 0}
+	dst := isa.Addr{Bank: 2, Subarray: 10, Tile: 8, DBC: 1, Row: 12}
+
+	store := func(a isa.Addr, vals []uint64) {
+		row, err := coruscant.PackLanes(vals, 8, 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.WriteRow(a, row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store(vecA, []uint64{10, 20, 30, 40, 50, 60, 70, 80})
+	store(vecB, []uint64{5, 5, 5, 5, 5, 5, 5, 5})
+	store(vecC, []uint64{100, 100, 100, 100, 100, 100, 100, 100})
+
+	// The OS reserved the PIM region (§III-E); the compiler picked the
+	// PIM-enabled DBC of the data's subarray.
+	pimDBC := isa.Addr{Bank: 2, Subarray: 10, Tile: 0, DBC: g.DBCsPerTile - 1}
+
+	in := isa.Instruction{Op: isa.OpAdd, Src: pimDBC, Blocksize: 8, Operands: 3}
+	word, err := in.Encode(g, cfg.TRD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cpim word: %#011x  (%v)\n", word, in)
+
+	result, err := m.Execute(isa.Decode(word), []isa.Addr{vecA, vecB, vecC}, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("A + B + C =", coruscant.UnpackLanes(result, 8))
+
+	back, err := m.ReadRow(dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("read back  =", coruscant.UnpackLanes(back, 8))
+
+	fmt.Printf("\nrow movement: %+v\n", m.Moves())
+	fmt.Printf("device trace: %v\n", m.Stats())
+	fmt.Printf("materialized DBCs: %d of %d (lazy)\n",
+		m.MaterializedDBCs(),
+		g.Banks*g.SubarraysPerBank*g.TilesPerSubarray*g.DBCsPerTile)
+}

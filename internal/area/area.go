@@ -1,0 +1,146 @@
+// Package area models the silicon cost of PIM-enabling a DWM main
+// memory (Table I): extra overhead domains for the TR-constrained port
+// placement, the second access port, the seven-level sense amplifier
+// extension, and the synthesized PIM logic, applied to one tile per
+// subarray.
+//
+// Component areas are expressed in F² (F = 32 nm, following the paper's
+// scaling of the FreePDK45 synthesis results) and calibrated so the four
+// Table I design points land on the published percentages.
+package area
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// Design selects which PIM capabilities are provisioned (Table I).
+type Design int
+
+// Table I design points.
+const (
+	ADD2    Design = iota // two-operand adder only (what TRD=3 affords)
+	ADD5                  // five-operand adder (TRD=7 window)
+	MulAdd5               // + multiplication (lateral shift network)
+	Full                  // + seven-operand bulk-bitwise logic
+)
+
+var designNames = map[Design]string{
+	ADD2: "ADD2", ADD5: "ADD5", MulAdd5: "MUL+ADD5", Full: "MUL+ADD5+BBO",
+}
+
+func (d Design) String() string {
+	if n, ok := designNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// TRD returns the window length the design point provisions.
+func (d Design) TRD() params.TRD {
+	if d == ADD2 {
+		return params.TRD3
+	}
+	return params.TRD7
+}
+
+// Model carries the component areas in F² per bit or per nanowire.
+// Anchors: a DWM cell is 1–4 F² (§I); the sense amplifier, write driver
+// and PIM logic values are scaled from the paper's FreePDK45 synthesis
+// so that Table I reproduces.
+type Model struct {
+	CellF2 float64 // one domain (storage or overhead)
+
+	PortF2        float64 // one access transistor set per port per wire
+	SenseAmpF2    float64 // baseline single-level SA share per wire
+	MultiLevelF2  float64 // 7-level SA extension per wire (hashed tan block)
+	TwoLevelF2    float64 // 2-level SA extension (TRD=3 designs)
+	CarryLogicF2  float64 // S/C/C' adder logic per wire (TRD=7 window)
+	Carry2LogicF2 float64 // S/C logic per wire (TRD=3 window)
+	ShiftMuxF2    float64 // lateral i→i+1/i+2 multiplexing per wire (mult)
+	BulkLogicF2   float64 // OR/NOR/AND/NAND/XOR/XNOR decode per wire
+	WriteDriverF2 float64 // per-wire write driver share
+}
+
+// DefaultModel returns the calibrated component areas. Anchors (Table I,
+// 1-PIM dilution of 1/16 over a 146 F²-per-wire base DBC): the extra
+// per-wire area must reach 86.4 F² (ADD2), 215 F² (ADD5), 219.6 F²
+// (+MUL) and 233.6 F² (+BBO); the multi-level sense circuit dominates,
+// consistent with the paper's note that the seven-level SA extension is
+// the main circuit cost (§III-B).
+func DefaultModel() Model {
+	return Model{
+		CellF2:        2.0,
+		PortF2:        4.0,
+		SenseAmpF2:    10.0,
+		MultiLevelF2:  160.0,
+		TwoLevelF2:    60.0,
+		CarryLogicF2:  63.0,
+		Carry2LogicF2: 30.4,
+		ShiftMuxF2:    4.6,
+		BulkLogicF2:   14.0,
+		WriteDriverF2: 6.0,
+	}
+}
+
+// baseDBCArea returns the F² area of one non-PIM DBC: wires × (data
+// domains + single-port overhead) cells plus one port, SA and driver per
+// wire.
+func (m Model) baseDBCArea(g params.Geometry) float64 {
+	perWire := float64(2*g.RowsPerDBC-1)*m.CellF2 + // 2Y−1 domains, single AP
+		m.PortF2 + m.SenseAmpF2 + m.WriteDriverF2
+	return perWire * float64(g.TrackWidth)
+}
+
+// pimDBCArea returns the F² area of one PIM-enabled DBC for the design.
+func (m Model) pimDBCArea(g params.Geometry, d Design) float64 {
+	trd := d.TRD()
+	domains := float64(g.RowsPerDBC + params.OverheadDomains(g.RowsPerDBC, trd))
+	perWire := domains*m.CellF2 +
+		2*m.PortF2 + // second access port for TR
+		m.SenseAmpF2 + m.WriteDriverF2
+	switch d {
+	case ADD2:
+		perWire += m.TwoLevelF2 + m.Carry2LogicF2
+	case ADD5:
+		perWire += m.MultiLevelF2 + m.CarryLogicF2
+	case MulAdd5:
+		perWire += m.MultiLevelF2 + m.CarryLogicF2 + m.ShiftMuxF2
+	case Full:
+		perWire += m.MultiLevelF2 + m.CarryLogicF2 + m.ShiftMuxF2 + m.BulkLogicF2
+	}
+	return perWire * float64(g.TrackWidth)
+}
+
+// PerWirePIMF2 returns the per-nanowire area of a PIM-enabled DBC in F²
+// (used by the Table III µm² comparison).
+func (m Model) PerWirePIMF2(g params.Geometry, d Design) float64 {
+	return m.pimDBCArea(g, d) / float64(g.TrackWidth)
+}
+
+// Overhead returns the fractional area increase of the whole memory when
+// one tile per subarray swaps a DBC-worth of its cells for PIM-enabled
+// DBCs (Table I's 1-PIM configuration enables the full PIM tile).
+func (m Model) Overhead(g params.Geometry, d Design) float64 {
+	base := m.baseDBCArea(g)
+	pim := m.pimDBCArea(g, d)
+	// Per subarray: TilesPerSubarray × DBCsPerTile DBCs, of which one
+	// tile's worth become PIM-enabled.
+	total := g.TilesPerSubarray * g.DBCsPerTile
+	pimDBCs := g.PIMTilesPerSub * g.DBCsPerTile
+	baseArea := float64(total) * base
+	newArea := float64(total-pimDBCs)*base + float64(pimDBCs)*pim
+	return newArea/baseArea - 1
+}
+
+// TableI returns the Table I row: overhead percentages for the four
+// design points under the default geometry and model.
+func TableI(g params.Geometry) map[Design]float64 {
+	m := DefaultModel()
+	out := make(map[Design]float64, 4)
+	for _, d := range []Design{ADD2, ADD5, MulAdd5, Full} {
+		out[d] = m.Overhead(g, d)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package area
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	// Table I: 3.7% / 9.2% / 9.4% / 10.0% overhead; allow ±0.3pp.
+	got := TableI(params.DefaultGeometry())
+	want := map[Design]float64{ADD2: 0.037, ADD5: 0.092, MulAdd5: 0.094, Full: 0.100}
+	for d, w := range want {
+		if diff := got[d] - w; diff < -0.003 || diff > 0.003 {
+			t.Errorf("%v overhead = %.2f%%, want %.1f%%", d, got[d]*100, w*100)
+		}
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	got := TableI(params.DefaultGeometry())
+	if !(got[ADD2] < got[ADD5] && got[ADD5] < got[MulAdd5] && got[MulAdd5] < got[Full]) {
+		t.Errorf("overheads not monotone across capability levels: %v", got)
+	}
+}
+
+func TestDesignTRD(t *testing.T) {
+	if ADD2.TRD() != params.TRD3 {
+		t.Error("ADD2 must be the TRD=3 design")
+	}
+	for _, d := range []Design{ADD5, MulAdd5, Full} {
+		if d.TRD() != params.TRD7 {
+			t.Errorf("%v must be a TRD=7 design", d)
+		}
+	}
+}
+
+func TestDesignStrings(t *testing.T) {
+	if Full.String() != "MUL+ADD5+BBO" || ADD2.String() != "ADD2" {
+		t.Error("design names wrong")
+	}
+}
+
+func TestPIMDBCLargerThanBase(t *testing.T) {
+	m := DefaultModel()
+	g := params.DefaultGeometry()
+	base := m.baseDBCArea(g)
+	for _, d := range []Design{ADD2, ADD5, MulAdd5, Full} {
+		if m.pimDBCArea(g, d) <= base {
+			t.Errorf("%v PIM DBC not larger than base", d)
+		}
+	}
+}
+
+func TestPerWirePIMF2(t *testing.T) {
+	m := DefaultModel()
+	g := params.DefaultGeometry()
+	per := m.PerWirePIMF2(g, Full)
+	if per*float64(g.TrackWidth) != m.pimDBCArea(g, Full) {
+		t.Error("per-wire area inconsistent with DBC area")
+	}
+}
+
+func TestOverheadScalesWithPIMTiles(t *testing.T) {
+	// Doubling the PIM-enabled tiles should roughly double the overhead
+	// (the §V-F performance-vs-area tradeoff discussion).
+	m := DefaultModel()
+	g := params.DefaultGeometry()
+	one := m.Overhead(g, Full)
+	g2 := g
+	g2.PIMTilesPerSub = 2
+	two := m.Overhead(g2, Full)
+	if two < one*1.8 || two > one*2.2 {
+		t.Errorf("2-PIM overhead %.3f not ≈2× 1-PIM %.3f", two, one)
+	}
+}

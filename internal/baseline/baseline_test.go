@@ -1,0 +1,235 @@
+// Package baseline_test exercises the comparator models together: the
+// functional DRAM PIM semantics and the Table III/IV cost anchors.
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/ambit"
+	"repro/internal/baseline/cpu"
+	"repro/internal/baseline/dwnn"
+	"repro/internal/baseline/elp2im"
+	"repro/internal/baseline/isaac"
+	"repro/internal/baseline/spim"
+	"repro/internal/mem"
+	"repro/internal/params"
+)
+
+func randRow(n int, rng *rand.Rand) ambit.Row {
+	r := make(ambit.Row, n)
+	for i := range r {
+		r[i] = uint8(rng.Intn(2))
+	}
+	return r
+}
+
+func TestAmbitTRAIsMajority(t *testing.T) {
+	check := func(a, b, c bool) bool {
+		row := func(v bool) ambit.Row {
+			if v {
+				return ambit.Row{1}
+			}
+			return ambit.Row{0}
+		}
+		x, y, z := row(a), row(b), row(c)
+		ambit.TRA(x, y, z)
+		ones := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				ones++
+			}
+		}
+		want := uint8(0)
+		if ones >= 2 {
+			want = 1
+		}
+		// TRA is destructive: all three rows now hold the majority.
+		return x[0] == want && y[0] == want && z[0] == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAmbitLogicOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b := randRow(64, rng), randRow(64, rng)
+	and := ambit.And(a, b)
+	or := ambit.Or(a, b)
+	xor := ambit.Xor(a, b)
+	not := ambit.Not(a)
+	for i := range a {
+		if and[i] != a[i]&b[i] {
+			t.Fatalf("AND bit %d", i)
+		}
+		if or[i] != a[i]|b[i] {
+			t.Fatalf("OR bit %d", i)
+		}
+		if xor[i] != a[i]^b[i] {
+			t.Fatalf("XOR bit %d", i)
+		}
+		if not[i] != 1-a[i] {
+			t.Fatalf("NOT bit %d", i)
+		}
+	}
+	// The logic ops must not destroy their operands (RowClone copies
+	// protect the originals, §II-C1).
+	ac, bc := randRow(64, rng), randRow(64, rng)
+	copy(ac, a)
+	copy(bc, b)
+	ambit.And(a, b)
+	for i := range a {
+		if a[i] != ac[i] || b[i] != bc[i] {
+			t.Fatal("And destroyed its operands")
+		}
+	}
+}
+
+func TestAmbitAndMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := []ambit.Row{randRow(32, rng), randRow(32, rng), randRow(32, rng), randRow(32, rng)}
+	got, err := ambit.AndMulti(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		want := uint8(1)
+		for _, o := range ops {
+			want &= o[i]
+		}
+		if got[i] != want {
+			t.Fatalf("bit %d = %d, want %d", i, got[i], want)
+		}
+	}
+	if _, err := ambit.AndMulti(nil); err == nil {
+		t.Error("empty operand list accepted")
+	}
+	// ELP2IM shares the functional semantics.
+	e, err := elp2im.AndMulti(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e {
+		if e[i] != got[i] {
+			t.Fatal("ELP2IM and Ambit semantics diverge")
+		}
+	}
+}
+
+func TestAmbitCostModel(t *testing.T) {
+	m := ambit.NewModel(params.DefaultConfig())
+	// AAP = 2·tRAS + tRP = 48 memory cycles.
+	if got := m.AAPCycles(); got != 48 {
+		t.Errorf("AAP = %d cycles, want 48", got)
+	}
+	if m.And2().Cycles != 4*48 {
+		t.Errorf("AND = %d cycles, want 192", m.And2().Cycles)
+	}
+	if m.Xor2().Cycles <= m.And2().Cycles {
+		t.Error("XOR (DCC recipe) should exceed AND")
+	}
+	if m.AndMulti(5).Cycles != 4*m.And2().Cycles {
+		t.Error("k-operand AND must chain k-1 passes")
+	}
+	if m.Not1().Cycles >= m.And2().Cycles {
+		t.Error("NOT should be cheaper than AND")
+	}
+}
+
+func TestELP2IMFasterThanAmbit(t *testing.T) {
+	cfg := params.DefaultConfig()
+	a := ambit.NewModel(cfg)
+	e := elp2im.NewModel(cfg)
+	// §II-C1: ELP²IM demonstrates a 3.2× performance improvement.
+	ratio := float64(a.And2().Cycles) / float64(e.And2().Cycles)
+	if ratio < 2.8 || ratio > 3.6 {
+		t.Errorf("ELP2IM AND speedup = %.2f, want ≈3.2", ratio)
+	}
+	if e.AddStep().Cycles != 40 {
+		t.Errorf("ELP2IM add step = %d cycles, want 40 (§IV-A)", e.AddStep().Cycles)
+	}
+	if a.AddStep().Cycles <= e.AddStep().Cycles {
+		t.Error("Ambit add step should exceed ELP2IM's")
+	}
+}
+
+func TestDWNNAnchors(t *testing.T) {
+	// Table III published values at 8 bits.
+	if c := dwnn.Add2(8); c.Cycles != 54 || c.EnergyPJ != 40 {
+		t.Errorf("DW-NN add2 = %+v", c)
+	}
+	if c := dwnn.Add5AreaOpt(8); c.Cycles != 264 {
+		t.Errorf("DW-NN add5 area = %+v", c)
+	}
+	if c := dwnn.Add5LatOpt(8); c.Cycles != 194 {
+		t.Errorf("DW-NN add5 lat = %+v", c)
+	}
+	if c := dwnn.Mult2(8); c.Cycles != 163 || c.EnergyPJ != 308 {
+		t.Errorf("DW-NN mult = %+v", c)
+	}
+	// Bit-serial scaling: 16-bit add doubles; multiply quadruples.
+	if dwnn.Add2(16).Cycles != 108 {
+		t.Error("add scaling not linear")
+	}
+	if dwnn.Mult2(16).Cycles != 652 {
+		t.Error("mult scaling not quadratic")
+	}
+}
+
+func TestSPIMAnchors(t *testing.T) {
+	if c := spim.Add2(8); c.Cycles != 49 || c.EnergyPJ != 28 {
+		t.Errorf("SPIM add2 = %+v", c)
+	}
+	if c := spim.Add5LatOpt(8); c.Cycles != 179 || c.EnergyPJ != 121.6 {
+		t.Errorf("SPIM add5 lat = %+v", c)
+	}
+	if c := spim.Mult2(8); c.Cycles != 149 || c.EnergyPJ != 196 {
+		t.Errorf("SPIM mult = %+v", c)
+	}
+	// SPIM beats DW-NN everywhere (it is the state of the art, §II-C2).
+	if spim.Add2(8).Cycles >= dwnn.Add2(8).Cycles {
+		t.Error("SPIM add not faster than DW-NN")
+	}
+	if spim.Mult2(8).EnergyPJ >= dwnn.Mult2(8).EnergyPJ {
+		t.Error("SPIM mult not cheaper than DW-NN")
+	}
+}
+
+func TestISAACAnchors(t *testing.T) {
+	// Table IV operating points: AlexNet 34 FPS, LeNet-5 2581 FPS.
+	alex := isaac.FPS(724e6)
+	lenet := isaac.FPS(416e3)
+	if alex < 32 || alex > 36 {
+		t.Errorf("ISAAC AlexNet = %.1f FPS, want ≈34", alex)
+	}
+	if lenet < 2450 || lenet > 2720 {
+		t.Errorf("ISAAC LeNet = %.1f FPS, want ≈2581", lenet)
+	}
+}
+
+func TestCPUOpCounts(t *testing.T) {
+	o := cpu.OpCounts{Adds: 100, Mults: 50, BusBytes: 300}
+	if o.Ops() != 150 {
+		t.Errorf("Ops = %d", o.Ops())
+	}
+	if o.BytesPerOp() != 2 {
+		t.Errorf("BytesPerOp = %v", o.BytesPerOp())
+	}
+	if (cpu.OpCounts{}).BytesPerOp() != 0 {
+		t.Error("empty counts should give zero traffic")
+	}
+	e := params.DefaultEnergy()
+	want := 300*e.TransPJPerB + 100*e.CPUAdd32PJ + 50*e.CPUMult32PJ
+	if got := cpu.EnergyPJ(o, e); got != want {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+	sys := mem.NewSystem(params.DefaultConfig())
+	if cpu.LatencyNS(o, sys, mem.DWM) <= 0 {
+		t.Error("non-positive latency")
+	}
+	if cpu.LatencyNS(cpu.OpCounts{}, sys, mem.DWM) != 0 {
+		t.Error("empty kernel should cost nothing")
+	}
+}

@@ -1,0 +1,48 @@
+// Package cpu models the non-PIM baseline of Figs. 10–12: a Xeon
+// X5670-class processor executing the kernel with all operands moved
+// over the memory bus. Energy follows Table II ([3]): 1250 pJ per byte
+// transferred, 111 pJ per 32-bit add, 164 pJ per 32-bit multiply.
+package cpu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/params"
+)
+
+// OpCounts summarizes a kernel's work: arithmetic operations executed
+// and the off-chip traffic they generate (after on-chip caching).
+type OpCounts struct {
+	Adds     int64
+	Mults    int64
+	BusBytes int64 // off-chip bytes moved (cache-filtered)
+}
+
+// Ops returns the total arithmetic operations.
+func (o OpCounts) Ops() int64 { return o.Adds + o.Mults }
+
+// BytesPerOp returns the average off-chip traffic per operation.
+func (o OpCounts) BytesPerOp() float64 {
+	if o.Ops() == 0 {
+		return 0
+	}
+	return float64(o.BusBytes) / float64(o.Ops())
+}
+
+// EnergyPJ returns the CPU-side energy of executing the kernel: the bus
+// transfer energy dominates (Fig. 11: "the data movement energy ... is
+// 30× the compute energy").
+func EnergyPJ(o OpCounts, e params.Energy) float64 {
+	return float64(o.BusBytes)*e.TransPJPerB +
+		float64(o.Adds)*e.CPUAdd32PJ +
+		float64(o.Mults)*e.CPUMult32PJ
+}
+
+// LatencyNS returns the CPU execution time of the kernel against the
+// given memory technology, using the system model's per-operation
+// latency.
+func LatencyNS(o OpCounts, s *mem.System, t mem.Tech) float64 {
+	if o.Ops() == 0 {
+		return 0
+	}
+	return float64(o.Ops()) * s.CPUOpLatencyNS(t, o.BytesPerOp())
+}

@@ -1,0 +1,6 @@
+// Package baseline groups the comparator models CORUSCANT is evaluated
+// against (§II-C, §V): the DRAM bulk-bitwise accelerators Ambit and
+// ELP²IM, the DWM PIM proposals DW-NN and SPIM, the ISAAC ReRAM
+// crossbar, and the non-PIM CPU system. Each lives in its own
+// subpackage; this package holds their cross-cutting tests.
+package baseline

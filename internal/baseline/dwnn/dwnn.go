@@ -1,0 +1,71 @@
+// Package dwnn models DW-NN [7], the first DWM PIM proposal: operand
+// bits are stored consecutively in a single nanowire and processed
+// bit-serially through a stacked-domain GMR read that computes XOR, with
+// a precharge sense amplifier (PCSA) deriving the carry (§II-C2).
+//
+// The per-operation costs are anchored to Table III's published 8-bit
+// characterization (54 cycles / 40 pJ for a two-operand add, 163 cycles /
+// 308 pJ for a multiply) and scale bit-serially with operand width.
+package dwnn
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Table III anchors for 8-bit operations.
+const (
+	add2Cycles8  = 54
+	add2PJ8      = 40.0
+	add5AreaOpt8 = 264 // five-operand add, area-optimized (serial adds)
+	add5LatOpt8  = 194 // five-operand add, latency-optimized (adder tree)
+	add5PJ8      = 169.6
+	mult2Cycles8 = 163
+	mult2PJ8     = 308.0
+)
+
+// Areas in µm² (Table III).
+const (
+	AddAreaUM2       = 2.6
+	AddLatOptAreaUM2 = 5.2
+	MultAreaUM2      = 18.9
+)
+
+// Add2 returns the cost of a two-operand add of the given bit width:
+// DW-NN is bit-serial (two XOR reads plus a PCSA carry compare and the
+// alignment shifts per bit), so cycles and energy scale linearly.
+func Add2(bits int) trace.Cost {
+	return trace.Cost{
+		Cycles:   add2Cycles8 * bits / 8,
+		EnergyPJ: add2PJ8 * float64(bits) / 8,
+	}
+}
+
+// Add5AreaOpt returns the cost of a five-operand add computed as four
+// sequential two-operand adds on one processing element.
+func Add5AreaOpt(bits int) trace.Cost {
+	return trace.Cost{
+		Cycles:   add5AreaOpt8 * bits / 8,
+		EnergyPJ: add5PJ8 * float64(bits) / 8,
+	}
+}
+
+// Add5LatOpt returns the cost of a five-operand add on replicated adder
+// units (an adder tree): same energy, shorter critical path.
+func Add5LatOpt(bits int) trace.Cost {
+	return trace.Cost{
+		Cycles:   add5LatOpt8 * bits / 8,
+		EnergyPJ: add5PJ8 * float64(bits) / 8,
+	}
+}
+
+// Mult2 returns the cost of a two-operand multiply: shift-and-add over
+// the multiplier bits, quadratic in width.
+func Mult2(bits int) trace.Cost {
+	scale := float64(bits*bits) / 64
+	return trace.Cost{
+		Cycles:   int(math.Round(mult2Cycles8 * scale)),
+		EnergyPJ: mult2PJ8 * scale,
+	}
+}

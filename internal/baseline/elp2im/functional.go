@@ -1,0 +1,69 @@
+package elp2im
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/ambit"
+)
+
+// Functional DrAcc-style addition (Eq. 3, §IV-A): operands are laid out
+// vertically — bit j of every lane lives in row j — and one addition
+// step computes, with row-wide bulk operations,
+//
+//	G_i = A_i & B_i;  P_i = A_i ^ B_i;
+//	C_{i+1} = G_i | (P_i & C_i);  S_i = P_i ^ C_i.
+//
+// The carry rows are produced serially (the 40-cycle step cost of the
+// cost model); everything is bit-parallel across the row's lanes.
+
+// AddRows adds two vertically-laid-out operands: a[j] and b[j] are the
+// bit-j rows. Returns the sum rows (same width, carry-out dropped, i.e.
+// lane-wise mod 2^len(a)).
+func AddRows(a, b []Row) ([]Row, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("elp2im: operand widths %d and %d differ", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return nil, fmt.Errorf("elp2im: empty operands")
+	}
+	width := len(a[0])
+	sum := make([]Row, len(a))
+	carry := make(Row, width)
+	for j := range a {
+		if len(a[j]) != width || len(b[j]) != width {
+			return nil, fmt.Errorf("elp2im: ragged operand rows")
+		}
+		g := ambit.And(a[j], b[j])
+		p := ambit.Xor(a[j], b[j])
+		sum[j] = ambit.Xor(p, carry)
+		carry = ambit.Or(g, ambit.And(p, carry))
+	}
+	return sum, nil
+}
+
+// PackVertical lays lane values out vertically: result[j][lane] is bit j
+// of vals[lane].
+func PackVertical(vals []uint64, bits int) []Row {
+	rows := make([]Row, bits)
+	for j := range rows {
+		rows[j] = make(Row, len(vals))
+		for l, v := range vals {
+			rows[j][l] = uint8((v >> uint(j)) & 1)
+		}
+	}
+	return rows
+}
+
+// UnpackVertical reverses PackVertical.
+func UnpackVertical(rows []Row) []uint64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	vals := make([]uint64, len(rows[0]))
+	for j, row := range rows {
+		for l, b := range row {
+			vals[l] |= uint64(b&1) << uint(j)
+		}
+	}
+	return vals
+}

@@ -1,0 +1,107 @@
+package baseline_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline/dwnn"
+	"repro/internal/baseline/elp2im"
+)
+
+func TestDWNNAddFunctional(t *testing.T) {
+	check := func(a, b uint8) bool {
+		got, err := dwnn.AddFunctional(uint64(a), uint64(b), 8)
+		return err == nil && got == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDWNNAddWidths(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		max := uint64(1)<<uint(w) - 1
+		got, err := dwnn.AddFunctional(max, max, w)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		if got != 2*max { // carry-out preserved in bit w
+			t.Errorf("width %d: %d + %d = %d", w, max, max, got)
+		}
+	}
+	if _, err := dwnn.AddFunctional(1, 1, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestDWNNMultFunctional(t *testing.T) {
+	check := func(a, b uint8) bool {
+		got, err := dwnn.MultFunctional(uint64(a), uint64(b), 8)
+		return err == nil && got == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestELP2IMAddRows(t *testing.T) {
+	check := func(av, bv [6]uint8) bool {
+		a := make([]uint64, 6)
+		b := make([]uint64, 6)
+		for i := range av {
+			a[i], b[i] = uint64(av[i]), uint64(bv[i])
+		}
+		ra := elp2im.PackVertical(a, 8)
+		rb := elp2im.PackVertical(b, 8)
+		sum, err := elp2im.AddRows(ra, rb)
+		if err != nil {
+			return false
+		}
+		got := elp2im.UnpackVertical(sum)
+		for i := range a {
+			if got[i] != (a[i]+b[i])&0xff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestELP2IMAddRowsErrors(t *testing.T) {
+	if _, err := elp2im.AddRows(nil, nil); err == nil {
+		t.Error("empty operands accepted")
+	}
+	a := elp2im.PackVertical([]uint64{1}, 8)
+	b := elp2im.PackVertical([]uint64{1}, 4)
+	if _, err := elp2im.AddRows(a, b); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestVerticalPackRoundTrip(t *testing.T) {
+	check := func(vals [5]uint16) bool {
+		v := make([]uint64, 5)
+		for i := range vals {
+			v[i] = uint64(vals[i])
+		}
+		return equalU64(elp2im.UnpackVertical(elp2im.PackVertical(v, 16)), v)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,69 @@
+// Package spim models SPIM [8], the state-of-the-art DWM PIM prior to
+// CORUSCANT: dedicated skyrmion-based computing units in which custom
+// ferromagnetic domains are permanently linked into OR/AND channels and
+// composed into full adders (§II-C2). Sum and carry are computed from a
+// series of bitwise operations, which is why CORUSCANT's single-step
+// S/C/C' sensing beats it even for two operands (§V-B).
+//
+// Costs are anchored to Table III's published 8-bit characterization and
+// scale bit-serially.
+package spim
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// Table III anchors for 8-bit operations.
+const (
+	add2Cycles8  = 49
+	add2PJ8      = 28.0
+	add5AreaOpt8 = 244
+	add5LatOpt8  = 179
+	add5PJ8      = 121.6
+	mult2Cycles8 = 149
+	mult2PJ8     = 196.0
+)
+
+// Areas in µm² (Table III).
+const (
+	AddAreaUM2       = 2.0
+	AddLatOptAreaUM2 = 4.0
+	MultAreaUM2      = 16.8
+)
+
+// Add2 returns the cost of a two-operand add of the given width.
+func Add2(bits int) trace.Cost {
+	return trace.Cost{
+		Cycles:   add2Cycles8 * bits / 8,
+		EnergyPJ: add2PJ8 * float64(bits) / 8,
+	}
+}
+
+// Add5AreaOpt returns the cost of a five-operand add computed serially
+// on one full-adder unit.
+func Add5AreaOpt(bits int) trace.Cost {
+	return trace.Cost{
+		Cycles:   add5AreaOpt8 * bits / 8,
+		EnergyPJ: add5PJ8 * float64(bits) / 8,
+	}
+}
+
+// Add5LatOpt returns the cost of a five-operand add on replicated units.
+func Add5LatOpt(bits int) trace.Cost {
+	return trace.Cost{
+		Cycles:   add5LatOpt8 * bits / 8,
+		EnergyPJ: add5PJ8 * float64(bits) / 8,
+	}
+}
+
+// Mult2 returns the cost of a two-operand multiply (shift-and-add,
+// quadratic in width).
+func Mult2(bits int) trace.Cost {
+	scale := float64(bits*bits) / 64
+	return trace.Cost{
+		Cycles:   int(math.Round(mult2Cycles8 * scale)),
+		EnergyPJ: mult2PJ8 * scale,
+	}
+}

@@ -1,0 +1,299 @@
+// Package dbc models a CORUSCANT domain-block cluster (DBC): X parallel
+// DWM nanowires of Y data rows that shift in lockstep and share local
+// sensing circuitry and write drivers (Fig. 2(d)). PIM-enabled DBCs add a
+// second access port per wire spaced a transverse-read distance away, a
+// multi-level sense amplifier, and the PIM logic block of Fig. 4.
+//
+// All state-changing operations are traced: each control step logs into a
+// trace.Tracer from which cycle latency and energy are derived.
+package dbc
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/params"
+	"repro/internal/trace"
+)
+
+// Row is a horizontal bit vector across the DBC's nanowires: Row[w] is
+// the bit stored by nanowire w, one of 0 or 1.
+type Row = []uint8
+
+// DBC is a PIM-enabled domain-block cluster.
+type DBC struct {
+	width int // X: nanowires (bits per row)
+	rows  int // Y: data rows
+	trd   params.TRD
+
+	wires  []*device.Nanowire
+	tracer *trace.Tracer
+	inj    *device.FaultInjector
+}
+
+// New returns a DBC of width nanowires × rows data domains with a PIM
+// window of trd domains. All domains start at zero.
+func New(width, rows int, trd params.TRD) (*DBC, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("dbc: non-positive width %d", width)
+	}
+	d := &DBC{width: width, rows: rows, trd: trd, wires: make([]*device.Nanowire, width)}
+	for i := range d.wires {
+		w, err := device.NewNanowire(rows, trd)
+		if err != nil {
+			return nil, err
+		}
+		d.wires[i] = w
+	}
+	return d, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(width, rows int, trd params.TRD) *DBC {
+	d, err := New(width, rows, trd)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Width returns X, the number of nanowires (bits per row).
+func (d *DBC) Width() int { return d.width }
+
+// Rows returns Y, the number of data rows.
+func (d *DBC) Rows() int { return d.rows }
+
+// TRD returns the PIM window length.
+func (d *DBC) TRD() params.TRD { return d.trd }
+
+// SetTracer directs subsequent operation accounting to t (nil disables).
+func (d *DBC) SetTracer(t *trace.Tracer) { d.tracer = t }
+
+// Tracer returns the current tracer (possibly nil).
+func (d *DBC) Tracer() *trace.Tracer { return d.tracer }
+
+// SetFaultInjector enables fault injection on TRs and shifts.
+func (d *DBC) SetFaultInjector(f *device.FaultInjector) { d.inj = f }
+
+// checkRow validates a bit-vector argument length.
+func (d *DBC) checkRow(bits Row) {
+	if len(bits) != d.width {
+		panic(fmt.Sprintf("dbc: row length %d, want %d", len(bits), d.width))
+	}
+}
+
+// LoadRow initializes data row r with bits, bypassing the ports. It
+// models pre-existing memory contents (and Fig. 7 pre-populated padding)
+// and is not traced.
+func (d *DBC) LoadRow(r int, bits Row) {
+	d.checkRow(bits)
+	for w, wire := range d.wires {
+		wire.SetRow(r, bits[w])
+	}
+}
+
+// LoadConst fills data row r with the constant bit (Fig. 7 padding).
+func (d *DBC) LoadConst(r int, bit uint8) {
+	for _, wire := range d.wires {
+		wire.SetRow(r, bit)
+	}
+}
+
+// PeekRow returns a copy of data row r without modelling an access.
+func (d *DBC) PeekRow(r int) Row {
+	out := make(Row, d.width)
+	for w, wire := range d.wires {
+		out[w] = wire.PeekRow(r)
+	}
+	return out
+}
+
+// Offset returns the current shift displacement of the lockstepped wires.
+func (d *DBC) Offset() int { return d.wires[0].Offset() }
+
+// Shift moves all nanowires by steps positions (positive = right), one
+// traced control step per position. With a fault injector attached, each
+// step may over- or under-shoot; CORUSCANT assumes orthogonal alignment
+// fault tolerance (§II-A), so injected shift errors model its absence.
+func (d *DBC) Shift(steps int) error {
+	dir := 1
+	if steps < 0 {
+		dir, steps = -1, -steps
+	}
+	for i := 0; i < steps; i++ {
+		n := 1
+		if e := d.inj.ShiftError(); e != 0 {
+			n += e * dir // over/under shoot relative to intended direction
+		}
+		for j := 0; j < n; j++ {
+			if err := d.shiftOne(dir); err != nil {
+				return err
+			}
+		}
+		d.tracer.Shift(d.width)
+	}
+	return nil
+}
+
+func (d *DBC) shiftOne(dir int) error {
+	for _, wire := range d.wires {
+		var err error
+		if dir > 0 {
+			err = wire.ShiftRight()
+		} else {
+			err = wire.ShiftLeft()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Align shifts the DBC so data row r is under the given port, tracing
+// each shift step. It returns the number of steps taken.
+func (d *DBC) Align(r int, s device.Side) (int, error) {
+	steps := d.wires[0].AlignSteps(r, s)
+	if err := d.Shift(steps); err != nil {
+		return 0, err
+	}
+	if steps < 0 {
+		steps = -steps
+	}
+	return steps, nil
+}
+
+// AlignNearest shifts row r under its nearest port and returns the port
+// used and the steps taken.
+func (d *DBC) AlignNearest(r int) (device.Side, int, error) {
+	side, _ := d.wires[0].NearestPort(r)
+	steps, err := d.Align(r, side)
+	return side, steps, err
+}
+
+// RowAtPort returns the data row currently under the port, or -1.
+func (d *DBC) RowAtPort(s device.Side) int { return d.wires[0].RowAtPort(s) }
+
+// ReadPort reads the full row under the port (one traced step).
+func (d *DBC) ReadPort(s device.Side) Row {
+	out := make(Row, d.width)
+	for w, wire := range d.wires {
+		out[w] = wire.ReadPort(s)
+	}
+	d.tracer.Read(d.width)
+	return out
+}
+
+// WritePort writes the full row under the port (one traced step).
+func (d *DBC) WritePort(s device.Side, bits Row) {
+	d.checkRow(bits)
+	for w, wire := range d.wires {
+		wire.WritePort(s, bits[w])
+	}
+	d.tracer.Write(d.width)
+}
+
+// PortWrite is a single-wire port write used as part of a compound step;
+// callers are responsible for tracing the enclosing step.
+func (d *DBC) portWrite(wire int, s device.Side, bit uint8) {
+	d.wires[wire].WritePort(s, bit)
+}
+
+// WriteScatter performs, in one traced control step, a set of port writes
+// on distinct (wire, port) targets. This models the addition carry chain
+// of Fig. 6 where S, C and C' are written simultaneously to the left port
+// of wire k, the right port of wire k+1 and the left port of wire k+2.
+func (d *DBC) WriteScatter(writes []PortBit) {
+	for _, pw := range writes {
+		d.portWrite(pw.Wire, pw.Side, pw.Bit)
+	}
+	d.tracer.Write(len(writes))
+}
+
+// PortBit names a single-bit port write target for WriteScatter.
+type PortBit struct {
+	Wire int
+	Side device.Side
+	Bit  uint8
+}
+
+// TRAll performs a transverse read on every nanowire in one traced
+// control step, returning the per-wire '1' counts (levels 0..TRD).
+func (d *DBC) TRAll() []int {
+	levels := make([]int, d.width)
+	for w, wire := range d.wires {
+		levels[w] = d.inj.PerturbTR(wire.TR(), int(d.trd))
+	}
+	d.tracer.TR(d.width)
+	return levels
+}
+
+// TRWires performs a transverse read on the selected nanowires in one
+// traced control step (the memory controller masks the other bitlines,
+// §III-E). Unselected entries of the result are -1.
+func (d *DBC) TRWires(wires []int) []int {
+	levels := make([]int, d.width)
+	for i := range levels {
+		levels[i] = -1
+	}
+	for _, w := range wires {
+		levels[w] = d.inj.PerturbTR(d.wires[w].TR(), int(d.trd))
+	}
+	d.tracer.TR(len(wires))
+	return levels
+}
+
+// TW performs a transverse write of a full row (§IV-B): on every wire the
+// bit is written under the left port while the window contents shift one
+// position right, ejecting the domain under the right port. One traced
+// control step.
+func (d *DBC) TW(bits Row) {
+	d.checkRow(bits)
+	for w, wire := range d.wires {
+		wire.TW(bits[w])
+	}
+	d.tracer.TW(d.width)
+}
+
+// WindowRow maps window position i (0 = left port) to the data row
+// currently aligned there, or -1 for an overhead domain.
+func (d *DBC) WindowRow(i int) int { return d.wires[0].WindowRow(i) }
+
+// PokeWindow overwrites the domain at window position i on every wire
+// without tracing. It models Fig. 7 pre-populated padding constants that
+// are maintained outside the traced operation.
+func (d *DBC) PokeWindow(i int, bits Row) {
+	d.checkRow(bits)
+	for w := range d.wires {
+		d.pokeWindowWire(w, i, bits[w])
+	}
+}
+
+// PokeWindowConst fills window position i with a constant on every wire,
+// without tracing (Fig. 7 padding).
+func (d *DBC) PokeWindowConst(i int, bit uint8) {
+	for w := range d.wires {
+		d.pokeWindowWire(w, i, bit)
+	}
+}
+
+func (d *DBC) pokeWindowWire(w, i int, bit uint8) {
+	wire := d.wires[w]
+	r := wire.WindowRow(i)
+	if r >= 0 {
+		wire.SetRow(r, bit)
+		return
+	}
+	// Overhead domain inside the window: reach it through the port
+	// machinery by writing the physical slot directly.
+	wire.PokeWindow(i, bit)
+}
+
+// PeekWindow returns the row at window position i without tracing.
+func (d *DBC) PeekWindow(i int) Row {
+	out := make(Row, d.width)
+	for w, wire := range d.wires {
+		out[w] = wire.PeekWindowBit(i)
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package dbc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/params"
+	"repro/internal/trace"
+)
+
+func randRow(width int, rng *rand.Rand) Row {
+	r := make(Row, width)
+	for i := range r {
+		r[i] = uint8(rng.Intn(2))
+	}
+	return r
+}
+
+func TestDBCLoadPeekRows(t *testing.T) {
+	d := MustNew(64, 32, params.TRD7)
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]Row, 32)
+	for r := range rows {
+		rows[r] = randRow(64, rng)
+		d.LoadRow(r, rows[r])
+	}
+	for r := range rows {
+		got := d.PeekRow(r)
+		for w := range got {
+			if got[w] != rows[r][w] {
+				t.Fatalf("row %d wire %d = %d, want %d", r, w, got[w], rows[r][w])
+			}
+		}
+	}
+}
+
+func TestDBCLockstepShift(t *testing.T) {
+	d := MustNew(16, 32, params.TRD7)
+	rng := rand.New(rand.NewSource(2))
+	want := make([]Row, 32)
+	for r := range want {
+		want[r] = randRow(16, rng)
+		d.LoadRow(r, want[r])
+	}
+	if err := d.Shift(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Shift(-7); err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		got := d.PeekRow(r)
+		for w := range got {
+			if got[w] != want[r][w] {
+				t.Fatalf("after shifts row %d wire %d changed", r, w)
+			}
+		}
+	}
+}
+
+func TestDBCAlignReadWritePort(t *testing.T) {
+	d := MustNew(8, 32, params.TRD7)
+	row := Row{1, 0, 1, 1, 0, 0, 1, 0}
+	d.LoadRow(5, row)
+	if _, err := d.Align(5, device.Left); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.RowAtPort(device.Left); got != 5 {
+		t.Fatalf("RowAtPort = %d, want 5", got)
+	}
+	got := d.ReadPort(device.Left)
+	for w := range row {
+		if got[w] != row[w] {
+			t.Fatalf("ReadPort wire %d = %d, want %d", w, got[w], row[w])
+		}
+	}
+	d.WritePort(device.Left, Row{0, 1, 0, 0, 1, 1, 0, 1})
+	got = d.PeekRow(5)
+	for w := range got {
+		if got[w] != 1-row[w] {
+			t.Fatalf("after WritePort row 5 wire %d = %d", w, got[w])
+		}
+	}
+}
+
+func TestDBCTRMatchesPopcount(t *testing.T) {
+	// The DBC's per-wire TR must equal the per-wire popcount of the
+	// window rows — cross-checking the lockstep model against the
+	// single-wire device physics.
+	d := MustNew(32, 32, params.TRD7)
+	rng := rand.New(rand.NewSource(3))
+	want := make([]int, 32)
+	for i := 0; i < 7; i++ {
+		row := randRow(32, rng)
+		d.PokeWindow(i, row)
+		for w, b := range row {
+			want[w] += int(b)
+		}
+	}
+	got := d.TRAll()
+	for w := range want {
+		if got[w] != want[w] {
+			t.Fatalf("TR wire %d = %d, want %d", w, got[w], want[w])
+		}
+	}
+}
+
+func TestDBCTRWiresMasking(t *testing.T) {
+	d := MustNew(16, 32, params.TRD7)
+	d.PokeWindowConst(3, 1)
+	levels := d.TRWires([]int{2, 5})
+	for w, l := range levels {
+		switch w {
+		case 2, 5:
+			if l != 1 {
+				t.Fatalf("selected wire %d level = %d, want 1", w, l)
+			}
+		default:
+			if l != -1 {
+				t.Fatalf("masked wire %d level = %d, want -1", w, l)
+			}
+		}
+	}
+}
+
+func TestDBCTWRow(t *testing.T) {
+	d := MustNew(4, 32, params.TRD7)
+	first := Row{1, 1, 0, 0}
+	d.PokeWindow(0, first)
+	d.TW(Row{0, 1, 1, 0})
+	got := d.PeekWindow(0)
+	want := Row{0, 1, 1, 0}
+	for w := range want {
+		if got[w] != want[w] {
+			t.Fatalf("window 0 wire %d = %d, want %d", w, got[w], want[w])
+		}
+	}
+	got = d.PeekWindow(1)
+	for w := range first {
+		if got[w] != first[w] {
+			t.Fatalf("window 1 wire %d = %d, want %d (shifted)", w, got[w], first[w])
+		}
+	}
+}
+
+func TestDBCWriteScatter(t *testing.T) {
+	d := MustNew(8, 32, params.TRD7)
+	tr := &trace.Tracer{}
+	d.SetTracer(tr)
+	d.WriteScatter([]PortBit{
+		{Wire: 0, Side: device.Left, Bit: 1},
+		{Wire: 1, Side: device.Right, Bit: 1},
+		{Wire: 2, Side: device.Left, Bit: 0},
+	})
+	if got := d.PeekWindow(0)[0]; got != 1 {
+		t.Errorf("wire 0 left port = %d, want 1", got)
+	}
+	if got := d.PeekWindow(6)[1]; got != 1 {
+		t.Errorf("wire 1 right port = %d, want 1", got)
+	}
+	s := tr.Stats()
+	if s.WriteSteps != 1 || s.WriteBits != 3 {
+		t.Errorf("scatter traced %d steps / %d bits, want 1/3", s.WriteSteps, s.WriteBits)
+	}
+}
+
+func TestDBCTracing(t *testing.T) {
+	d := MustNew(8, 32, params.TRD7)
+	tr := &trace.Tracer{}
+	d.SetTracer(tr)
+	if err := d.Shift(3); err != nil {
+		t.Fatal(err)
+	}
+	d.TRAll()
+	d.WritePort(device.Left, make(Row, 8))
+	d.ReadPort(device.Right)
+	d.TW(make(Row, 8))
+	s := tr.Stats()
+	if s.ShiftSteps != 3 || s.ShiftWires != 24 {
+		t.Errorf("shift trace %d/%d, want 3/24", s.ShiftSteps, s.ShiftWires)
+	}
+	if s.TRSteps != 1 || s.TRWires != 8 {
+		t.Errorf("TR trace %d/%d, want 1/8", s.TRSteps, s.TRWires)
+	}
+	if s.Cycles() != 3+1+1+1+1 {
+		t.Errorf("cycles = %d, want 7", s.Cycles())
+	}
+}
+
+func TestDBCFaultInjection(t *testing.T) {
+	d := MustNew(4, 32, params.TRD7)
+	d.SetFaultInjector(device.NewFaultInjector(1.0, 0, 11))
+	d.PokeWindowConst(2, 1) // true level 1 everywhere
+	levels := d.TRAll()
+	for w, l := range levels {
+		if l == 1 {
+			t.Errorf("wire %d unperturbed at probability 1", w)
+		}
+		if l < 0 || l > 7 {
+			t.Errorf("wire %d level %d out of range", w, l)
+		}
+	}
+}
+
+func TestSenseDecomposition(t *testing.T) {
+	// The level's binary decomposition gives S/C/C' (§III-B): C is one
+	// for levels {2,3,6,7} ("above two and not above four, or above
+	// six") and C' for levels ≥ 4.
+	for level := 0; level <= 7; level++ {
+		o := Sense(level, params.TRD7)
+		if o.S != uint8(level&1) {
+			t.Errorf("level %d: S=%d", level, o.S)
+		}
+		wantC := uint8(0)
+		if (level >= 2 && level < 4) || level >= 6 {
+			wantC = 1
+		}
+		if o.C != wantC {
+			t.Errorf("level %d: C=%d, want %d", level, o.C, wantC)
+		}
+		wantCp := uint8(0)
+		if level >= 4 {
+			wantCp = 1
+		}
+		if o.Cp != wantCp {
+			t.Errorf("level %d: C'=%d, want %d", level, o.Cp, wantCp)
+		}
+		if o.S+2*o.C+4*o.Cp != uint8(level) {
+			t.Errorf("level %d: decomposition %d+2·%d+4·%d", level, o.S, o.C, o.Cp)
+		}
+	}
+}
+
+func TestSenseLogicOps(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		for level := 0; level <= int(trd); level++ {
+			o := Sense(level, trd)
+			if (o.OR == 1) != (level >= 1) {
+				t.Errorf("%v level %d: OR=%d", trd, level, o.OR)
+			}
+			if (o.AND == 1) != (level == int(trd)) {
+				t.Errorf("%v level %d: AND=%d", trd, level, o.AND)
+			}
+			if o.NOR != 1-o.OR || o.NAND != 1-o.AND || o.XNOR != 1-o.XOR {
+				t.Errorf("%v level %d: inversions wrong", trd, level)
+			}
+			if o.XOR != uint8(level&1) {
+				t.Errorf("%v level %d: XOR=%d", trd, level, o.XOR)
+			}
+		}
+	}
+}
+
+func TestEvalMajority(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		th := (int(trd) + 1) / 2
+		for level := 0; level <= int(trd); level++ {
+			want := uint8(0)
+			if level >= th {
+				want = 1
+			}
+			if got := Eval(OpMAJ, level, trd); got != want {
+				t.Errorf("%v MAJ(%d) = %d, want %d", trd, level, got, want)
+			}
+		}
+	}
+}
+
+func TestOpPadBits(t *testing.T) {
+	if OpAND.PadBit() != 1 || OpNAND.PadBit() != 1 {
+		t.Error("AND/NAND must pad with ones (Fig. 7a)")
+	}
+	for _, op := range []Op{OpOR, OpNOR, OpXOR, OpXNOR, OpNOT} {
+		if op.PadBit() != 0 {
+			t.Errorf("%v must pad with zeros (Fig. 7b)", op)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op, want := range map[Op]string{OpOR: "OR", OpNAND: "NAND", OpMAJ: "MAJ"} {
+		if got := op.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}

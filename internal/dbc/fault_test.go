@@ -1,0 +1,46 @@
+package dbc
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/params"
+)
+
+func TestShiftFaultsMisalignData(t *testing.T) {
+	// With certain over/under-shifting (probability 1), a shift-align-read
+	// sequence must return wrong rows — the §II-A alignment-fault problem
+	// the cited companion works correct. The paper assumes their solutions
+	// keep this negligible; the injector lets us model their absence.
+	clean := MustNew(8, 32, params.TRD7)
+	faulty := MustNew(8, 32, params.TRD7)
+	for r := 0; r < 32; r++ {
+		row := make(Row, 8)
+		for w := range row {
+			row[w] = uint8((r + w) % 2)
+		}
+		clean.LoadRow(r, row)
+		faulty.LoadRow(r, row)
+	}
+	faulty.SetFaultInjector(device.NewFaultInjector(0, 1.0, 21))
+
+	if err := clean.Shift(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.Shift(5); err != nil {
+		t.Fatal(err)
+	}
+	if clean.Offset() == faulty.Offset() {
+		t.Errorf("probability-1 shift faults left alignment intact (offset %d)", faulty.Offset())
+	}
+}
+
+func TestShiftFaultsOffByDefault(t *testing.T) {
+	d := MustNew(8, 32, params.TRD7)
+	if err := d.Shift(7); err != nil {
+		t.Fatal(err)
+	}
+	if d.Offset() != 7 {
+		t.Errorf("offset = %d, want 7 with no injector", d.Offset())
+	}
+}

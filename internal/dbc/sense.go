@@ -1,0 +1,123 @@
+package dbc
+
+import (
+	"fmt"
+
+	"repro/internal/params"
+)
+
+// Op is a bulk-bitwise operation computable by the PIM logic block from a
+// transverse-read level (Fig. 4(b), §III-B).
+type Op int
+
+// Supported polymorphic-gate operations.
+const (
+	OpOR Op = iota
+	OpNOR
+	OpAND
+	OpNAND
+	OpXOR
+	OpXNOR
+	OpNOT // NOR of a single operand padded with zeros
+	OpMAJ // majority: the C' circuit reused for N-modular voting (§III-F)
+)
+
+var opNames = map[Op]string{
+	OpOR: "OR", OpNOR: "NOR", OpAND: "AND", OpNAND: "NAND",
+	OpXOR: "XOR", OpXNOR: "XNOR", OpNOT: "NOT", OpMAJ: "MAJ",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// PadBit returns the padding constant that makes the operation correct
+// for fewer than TRD operands (Fig. 7): '1's for AND/NAND, '0's for the
+// rest.
+func (o Op) PadBit() uint8 {
+	if o == OpAND || o == OpNAND {
+		return 1
+	}
+	return 0
+}
+
+// PIMOutputs is the full output set of the PIM logic block for one
+// nanowire's sensed level (Fig. 4(b)).
+type PIMOutputs struct {
+	OR, NOR, AND, NAND, XOR, XNOR uint8
+	S                             uint8 // sum: identical to XOR (level bit 0)
+	C                             uint8 // carry: level bit 1 ("above two and not above four, or above six")
+	Cp                            uint8 // super-carry: level bit 2 ("above four"); also the majority output
+}
+
+// Sense evaluates the PIM logic block for a sensed level in [0, trd].
+// The level's binary decomposition yields S/C/C' directly: a count of at
+// most 7 fits in three bits.
+func Sense(level int, trd params.TRD) PIMOutputs {
+	if level < 0 || level > int(trd) {
+		panic(fmt.Sprintf("dbc: level %d out of range [0,%d]", level, int(trd)))
+	}
+	var o PIMOutputs
+	o.S = uint8(level & 1)
+	o.XOR = o.S
+	o.XNOR = 1 - o.XOR
+	o.C = uint8((level >> 1) & 1)
+	o.Cp = uint8((level >> 2) & 1)
+	if level >= 1 {
+		o.OR = 1
+	}
+	o.NOR = 1 - o.OR
+	if level == int(trd) {
+		o.AND = 1
+	}
+	o.NAND = 1 - o.AND
+	return o
+}
+
+// Eval returns the single-bit result of op for a sensed level, assuming
+// the window was padded per Fig. 7 when fewer than TRD operands are used.
+// For OpMAJ the level must include the Fig. 7(c)/(d) vote padding so that
+// the C' threshold (level ≥ 4) realizes the majority of the replicas.
+func Eval(op Op, level int, trd params.TRD) uint8 {
+	o := Sense(level, trd)
+	switch op {
+	case OpOR:
+		return o.OR
+	case OpNOR, OpNOT:
+		return o.NOR
+	case OpAND:
+		return o.AND
+	case OpNAND:
+		return o.NAND
+	case OpXOR:
+		return o.XOR
+	case OpXNOR:
+		return o.XNOR
+	case OpMAJ:
+		// Majority over the full window: level ≥ ceil(TRD/2). For
+		// TRD=7 this is the C' circuit (level ≥ 4, §III-F); smaller
+		// windows use the corresponding SA threshold output directly.
+		if level >= (int(trd)+1)/2 {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("dbc: unknown op %v", op))
+	}
+}
+
+// SenseLevels applies Sense to a whole row of levels, skipping entries
+// masked with -1 (unselected bitlines).
+func SenseLevels(levels []int, trd params.TRD) []PIMOutputs {
+	out := make([]PIMOutputs, len(levels))
+	for i, l := range levels {
+		if l < 0 {
+			continue
+		}
+		out[i] = Sense(l, trd)
+	}
+	return out
+}

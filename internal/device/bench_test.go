@@ -1,0 +1,65 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+func newBenchWire(b *testing.B) *Nanowire {
+	b.Helper()
+	w, err := NewNanowire(32, params.TRD7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for r := 0; r < 32; r++ {
+		w.SetRow(r, Bit(r&1))
+	}
+	return w
+}
+
+func BenchmarkNanowireShift(b *testing.B) {
+	w := newBenchWire(b)
+	for i := 0; i < b.N; i++ {
+		if err := w.ShiftRight(); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.ShiftLeft(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNanowireTR(b *testing.B) {
+	w := newBenchWire(b)
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += w.TR()
+	}
+	_ = sink
+}
+
+func BenchmarkNanowireTW(b *testing.B) {
+	w := newBenchWire(b)
+	for i := 0; i < b.N; i++ {
+		w.TW(Bit(i & 1))
+	}
+}
+
+func BenchmarkSegmentedTR(b *testing.B) {
+	w := newBenchWire(b)
+	for i := 0; i < b.N; i++ {
+		w.SegmentedTR(7)
+	}
+}
+
+func BenchmarkNanowireAlign(b *testing.B) {
+	w := newBenchWire(b)
+	for i := 0; i < b.N; i++ {
+		r := i % 32
+		side, _ := w.NearestPort(r)
+		if _, err := w.Align(r, side); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package device
+
+import "math/rand"
+
+// FaultInjector perturbs device operations according to the paper's
+// fault models (§V-F): a transverse read returns a level off by one with
+// probability TRProb (faults off by two or more levels are negligible),
+// and a shift over- or under-shoots by one position with probability
+// ShiftProb. A nil *FaultInjector injects nothing.
+type FaultInjector struct {
+	TRProb    float64
+	ShiftProb float64
+	rng       *rand.Rand
+}
+
+// NewFaultInjector returns an injector with a deterministic source.
+func NewFaultInjector(trProb, shiftProb float64, seed int64) *FaultInjector {
+	return &FaultInjector{TRProb: trProb, ShiftProb: shiftProb, rng: rand.New(rand.NewSource(seed))}
+}
+
+// PerturbTR returns the sensed level for a true level in [0, max]. With
+// probability TRProb the level moves one step up or down (clamped to the
+// valid range, since the sense circuit cannot report out-of-range levels).
+func (f *FaultInjector) PerturbTR(level, max int) int {
+	if f == nil || f.TRProb == 0 || f.rng.Float64() >= f.TRProb {
+		return level
+	}
+	if f.rng.Intn(2) == 0 {
+		level--
+	} else {
+		level++
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level > max {
+		level = max
+	}
+	return level
+}
+
+// ShiftError returns the signed shift-step error to add to one shift
+// operation: -1 (under-shift), +1 (over-shift), or 0.
+func (f *FaultInjector) ShiftError() int {
+	if f == nil || f.ShiftProb == 0 || f.rng.Float64() >= f.ShiftProb {
+		return 0
+	}
+	if f.rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}

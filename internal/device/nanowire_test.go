@@ -1,0 +1,308 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/params"
+)
+
+func mustWire(t *testing.T, rows int, trd params.TRD) *Nanowire {
+	t.Helper()
+	w, err := NewNanowire(rows, trd)
+	if err != nil {
+		t.Fatalf("NewNanowire(%d, %v): %v", rows, trd, err)
+	}
+	return w
+}
+
+func TestNanowireGeometry(t *testing.T) {
+	// §III-A: Y=32 with TRD=7 ports at (1-indexed) 14 and 20 requires
+	// 25 overhead domains, i.e. 57 total.
+	w := mustWire(t, 32, params.TRD7)
+	if got := w.TotalDomains(); got != 57 {
+		t.Errorf("TotalDomains = %d, want 57", got)
+	}
+	if got := params.OverheadDomains(32, params.TRD7); got != 25 {
+		t.Errorf("OverheadDomains = %d, want 25", got)
+	}
+	pl, pr := params.PortPlacement(32, params.TRD7)
+	if pl != 13 || pr != 19 {
+		t.Errorf("PortPlacement = (%d,%d), want (13,19)", pl, pr)
+	}
+	// Single access point needs 2Y−1 = 63 domains; two ports reduce it.
+	if w.TotalDomains() >= 63 {
+		t.Errorf("two-port wire should need fewer than 63 domains, got %d", w.TotalDomains())
+	}
+}
+
+func TestNanowireGeometryAllTRDs(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		w := mustWire(t, 32, trd)
+		pl, pr := params.PortPlacement(32, trd)
+		if pr-pl+1 != int(trd) {
+			t.Errorf("%v: window spans %d domains", trd, pr-pl+1)
+		}
+		if w.TotalDomains() != 32+params.OverheadDomains(32, trd) {
+			t.Errorf("%v: total %d != data+overhead", trd, w.TotalDomains())
+		}
+	}
+}
+
+func TestNanowireInvalid(t *testing.T) {
+	if _, err := NewNanowire(32, params.TRD(4)); err == nil {
+		t.Error("TRD=4 accepted")
+	}
+	if _, err := NewNanowire(5, params.TRD7); err == nil {
+		t.Error("rows < TRD accepted")
+	}
+}
+
+func TestNanowireSetPeekRows(t *testing.T) {
+	w := mustWire(t, 32, params.TRD7)
+	for r := 0; r < 32; r++ {
+		w.SetRow(r, uint8(r%2))
+	}
+	for r := 0; r < 32; r++ {
+		if got := w.PeekRow(r); got != uint8(r%2) {
+			t.Fatalf("row %d = %d, want %d", r, got, r%2)
+		}
+	}
+}
+
+func TestNanowireShiftPreservesData(t *testing.T) {
+	w := mustWire(t, 32, params.TRD7)
+	want := make([]Bit, 32)
+	rng := rand.New(rand.NewSource(1))
+	for r := range want {
+		want[r] = Bit(rng.Intn(2))
+		w.SetRow(r, want[r])
+	}
+	// Walk to both excursion extremes and back.
+	seq := []int{5, -10, 13, -13, 2, -2}
+	for _, s := range seq {
+		if err := w.Shift(s); err != nil {
+			t.Fatalf("Shift(%d): %v", s, err)
+		}
+	}
+	got := w.Snapshot()
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("after shifts, row %d = %d, want %d", r, got[r], want[r])
+		}
+	}
+	if w.Offset() != -5 {
+		t.Errorf("Offset = %d, want -5", w.Offset())
+	}
+}
+
+func TestNanowireShiftBounds(t *testing.T) {
+	w := mustWire(t, 32, params.TRD7)
+	// Align row 0 under the left port: the largest legal rightward move.
+	if _, err := w.Align(0, Left); err != nil {
+		t.Fatalf("Align(0, Left): %v", err)
+	}
+	if err := w.ShiftRight(); err == nil {
+		t.Error("shift beyond right excursion accepted")
+	}
+	if _, err := w.Align(31, Right); err != nil {
+		t.Fatalf("Align(31, Right): %v", err)
+	}
+	if err := w.ShiftLeft(); err == nil {
+		t.Error("shift beyond left excursion accepted")
+	}
+}
+
+func TestNanowireAlignAndAccess(t *testing.T) {
+	w := mustWire(t, 32, params.TRD7)
+	for r := 0; r < 32; r++ {
+		w.SetRow(r, Bit(r&1))
+	}
+	for r := 0; r < 32; r++ {
+		side, steps := w.NearestPort(r)
+		if _, err := w.Align(r, side); err != nil {
+			t.Fatalf("Align(%d, %v): %v", r, side, err)
+		}
+		if got := w.RowAtPort(side); got != r {
+			t.Fatalf("RowAtPort after align = %d, want %d", got, r)
+		}
+		if got := w.ReadPort(side); got != Bit(r&1) {
+			t.Fatalf("ReadPort(row %d) = %d, want %d", r, got, r&1)
+		}
+		if steps > 13 || steps < -13 {
+			t.Fatalf("NearestPort steps %d exceed worst case 13", steps)
+		}
+	}
+}
+
+func TestNanowireNearestPortMaxShift(t *testing.T) {
+	// §III-A: with ports at 14/20 the worst-case shift is 13 (row 0).
+	w := mustWire(t, 32, params.TRD7)
+	worst := 0
+	for r := 0; r < 32; r++ {
+		_, d := w.NearestPort(r)
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst != 13 {
+		t.Errorf("worst-case shift = %d, want 13", worst)
+	}
+}
+
+func TestNanowireWriteReadPort(t *testing.T) {
+	w := mustWire(t, 32, params.TRD7)
+	w.WritePort(Left, 1)
+	if got := w.ReadPort(Left); got != 1 {
+		t.Fatalf("ReadPort(Left) = %d, want 1", got)
+	}
+	if got := w.ReadPort(Right); got != 0 {
+		t.Fatalf("ReadPort(Right) = %d, want 0", got)
+	}
+	w.WritePort(Right, 1)
+	w.WritePort(Left, 0)
+	if got := w.ReadPort(Left); got != 0 {
+		t.Fatalf("ReadPort(Left) after overwrite = %d, want 0", got)
+	}
+	if got := w.ReadPort(Right); got != 1 {
+		t.Fatalf("ReadPort(Right) = %d, want 1", got)
+	}
+}
+
+func TestNanowireTRCountsOnes(t *testing.T) {
+	// Property: TR equals the popcount of the window, for any window
+	// contents, with no position information.
+	check := func(bits [7]bool) bool {
+		w, _ := NewNanowire(32, params.TRD7)
+		want := 0
+		for i, b := range bits {
+			if b {
+				w.PokeWindow(i, 1)
+				want++
+			}
+		}
+		return w.TR() == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNanowireTRPositionBlind(t *testing.T) {
+	// Two windows with the same popcount but different layouts must give
+	// identical TR values.
+	a := mustWire(t, 32, params.TRD7)
+	b := mustWire(t, 32, params.TRD7)
+	a.PokeWindow(0, 1)
+	a.PokeWindow(1, 1)
+	b.PokeWindow(5, 1)
+	b.PokeWindow(6, 1)
+	if a.TR() != b.TR() {
+		t.Errorf("TR depends on position: %d vs %d", a.TR(), b.TR())
+	}
+}
+
+func TestNanowireTW(t *testing.T) {
+	// Fig. 9: TW writes under the left head while the window shifts one
+	// position right, ejecting the domain under the right head; domains
+	// outside the window are untouched.
+	w := mustWire(t, 32, params.TRD7)
+	for i := 0; i < 7; i++ {
+		w.PokeWindow(i, Bit(i&1)) // 0,1,0,1,0,1,0
+	}
+	outsideL := w.PeekRow(0)
+	w.TW(1)
+	want := []Bit{1, 0, 1, 0, 1, 0, 1}
+	for i := 0; i < 7; i++ {
+		if got := w.PeekWindowBit(i); got != want[i] {
+			t.Fatalf("window[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	if w.PeekRow(0) != outsideL {
+		t.Error("TW disturbed a domain outside the window")
+	}
+}
+
+func TestNanowireTWRotation(t *testing.T) {
+	// Reading the right port then TW-ing the value back at the left
+	// port rotates the window; TRD iterations restore it (§IV-B).
+	w := mustWire(t, 32, params.TRD7)
+	want := make([]Bit, 7)
+	rng := rand.New(rand.NewSource(7))
+	for i := range want {
+		want[i] = Bit(rng.Intn(2))
+		w.PokeWindow(i, want[i])
+	}
+	for i := 0; i < 7; i++ {
+		v := w.ReadPort(Right)
+		w.TW(v)
+	}
+	for i := range want {
+		if got := w.PeekWindowBit(i); got != want[i] {
+			t.Fatalf("after full rotation window[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestFaultInjectorDisabled(t *testing.T) {
+	var f *FaultInjector
+	if got := f.PerturbTR(3, 7); got != 3 {
+		t.Errorf("nil injector changed TR level to %d", got)
+	}
+	if got := f.ShiftError(); got != 0 {
+		t.Errorf("nil injector produced shift error %d", got)
+	}
+	f = NewFaultInjector(0, 0, 1)
+	if got := f.PerturbTR(3, 7); got != 3 {
+		t.Errorf("zero-probability injector changed TR level to %d", got)
+	}
+}
+
+func TestFaultInjectorRate(t *testing.T) {
+	f := NewFaultInjector(0.5, 0, 42)
+	n, faults := 20000, 0
+	for i := 0; i < n; i++ {
+		l := f.PerturbTR(3, 7)
+		if l != 3 {
+			faults++
+			if l != 2 && l != 4 {
+				t.Fatalf("fault moved level by more than one: %d", l)
+			}
+		}
+	}
+	rate := float64(faults) / float64(n)
+	if rate < 0.45 || rate > 0.55 {
+		t.Errorf("fault rate %.3f, want ≈0.5", rate)
+	}
+}
+
+func TestFaultInjectorClamps(t *testing.T) {
+	f := NewFaultInjector(1.0, 0, 3)
+	for i := 0; i < 100; i++ {
+		if l := f.PerturbTR(0, 7); l < 0 || l > 7 {
+			t.Fatalf("level %d out of range", l)
+		}
+		if l := f.PerturbTR(7, 7); l < 0 || l > 7 {
+			t.Fatalf("level %d out of range", l)
+		}
+	}
+}
+
+func TestFaultInjectorShiftError(t *testing.T) {
+	f := NewFaultInjector(0, 1.0, 9)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		e := f.ShiftError()
+		if e != -1 && e != 1 {
+			t.Fatalf("shift error %d with probability 1", e)
+		}
+		seen[e] = true
+	}
+	if !seen[-1] || !seen[1] {
+		t.Error("shift errors not in both directions")
+	}
+}

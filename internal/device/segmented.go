@@ -1,0 +1,42 @@
+package device
+
+// SegmentedTR queries the full nanowire with transverse reads over
+// consecutive segments of at most segLen domains (Fig. 3): extra bitline
+// taps partition the wire, and because the nanowire resistivity isolates
+// non-adjacent regions, alternating segments are sensed simultaneously —
+// the whole wire is covered in at most two steps.
+//
+// It returns the per-segment '1' counts (position-blind within each
+// segment, like any TR) and the number of parallel control steps used.
+func (w *Nanowire) SegmentedTR(segLen int) (counts []int, steps int) {
+	if segLen < 1 {
+		panic("device: segment length must be positive")
+	}
+	for start := 0; start < w.total; start += segLen {
+		end := start + segLen
+		if end > w.total {
+			end = w.total
+		}
+		n := 0
+		for p := start; p < end; p++ {
+			n += int(w.domains[p])
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) > 1 {
+		return counts, 2 // odd and even segments interleave (Fig. 3)
+	}
+	return counts, 1
+}
+
+// CountOnes returns the total number of '1' domains on the wire using a
+// segmented transverse read — a two-step whole-wire population count,
+// one of the reliability-checking uses TR was first proposed for (§II-D).
+func (w *Nanowire) CountOnes(segLen int) int {
+	counts, _ := w.SegmentedTR(segLen)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,74 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/params"
+)
+
+func TestSegmentedTRCounts(t *testing.T) {
+	w := mustWire(t, 32, params.TRD7)
+	// Set a known pattern across the data rows.
+	rng := rand.New(rand.NewSource(50))
+	want := 0
+	for r := 0; r < 32; r++ {
+		b := Bit(rng.Intn(2))
+		w.SetRow(r, b)
+		want += int(b)
+	}
+	counts, steps := w.SegmentedTR(7)
+	total := 0
+	for _, c := range counts {
+		if c < 0 || c > 7 {
+			t.Fatalf("segment count %d outside [0,7]", c)
+		}
+		total += c
+	}
+	if total != want {
+		t.Errorf("segmented total = %d, want %d", total, want)
+	}
+	if steps != 2 {
+		t.Errorf("steps = %d, want 2 (alternating segments, Fig. 3)", steps)
+	}
+	if got := (w.TotalDomains() + 6) / 7; len(counts) != got {
+		t.Errorf("%d segments, want %d", len(counts), got)
+	}
+}
+
+func TestSegmentedTRSingleSegment(t *testing.T) {
+	w := mustWire(t, 32, params.TRD7)
+	counts, steps := w.SegmentedTR(w.TotalDomains())
+	if len(counts) != 1 || steps != 1 {
+		t.Errorf("full-wire query: %d segments in %d steps", len(counts), steps)
+	}
+}
+
+func TestCountOnesProperty(t *testing.T) {
+	check := func(pattern [32]bool, segSeed uint8) bool {
+		w, _ := NewNanowire(32, params.TRD7)
+		want := 0
+		for r, b := range pattern {
+			if b {
+				w.SetRow(r, 1)
+				want++
+			}
+		}
+		segLen := int(segSeed)%10 + 1
+		return w.CountOnes(segLen) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentedTRPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("segment length 0 accepted")
+		}
+	}()
+	w := mustWire(t, 32, params.TRD7)
+	w.SegmentedTR(0)
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V): Table I (area), Table III (operation comparison),
+// Table IV (CNN throughput), Table V (reliability), Table VI (CNN under
+// NMR), Fig. 10 (Polybench latency), Fig. 11 (Polybench energy), and
+// Fig. 12 (bitmap indices), plus the §V-E TOPS/GOPJ operating point.
+//
+// Each generator returns a Table carrying the measured values alongside
+// the paper's published numbers where available, so EXPERIMENTS.md and
+// the CLI can show both.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // experiment id, e.g. "table3", "fig10"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// All runs every experiment in paper order.
+func All() ([]*Table, error) {
+	gens := []func() (*Table, error){
+		Table1, Table3, Fig10, Fig11, Fig12, Table4, Table5, Table6, TOPS, Sensitivity, Ablation,
+	}
+	var out []*Table
+	for _, g := range gens {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ByID returns the named experiment generator.
+func ByID(id string) (func() (*Table, error), error) {
+	m := map[string]func() (*Table, error){
+		"table1": Table1,
+		"table3": Table3,
+		"table4": Table4,
+		"table5": Table5,
+		"table6": Table6,
+		"fig10":  Fig10,
+		"fig11":  Fig11,
+		"fig12":  Fig12,
+		"tops":   TOPS,
+		"sens":   Sensitivity,
+
+		"ablation": Ablation,
+	}
+	g, ok := m[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return g, nil
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{
+		"table1", "table3", "fig10", "fig11", "fig12",
+		"table4", "table5", "table6", "tops", "sens", "ablation",
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func e2(v float64) string { return fmt.Sprintf("%.1e", v) }
+
+// JSON renders the table as a machine-readable object for downstream
+// plotting tools.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+}

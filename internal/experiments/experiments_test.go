@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsAndByID(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 11 {
+		t.Fatalf("%d experiments, want 11", len(ids))
+	}
+	for _, id := range ids {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("ByID(%q): %v", id, err)
+		}
+	}
+	if _, err := ByID("nosuch"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 11 {
+		t.Fatalf("%d tables, want 11", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
+			t.Errorf("table %q incomplete", tb.ID)
+		}
+		var sb strings.Builder
+		tb.Render(&sb)
+		out := sb.String()
+		if !strings.Contains(out, tb.ID) || !strings.Contains(out, tb.Header[0]) {
+			t.Errorf("table %q renders badly", tb.ID)
+		}
+	}
+}
+
+func lastCell(t *testing.T, tb *Table, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[len(tb.Rows)-1][col], 64)
+	if err != nil {
+		t.Fatalf("%s: %v", tb.ID, err)
+	}
+	return v
+}
+
+func TestFig10PaperShape(t *testing.T) {
+	tb, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dwm := lastCell(t, tb, 2)
+	dram := lastCell(t, tb, 3)
+	// Paper: 2.07× / 2.20× average improvement (±15%).
+	if dwm < 1.75 || dwm > 2.4 {
+		t.Errorf("DWM average %.2f, want ≈2.07", dwm)
+	}
+	if dram < 1.85 || dram > 2.55 {
+		t.Errorf("DRAM average %.2f, want ≈2.20", dram)
+	}
+	if dram <= dwm {
+		t.Error("DRAM baseline should be slower than DWM (§V-C)")
+	}
+	// Every kernel must benefit from PIM.
+	for _, row := range tb.Rows[:len(tb.Rows)-1] {
+		v, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 1 {
+			t.Errorf("kernel %s shows no PIM latency benefit (%.2f)", row[0], v)
+		}
+	}
+}
+
+func TestFig11PaperShape(t *testing.T) {
+	tb, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := lastCell(t, tb, 3)
+	// Paper: "more than 25×, on average"; conclusion quotes 25.2×.
+	if avg < 20 || avg > 45 {
+		t.Errorf("energy reduction %.1f, want the >25x band", avg)
+	}
+	for _, row := range tb.Rows[:len(tb.Rows)-1] {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 1 {
+			t.Errorf("kernel %s shows no energy benefit (%.2f)", row[0], v)
+		}
+	}
+}
+
+func TestTable3Anchors(t *testing.T) {
+	tb, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CORUSCANT 5-op add row must hit the 26-cycle anchor.
+	found := false
+	for _, row := range tb.Rows {
+		if row[0] == "CORUSCANT" && row[1] == "5op add (TR=7)" {
+			found = true
+			if row[2] != "26" {
+				t.Errorf("5op add = %s cycles, want 26", row[2])
+			}
+		}
+	}
+	if !found {
+		t.Error("5op add row missing")
+	}
+	if len(tb.Notes) == 0 {
+		t.Error("headline ratio notes missing")
+	}
+}
+
+func TestTOPSOrderOfMagnitude(t *testing.T) {
+	tb, err := TOPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(tb.Rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 26 TOPS; accept the same order of magnitude.
+	if v < 10 || v > 80 {
+		t.Errorf("TOPS %.1f out of band around 26", v)
+	}
+}

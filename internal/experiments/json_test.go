@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTableJSON(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Title:  "title",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	b, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "x" || len(got.Header) != 2 || len(got.Rows) != 1 || len(got.Notes) != 1 {
+		t.Errorf("round trip %+v", got)
+	}
+}
+
+func TestAllTablesSerializable(t *testing.T) {
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		b, err := tb.JSON()
+		if err != nil {
+			t.Fatalf("%s: %v", tb.ID, err)
+		}
+		if !json.Valid(b) {
+			t.Fatalf("%s: invalid JSON", tb.ID)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BarSVG renders the table as a grouped bar chart in SVG — the repo's
+// equivalent of the paper's figure plots. labelCol names the category
+// axis; each valueCol becomes one series. Rows whose value cells do not
+// parse as numbers (header-like or summary rows with blanks) are
+// skipped; the common "average" row is kept when parseable.
+func (t *Table) BarSVG(labelCol int, valueCols []int, seriesNames []string) (string, error) {
+	if len(valueCols) == 0 || len(valueCols) != len(seriesNames) {
+		return "", fmt.Errorf("experiments: value columns and names must match")
+	}
+	type group struct {
+		label string
+		vals  []float64
+	}
+	var groups []group
+	maxVal := 0.0
+	for _, row := range t.Rows {
+		if labelCol >= len(row) {
+			continue
+		}
+		g := group{label: row[labelCol]}
+		ok := true
+		for _, c := range valueCols {
+			if c >= len(row) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			g.vals = append(g.vals, v)
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if ok {
+			groups = append(groups, g)
+		}
+	}
+	if len(groups) == 0 {
+		return "", fmt.Errorf("experiments: no numeric rows to plot in %s", t.ID)
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+
+	const (
+		barW     = 18
+		gapInner = 4
+		gapOuter = 26
+		plotH    = 260
+		marginL  = 56
+		marginT  = 44
+		marginB  = 96
+	)
+	groupW := len(valueCols)*(barW+gapInner) + gapOuter
+	width := marginL + len(groups)*groupW + 24
+	height := marginT + plotH + marginB
+	colors := []string{"#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed"}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginL, xmlEscape(t.Title))
+
+	// Y axis with four gridlines.
+	for i := 0; i <= 4; i++ {
+		y := marginT + plotH - i*plotH/4
+		val := maxVal * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			marginL, y, width-12, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.3g</text>`+"\n",
+			marginL-6, y+4, val)
+	}
+
+	for gi, g := range groups {
+		x0 := marginL + gi*groupW + gapOuter/2
+		for si, v := range g.vals {
+			h := int(float64(plotH) * v / maxVal)
+			x := x0 + si*(barW+gapInner)
+			y := marginT + plotH - h
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				x, y, barW, h, colors[si%len(colors)])
+		}
+		cx := x0 + (len(g.vals)*(barW+gapInner))/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" transform="rotate(-45 %d %d)">%s</text>`+"\n",
+			cx, marginT+plotH+14, cx, marginT+plotH+14, xmlEscape(g.label))
+	}
+
+	// Legend.
+	lx := marginL
+	ly := height - 16
+	for si, name := range seriesNames {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			lx, ly-9, colors[si%len(colors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, ly, xmlEscape(name))
+		lx += 14*len(name) + 40
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// FigureSVG renders the named experiment's standard figure form; only
+// the figure-style experiments (fig10, fig11, fig12, sens) have one.
+func FigureSVG(id string) (string, error) {
+	gen, err := ByID(id)
+	if err != nil {
+		return "", err
+	}
+	t, err := gen()
+	if err != nil {
+		return "", err
+	}
+	switch id {
+	case "fig10":
+		return t.BarSVG(0, []int{2, 3}, []string{"vs DWM-CPU", "vs DRAM-CPU"})
+	case "fig11":
+		return t.BarSVG(0, []int{3}, []string{"energy reduction x"})
+	case "fig12":
+		return t.BarSVG(1, []int{3}, []string{"speedup vs DRAM-CPU"})
+	case "sens":
+		return t.BarSVG(0, []int{2, 4}, []string{"add cycles", "mult cycles"})
+	default:
+		return "", fmt.Errorf("experiments: %q has no figure form", id)
+	}
+}

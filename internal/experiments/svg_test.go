@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestBarSVGWellFormed(t *testing.T) {
+	tb := &Table{
+		ID:     "test",
+		Title:  "test & <figure>",
+		Header: []string{"Kernel", "x"},
+		Rows: [][]string{
+			{"alpha", "1.5"},
+			{"beta", "3.25"},
+			{"summary", ""}, // non-numeric: skipped
+		},
+	}
+	svg, err := tb.BarSVG(0, []int{1}, []string{"series"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid XML with escaped title text.
+	if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+	if !strings.Contains(svg, "&amp;") || !strings.Contains(svg, "&lt;figure&gt;") {
+		t.Error("title not escaped")
+	}
+	if strings.Count(svg, "<rect") < 3 { // 2 bars + legend swatch
+		t.Error("missing bars")
+	}
+	if strings.Contains(svg, "summary") {
+		t.Error("non-numeric row plotted")
+	}
+}
+
+func TestBarSVGErrors(t *testing.T) {
+	tb := &Table{ID: "x", Rows: [][]string{{"a", "nan-ish"}}}
+	if _, err := tb.BarSVG(0, []int{1}, []string{"s"}); err == nil {
+		t.Error("unplottable table accepted")
+	}
+	if _, err := tb.BarSVG(0, []int{1}, nil); err == nil {
+		t.Error("mismatched series names accepted")
+	}
+}
+
+func TestFigureSVGAll(t *testing.T) {
+	for _, id := range []string{"fig10", "fig11", "fig12", "sens"} {
+		svg, err := FigureSVG(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := xml.Unmarshal([]byte(svg), new(any)); err != nil {
+			t.Errorf("%s: invalid XML: %v", id, err)
+		}
+		if !strings.Contains(svg, "<rect") {
+			t.Errorf("%s: no bars", id)
+		}
+	}
+	if _, err := FigureSVG("table1"); err == nil {
+		t.Error("non-figure experiment accepted")
+	}
+	if _, err := FigureSVG("nosuch"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assembly syntax for cpim instructions, used by the pimasm tool:
+//
+//	<op> b<bank>.s<subarray>.t<tile>.d<dbc>.r<row> [bs=<blocksize>] [k=<operands>]
+//
+// for example:
+//
+//	add b2.s10.t0.d15.r0 bs=8 k=3
+//	read b0.s0.t1.d4.r7
+
+// opByName maps mnemonics to opcodes.
+var opByName = func() map[string]OpCode {
+	m := make(map[string]OpCode, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// ParseInstruction parses the assembly form.
+func ParseInstruction(s string) (Instruction, error) {
+	fields := strings.Fields(strings.TrimSpace(s))
+	if len(fields) < 2 {
+		return Instruction{}, fmt.Errorf("isa: want \"<op> <addr> [bs=N] [k=N]\", got %q", s)
+	}
+	var in Instruction
+	op, ok := opByName[strings.ToLower(fields[0])]
+	if !ok {
+		return Instruction{}, fmt.Errorf("isa: unknown mnemonic %q", fields[0])
+	}
+	in.Op = op
+	addr, err := parseAddr(fields[1])
+	if err != nil {
+		return Instruction{}, err
+	}
+	in.Src = addr
+	in.Blocksize = 8
+	in.Operands = 1
+	for _, f := range fields[2:] {
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return Instruction{}, fmt.Errorf("isa: bad argument %q", f)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return Instruction{}, fmt.Errorf("isa: bad value in %q: %w", f, err)
+		}
+		switch key {
+		case "bs":
+			in.Blocksize = n
+		case "k":
+			in.Operands = n
+		default:
+			return Instruction{}, fmt.Errorf("isa: unknown argument %q", key)
+		}
+	}
+	return in, nil
+}
+
+// parseAddr parses "b<bank>.s<sub>.t<tile>.d<dbc>.r<row>".
+func parseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 5 {
+		return Addr{}, fmt.Errorf("isa: address %q wants b<n>.s<n>.t<n>.d<n>.r<n>", s)
+	}
+	var a Addr
+	for i, spec := range []struct {
+		prefix string
+		dst    *int
+	}{
+		{"b", &a.Bank}, {"s", &a.Subarray}, {"t", &a.Tile}, {"d", &a.DBC}, {"r", &a.Row},
+	} {
+		p := parts[i]
+		if !strings.HasPrefix(p, spec.prefix) {
+			return Addr{}, fmt.Errorf("isa: address field %q wants prefix %q", p, spec.prefix)
+		}
+		n, err := strconv.Atoi(p[len(spec.prefix):])
+		if err != nil {
+			return Addr{}, fmt.Errorf("isa: address field %q: %w", p, err)
+		}
+		*spec.dst = n
+	}
+	return a, nil
+}
+
+// FormatInstruction renders the assembly form (the inverse of
+// ParseInstruction for valid instructions).
+func FormatInstruction(in Instruction) string {
+	base := fmt.Sprintf("%v b%d.s%d.t%d.d%d.r%d",
+		in.Op, in.Src.Bank, in.Src.Subarray, in.Src.Tile, in.Src.DBC, in.Src.Row)
+	switch in.Op {
+	case OpRead, OpWrite, OpNop:
+		return base
+	}
+	return fmt.Sprintf("%s bs=%d k=%d", base, in.Blocksize, in.Operands)
+}

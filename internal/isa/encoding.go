@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/params"
+)
+
+// Binary encoding of the cpim instruction (§III-E): the CPU communicates
+// the operation to the memory controller through one 64-bit word.
+//
+// Layout (LSB first):
+//
+//	[0:4]   opcode
+//	[4:9]   bank
+//	[9:15]  subarray
+//	[15:19] tile
+//	[19:23] DBC
+//	[23:29] row
+//	[29:32] log2(blocksize)−3 (8..512)
+//	[32:35] operand count − 1
+//
+// The remaining bits are reserved and must be zero.
+const (
+	opBits   = 4
+	bankBits = 5
+	subBits  = 6
+	tileBits = 4
+	dbcBits  = 4
+	rowBits  = 6
+	bsBits   = 3
+	kBits    = 3
+)
+
+// Encode packs the instruction into its binary form. Encoding fails for
+// fields outside the Table II geometry's ranges.
+func (in Instruction) Encode(g params.Geometry, trd params.TRD) (uint64, error) {
+	if err := in.Validate(g, trd); err != nil {
+		return 0, err
+	}
+	bs := in.Blocksize
+	if bs == 0 {
+		bs = 8 // read/write bypass: field unused, encode the minimum
+	}
+	k := in.Operands
+	if k == 0 {
+		k = 1
+	}
+	fields := []struct {
+		v, max, width int
+	}{
+		{int(in.Op), 1<<opBits - 1, opBits},
+		{in.Src.Bank, 1<<bankBits - 1, bankBits},
+		{in.Src.Subarray, 1<<subBits - 1, subBits},
+		{in.Src.Tile, 1<<tileBits - 1, tileBits},
+		{in.Src.DBC, 1<<dbcBits - 1, dbcBits},
+		{in.Src.Row, 1<<rowBits - 1, rowBits},
+		{bits.TrailingZeros(uint(bs)) - 3, 1<<bsBits - 1, bsBits},
+		{k - 1, 1<<kBits - 1, kBits},
+	}
+	var word uint64
+	shift := 0
+	for i, f := range fields {
+		if f.v < 0 || f.v > f.max {
+			return 0, fmt.Errorf("isa: field %d value %d exceeds %d bits", i, f.v, f.width)
+		}
+		word |= uint64(f.v) << uint(shift)
+		shift += f.width
+	}
+	return word, nil
+}
+
+// Decode unpacks a binary cpim word.
+func Decode(word uint64) Instruction {
+	take := func(width int) int {
+		v := int(word & (1<<uint(width) - 1))
+		word >>= uint(width)
+		return v
+	}
+	var in Instruction
+	in.Op = OpCode(take(opBits))
+	in.Src.Bank = take(bankBits)
+	in.Src.Subarray = take(subBits)
+	in.Src.Tile = take(tileBits)
+	in.Src.DBC = take(dbcBits)
+	in.Src.Row = take(rowBits)
+	in.Blocksize = 8 << uint(take(bsBits))
+	in.Operands = take(kBits) + 1
+	return in
+}

@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/params"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := params.DefaultGeometry()
+	check := func(op, bank, sub, tile, dbcIdx, row, bs, k uint8) bool {
+		in := Instruction{
+			Op: OpCode(int(op)%int(OpVote) + 1),
+			Src: Addr{
+				Bank:     int(bank) % g.Banks,
+				Subarray: int(sub) % g.SubarraysPerBank,
+				Tile:     int(tile) % g.TilesPerSubarray,
+				DBC:      int(dbcIdx) % g.DBCsPerTile,
+				Row:      int(row) % g.RowsPerDBC,
+			},
+			Blocksize: params.BlockSizes[int(bs)%len(params.BlockSizes)],
+			Operands:  int(k)%7 + 1,
+		}
+		word, err := in.Encode(g, params.TRD7)
+		if err != nil {
+			return true // invalid combinations are allowed to refuse
+		}
+		got := Decode(word)
+		if in.Op == OpRead || in.Op == OpWrite {
+			// Bypass ops carry no meaningful blocksize/operands.
+			return got.Op == in.Op && got.Src == in.Src
+		}
+		return got == in
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKnownWord(t *testing.T) {
+	g := params.DefaultGeometry()
+	in := Instruction{Op: OpAdd, Src: Addr{Bank: 3, Row: 7}, Blocksize: 32, Operands: 5}
+	word, err := in.Encode(g, params.TRD7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Decode(word)
+	if got != in {
+		t.Errorf("decode = %+v, want %+v", got, in)
+	}
+	// Reserved bits must stay clear.
+	if word>>35 != 0 {
+		t.Errorf("reserved bits set: %#x", word)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	g := params.DefaultGeometry()
+	bad := Instruction{Op: OpAdd, Src: Addr{Bank: 99}, Blocksize: 8, Operands: 2}
+	if _, err := bad.Encode(g, params.TRD7); err == nil {
+		t.Error("invalid address encoded")
+	}
+	bad = Instruction{Op: OpAdd, Blocksize: 24, Operands: 2}
+	if _, err := bad.Encode(g, params.TRD7); err == nil {
+		t.Error("invalid blocksize encoded")
+	}
+}
+
+func TestEncodeControllerIntegration(t *testing.T) {
+	// A word travels CPU → controller: encode, decode, execute.
+	g := params.DefaultGeometry()
+	cfg := testConfig()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Instruction{Op: OpXor, Blocksize: 8, Operands: 2}
+	word, err := in.Encode(g, cfg.TRD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := Decode(word)
+	a := make([]uint8, 32)
+	b := make([]uint8, 32)
+	a[3], b[3], a[7] = 1, 1, 1
+	got, err := c.Execute(decoded, [][]uint8{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 0 || got[7] != 1 {
+		t.Errorf("decoded XOR wrong: %v", got[:8])
+	}
+}

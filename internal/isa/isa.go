@@ -1,0 +1,222 @@
+// Package isa implements the CORUSCANT instruction-set extension of
+// §III-E: the cpim instruction `cpim src, op, blocksize` that the CPU
+// issues to the memory controller, the physical address decomposition
+// down to DBC/row granularity, and a controller that expands cpim
+// operations into PIM-unit command sequences (or bypasses the PIM logic
+// for ordinary loads and stores).
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// OpCode enumerates the cpim operations.
+type OpCode int
+
+// cpim opcodes. Read/Write bypass the PIM unit (the orange path of
+// Fig. 4(a)).
+const (
+	OpNop OpCode = iota
+	OpRead
+	OpWrite
+	OpAnd
+	OpOr
+	OpNand
+	OpNor
+	OpXor
+	OpXnor
+	OpNot
+	OpAdd
+	OpMult
+	OpMax
+	OpRelu
+	OpVote
+)
+
+var opNames = map[OpCode]string{
+	OpNop: "nop", OpRead: "read", OpWrite: "write",
+	OpAnd: "and", OpOr: "or", OpNand: "nand", OpNor: "nor",
+	OpXor: "xor", OpXnor: "xnor", OpNot: "not",
+	OpAdd: "add", OpMult: "mult", OpMax: "max", OpRelu: "relu", OpVote: "vote",
+}
+
+func (o OpCode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// bulkOp maps a bulk-bitwise opcode to the PIM logic selector.
+func (o OpCode) bulkOp() (dbc.Op, bool) {
+	switch o {
+	case OpAnd:
+		return dbc.OpAND, true
+	case OpOr:
+		return dbc.OpOR, true
+	case OpNand:
+		return dbc.OpNAND, true
+	case OpNor:
+		return dbc.OpNOR, true
+	case OpXor:
+		return dbc.OpXOR, true
+	case OpXnor:
+		return dbc.OpXNOR, true
+	case OpNot:
+		return dbc.OpNOT, true
+	}
+	return 0, false
+}
+
+// Addr locates a row inside the memory hierarchy of Fig. 2: bank →
+// subarray → tile → DBC → row.
+type Addr struct {
+	Bank, Subarray, Tile, DBC, Row int
+}
+
+// Valid reports whether the address is inside the geometry.
+func (a Addr) Valid(g params.Geometry) bool {
+	return a.Bank >= 0 && a.Bank < g.Banks &&
+		a.Subarray >= 0 && a.Subarray < g.SubarraysPerBank &&
+		a.Tile >= 0 && a.Tile < g.TilesPerSubarray &&
+		a.DBC >= 0 && a.DBC < g.DBCsPerTile &&
+		a.Row >= 0 && a.Row < g.RowsPerDBC
+}
+
+// Linear returns the flat row index of the address (row-interleaved
+// within DBC, DBC within tile, and so on).
+func (a Addr) Linear(g params.Geometry) int64 {
+	n := int64(a.Bank)
+	n = n*int64(g.SubarraysPerBank) + int64(a.Subarray)
+	n = n*int64(g.TilesPerSubarray) + int64(a.Tile)
+	n = n*int64(g.DBCsPerTile) + int64(a.DBC)
+	n = n*int64(g.RowsPerDBC) + int64(a.Row)
+	return n
+}
+
+// AddrOfLinear decomposes a flat row index.
+func AddrOfLinear(n int64, g params.Geometry) Addr {
+	var a Addr
+	a.Row = int(n % int64(g.RowsPerDBC))
+	n /= int64(g.RowsPerDBC)
+	a.DBC = int(n % int64(g.DBCsPerTile))
+	n /= int64(g.DBCsPerTile)
+	a.Tile = int(n % int64(g.TilesPerSubarray))
+	n /= int64(g.TilesPerSubarray)
+	a.Subarray = int(n % int64(g.SubarraysPerBank))
+	n /= int64(g.SubarraysPerBank)
+	a.Bank = int(n)
+	return a
+}
+
+// IsPIMEnabled reports whether the address falls in a PIM-enabled
+// tile/DBC (§III-A: one PIM tile per subarray, the last DBC of it).
+func (a Addr) IsPIMEnabled(g params.Geometry) bool {
+	return a.Tile < g.PIMTilesPerSub && a.DBC >= g.DBCsPerTile-g.PIMDBCsPerTile
+}
+
+// Instruction is one cpim operation (§III-E): the source address names
+// the DBC and the nanowire position to align with the leftmost access
+// port; op and blocksize program the multiplexer select bits.
+type Instruction struct {
+	Op        OpCode
+	Src       Addr
+	Blocksize int
+	Operands  int // operand cardinality k (padded to TRD as needed)
+}
+
+// Validate reports instruction encoding errors.
+func (in Instruction) Validate(g params.Geometry, trd params.TRD) error {
+	if !in.Src.Valid(g) {
+		return fmt.Errorf("isa: address %+v outside geometry", in.Src)
+	}
+	switch in.Op {
+	case OpRead, OpWrite, OpNop:
+		return nil
+	}
+	if !params.ValidBlockSize(in.Blocksize) {
+		return fmt.Errorf("isa: invalid blocksize %d", in.Blocksize)
+	}
+	if in.Operands < 1 || in.Operands > trd.MaxBulkOperands() {
+		return fmt.Errorf("isa: operand count %d out of range for %v", in.Operands, trd)
+	}
+	return nil
+}
+
+func (in Instruction) String() string {
+	return fmt.Sprintf("cpim %v bank%d.sub%d.tile%d.dbc%d.row%d, bs=%d, k=%d",
+		in.Op, in.Src.Bank, in.Src.Subarray, in.Src.Tile, in.Src.DBC, in.Src.Row,
+		in.Blocksize, in.Operands)
+}
+
+// Controller expands cpim instructions into PIM-unit operations. It owns
+// one PIM unit standing for the addressed PIM-enabled DBC; in
+// high-throughput mode the memory controller drives one such unit per
+// subarray with identical command streams (§IV-B).
+type Controller struct {
+	Unit *pim.Unit
+	geo  params.Geometry
+}
+
+// NewController returns a controller over a fresh PIM unit.
+func NewController(cfg params.Config) (*Controller, error) {
+	u, err := pim.NewUnit(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{Unit: u, geo: cfg.Geometry}, nil
+}
+
+// Execute runs one instruction. Operand rows model the data already
+// staged in the addressed DBC (moved there over the shared row buffer);
+// the result row is returned and, for PIM ops, also left in the DBC.
+func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error) {
+	if err := in.Validate(c.geo, c.Unit.TRD()); err != nil {
+		return nil, err
+	}
+	if in.Op != OpRead && in.Op != OpNop && len(operands) != in.Operands {
+		return nil, fmt.Errorf("isa: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
+	}
+	switch in.Op {
+	case OpNop:
+		return nil, nil
+	case OpRead:
+		// Bypass path: align the addressed row and read it through the
+		// orange direct path of Fig. 4(a).
+		side, _, err := c.Unit.D.AlignNearest(in.Src.Row)
+		if err != nil {
+			return nil, err
+		}
+		return c.Unit.D.ReadPort(side), nil
+	case OpWrite:
+		side, _, err := c.Unit.D.AlignNearest(in.Src.Row)
+		if err != nil {
+			return nil, err
+		}
+		c.Unit.D.WritePort(side, operands[0])
+		return operands[0], nil
+	case OpAdd:
+		return c.Unit.AddMulti(operands, in.Blocksize)
+	case OpMult:
+		if len(operands) != 2 {
+			return nil, fmt.Errorf("isa: mult expects 2 operands, got %d", len(operands))
+		}
+		return c.Unit.Multiply(operands[0], operands[1], in.Blocksize/2)
+	case OpMax:
+		return c.Unit.MaxTR(operands, in.Blocksize)
+	case OpRelu:
+		return c.Unit.ReLU(operands[0], in.Blocksize)
+	case OpVote:
+		return c.Unit.Vote(operands)
+	default:
+		op, ok := in.Op.bulkOp()
+		if !ok {
+			return nil, fmt.Errorf("isa: unhandled opcode %v", in.Op)
+		}
+		return c.Unit.BulkBitwise(op, operands)
+	}
+}

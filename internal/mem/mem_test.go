@@ -1,0 +1,103 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+func TestRowAccessCycles(t *testing.T) {
+	s := NewSystem(params.DefaultConfig())
+	// Table II: DRAM 8+8+8 = 24 cycles; DWM 4+4 plus the average shift.
+	if got := s.RowAccessCycles(DRAM); got != 24 {
+		t.Errorf("DRAM row access = %d cycles, want 24", got)
+	}
+	if got := s.RowAccessCycles(DWM); got != 4+4+s.AvgShiftSteps {
+		t.Errorf("DWM row access = %d cycles, want %d", got, 8+s.AvgShiftSteps)
+	}
+	// §V-C: DRAM is slower than DWM per access (precharge vs shift).
+	if s.RowAccessCycles(DRAM) <= s.RowAccessCycles(DWM) {
+		t.Error("DRAM access should exceed DWM access")
+	}
+}
+
+func TestMissLatencyOrdering(t *testing.T) {
+	s := NewSystem(params.DefaultConfig())
+	if s.MissLatencyNS(DRAM) <= s.MissLatencyNS(DWM) {
+		t.Error("DRAM miss latency should exceed DWM")
+	}
+}
+
+func TestCPUOpLatencyMonotoneInTraffic(t *testing.T) {
+	s := NewSystem(params.DefaultConfig())
+	lo := s.CPUOpLatencyNS(DWM, 0.5)
+	hi := s.CPUOpLatencyNS(DWM, 8)
+	if lo >= hi {
+		t.Errorf("latency not monotone in traffic: %v vs %v", lo, hi)
+	}
+	if lo < coreNSPerOp {
+		t.Errorf("latency %v below the core floor %v", lo, coreNSPerOp)
+	}
+}
+
+func TestPIMOpLatencyIssueBound(t *testing.T) {
+	s := NewSystem(params.DefaultConfig())
+	// A 64-cycle multiply spread over 2048 PIM DBCs executes far faster
+	// than the controller can issue: latency is the issue gap divided by
+	// lane utilization.
+	want := float64(s.IssueGapCycles) * s.Cfg.Timing.MemCycleNS / s.LaneUtilization
+	if got := s.PIMOpLatencyNS(64); got != want {
+		t.Errorf("PIM op latency = %v, want issue-bound %v", got, want)
+	}
+	// §V-F: queuing (issue) delay dominates PIM runtime.
+	exec := 64.0 / float64(s.Cfg.Geometry.PIMDBCs())
+	if exec > float64(s.IssueGapCycles)*s.Cfg.Timing.MemCycleNS {
+		t.Error("execution should overlap entirely with issue")
+	}
+}
+
+func TestRowCopyCost(t *testing.T) {
+	s := NewSystem(params.DefaultConfig())
+	dwm := s.RowCopyCost(DWM)
+	dram := s.RowCopyCost(DRAM)
+	if dwm.Cycles <= 0 || dram.Cycles <= 0 {
+		t.Error("non-positive copy cycles")
+	}
+	if dwm.EnergyPJ <= 0 || dram.EnergyPJ <= 0 {
+		t.Error("non-positive copy energy")
+	}
+	// Spintronic row ops are much cheaper than DRAM activations.
+	if dwm.EnergyPJ >= dram.EnergyPJ {
+		t.Error("DWM row copy should cost less energy than DRAM")
+	}
+}
+
+func TestBusTransferEnergy(t *testing.T) {
+	s := NewSystem(params.DefaultConfig())
+	// Table II: 1250 pJ per byte.
+	if got := s.BusTransferEnergyPJ(4); got != 5000 {
+		t.Errorf("4-byte transfer = %v pJ, want 5000", got)
+	}
+}
+
+func TestSystemValidate(t *testing.T) {
+	s := NewSystem(params.DefaultConfig())
+	if err := s.Validate(); err != nil {
+		t.Errorf("default system invalid: %v", err)
+	}
+	s.IssueGapCycles = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero issue gap accepted")
+	}
+	s = NewSystem(params.DefaultConfig())
+	s.LaneUtilization = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative lane utilization accepted")
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if DRAM.String() != "DRAM" || DWM.String() != "DWM" {
+		t.Error("tech names wrong")
+	}
+}

@@ -1,0 +1,103 @@
+package memory
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// TestConcurrentAccess hammers one memory from many goroutines (run
+// with -race to validate the locking): disjoint addresses must never
+// interfere and every read must see its own write.
+func TestConcurrentAccess(t *testing.T) {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 32
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			a := isa.Addr{Bank: g % 8, Subarray: g, Tile: 3, DBC: 2, Row: g % 32}
+			row := pim.MustPackLanes([]uint64{uint64(g), uint64(g * 7)}, 16, 32)
+			for i := 0; i < 20; i++ {
+				if err := m.WriteRow(a, row); err != nil {
+					errs <- err
+					return
+				}
+				got, err := m.ReadRow(a)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for w := range got {
+					if got[w] != row[w] {
+						errs <- errMismatch{g, w}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if m.Moves().RowWrites != 16*20 {
+		t.Errorf("writes = %d, want %d", m.Moves().RowWrites, 16*20)
+	}
+}
+
+type errMismatch [2]int
+
+func (e errMismatch) Error() string { return "concurrent read saw foreign data" }
+
+// TestConcurrentExecute runs PIM operations from several goroutines,
+// each against its own subarray's PIM DBC.
+func TestConcurrentExecute(t *testing.T) {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 32
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := isa.Addr{Subarray: g, Tile: 1, DBC: 0, Row: 0}
+			dst := isa.Addr{Subarray: g, Tile: 1, DBC: 0, Row: 1}
+			pimDBC := isa.Addr{Subarray: g, Tile: 0, DBC: 15}
+			av := uint64(10 * (g + 1))
+			row := pim.MustPackLanes([]uint64{av}, 16, 32)
+			if err := m.WriteRow(src, row); err != nil {
+				errs <- err
+				return
+			}
+			in := isa.Instruction{Op: isa.OpAdd, Src: pimDBC, Blocksize: 16, Operands: 2}
+			res, err := m.Execute(in, []isa.Addr{src, src}, dst)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := pim.UnpackLanes(res, 16)[0]; got != 2*av {
+				errs <- errMismatch{g, int(got)}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

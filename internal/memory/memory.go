@@ -1,0 +1,302 @@
+// Package memory is the functional CORUSCANT main memory (Fig. 2): the
+// full bank → subarray → tile → DBC hierarchy behind one address space,
+// with row-buffer-mediated data movement between DBCs (§II-B's
+// RowClone-style intra-memory copies) and in-place execution of cpim
+// operations inside the PIM-enabled DBCs.
+//
+// DBCs materialize lazily, so the Table II geometry (a 1 GB memory of
+// half a million DBCs) is addressable without allocating it: only
+// touched clusters exist. All accesses are traced; the per-operation
+// device costs accumulate in the memory's tracer and the row-movement
+// counters in its MoveStats.
+package memory
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dbc"
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/params"
+	"repro/internal/pim"
+	"repro/internal/trace"
+)
+
+// Memory is one CORUSCANT main memory. It is safe for concurrent use:
+// a single lock serializes accesses, mirroring the one memory controller
+// in front of the arrays.
+type Memory struct {
+	mu     sync.Mutex
+	cfg    params.Config
+	plain  map[isa.Addr]*dbc.DBC // non-PIM DBCs, keyed by row-0 address
+	units  map[isa.Addr]*pim.Unit
+	tracer *trace.Tracer
+	moves  MoveStats
+	inj    *device.FaultInjector
+}
+
+// MoveStats counts row-granularity data movement inside the memory.
+type MoveStats struct {
+	RowReads  int
+	RowWrites int
+	RowCopies int // row-buffer transfers between DBCs
+}
+
+// New returns an empty memory with the given configuration.
+func New(cfg params.Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{
+		cfg:    cfg,
+		plain:  make(map[isa.Addr]*dbc.DBC),
+		units:  make(map[isa.Addr]*pim.Unit),
+		tracer: &trace.Tracer{},
+	}, nil
+}
+
+// Config returns the memory's configuration.
+func (m *Memory) Config() params.Config { return m.cfg }
+
+// Stats returns the accumulated device-primitive counts of every DBC.
+func (m *Memory) Stats() trace.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tracer.Stats()
+}
+
+// Moves returns the row-movement counters.
+func (m *Memory) Moves() MoveStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.moves
+}
+
+// dbcBase strips the row from an address, keying the containing DBC.
+func dbcBase(a isa.Addr) isa.Addr {
+	a.Row = 0
+	return a
+}
+
+// checkAddr validates an address against the geometry.
+func (m *Memory) checkAddr(a isa.Addr) error {
+	if !a.Valid(m.cfg.Geometry) {
+		return fmt.Errorf("memory: address %+v outside geometry", a)
+	}
+	return nil
+}
+
+// cluster materializes (or returns) the DBC holding the address. For
+// PIM-enabled locations the DBC belongs to a PIM unit.
+func (m *Memory) cluster(a isa.Addr) (*dbc.DBC, error) {
+	if err := m.checkAddr(a); err != nil {
+		return nil, err
+	}
+	base := dbcBase(a)
+	if a.IsPIMEnabled(m.cfg.Geometry) {
+		u, err := m.unit(base)
+		if err != nil {
+			return nil, err
+		}
+		return u.D, nil
+	}
+	if d, ok := m.plain[base]; ok {
+		return d, nil
+	}
+	d, err := dbc.New(m.cfg.Geometry.TrackWidth, m.cfg.Geometry.RowsPerDBC, m.cfg.TRD)
+	if err != nil {
+		return nil, err
+	}
+	d.SetTracer(m.tracer)
+	d.SetFaultInjector(m.inj)
+	m.plain[base] = d
+	return d, nil
+}
+
+// unit materializes the PIM unit of a PIM-enabled DBC address.
+func (m *Memory) unit(base isa.Addr) (*pim.Unit, error) {
+	if u, ok := m.units[base]; ok {
+		return u, nil
+	}
+	u, err := pim.NewUnit(m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Route the unit's accounting into the memory-wide tracer.
+	u.D.SetTracer(m.tracer)
+	u.D.SetFaultInjector(m.inj)
+	m.units[base] = u
+	return u, nil
+}
+
+// WriteRow stores a row at the address through its DBC's nearest access
+// port (shift-align plus port write, all traced).
+func (m *Memory) WriteRow(a isa.Addr, row dbc.Row) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeRowLocked(a, row)
+}
+
+func (m *Memory) writeRowLocked(a isa.Addr, row dbc.Row) error {
+	d, err := m.cluster(a)
+	if err != nil {
+		return err
+	}
+	if len(row) != d.Width() {
+		return fmt.Errorf("memory: row width %d, want %d", len(row), d.Width())
+	}
+	side, _, err := d.AlignNearest(a.Row)
+	if err != nil {
+		return err
+	}
+	d.WritePort(side, row)
+	m.moves.RowWrites++
+	return nil
+}
+
+// ReadRow loads the row at the address.
+func (m *Memory) ReadRow(a isa.Addr) (dbc.Row, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.readRowLocked(a)
+}
+
+func (m *Memory) readRowLocked(a isa.Addr) (dbc.Row, error) {
+	d, err := m.cluster(a)
+	if err != nil {
+		return nil, err
+	}
+	side, _, err := d.AlignNearest(a.Row)
+	if err != nil {
+		return nil, err
+	}
+	m.moves.RowReads++
+	return d.ReadPort(side), nil
+}
+
+// CopyRow moves a row between two locations over the shared row buffer
+// (§II-B / [35]): an activate-read at the source and an activate-write
+// at the destination, without crossing the memory bus.
+func (m *Memory) CopyRow(src, dst isa.Addr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row, err := m.readRowLocked(src)
+	if err != nil {
+		return err
+	}
+	if err := m.writeRowLocked(dst, row); err != nil {
+		return err
+	}
+	m.moves.RowCopies++
+	return nil
+}
+
+// SetFaultInjector attaches fault injection to every future cluster
+// materialization and all already-materialized clusters.
+func (m *Memory) SetFaultInjector(f *device.FaultInjector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inj = f
+	for _, d := range m.plain {
+		d.SetFaultInjector(f)
+	}
+	for _, u := range m.units {
+		u.D.SetFaultInjector(f)
+	}
+}
+
+// Execute runs a cpim instruction whose operands live at memory
+// addresses: the controller stages each operand into the PIM-enabled
+// DBC named by in.Src over the row buffer (§III-A: "the shared row
+// buffer ... can be used to move data from non-PIM DBCs to PIM-enabled
+// DBCs"), executes the operation there, and writes the result to dst.
+func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) (dbc.Row, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := in.Validate(m.cfg.Geometry, m.cfg.TRD); err != nil {
+		return nil, err
+	}
+	if !in.Src.IsPIMEnabled(m.cfg.Geometry) {
+		return nil, fmt.Errorf("memory: %+v is not a PIM-enabled DBC", in.Src)
+	}
+	if len(operands) != in.Operands {
+		return nil, fmt.Errorf("memory: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
+	}
+	u, err := m.unit(dbcBase(in.Src))
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]dbc.Row, len(operands))
+	for i, a := range operands {
+		row, err := m.readRowLocked(a)
+		if err != nil {
+			return nil, fmt.Errorf("memory: operand %d: %w", i, err)
+		}
+		if !sameDBC(a, in.Src) {
+			m.moves.RowCopies++ // staged over the row buffer
+		}
+		rows[i] = row
+	}
+
+	var result dbc.Row
+	switch in.Op {
+	case isa.OpAdd:
+		result, err = u.AddMulti(rows, in.Blocksize)
+	case isa.OpMult:
+		if len(rows) != 2 {
+			return nil, fmt.Errorf("memory: mult expects 2 operands")
+		}
+		result, err = u.Multiply(rows[0], rows[1], in.Blocksize/2)
+	case isa.OpMax:
+		result, err = u.MaxTR(rows, in.Blocksize)
+	case isa.OpRelu:
+		result, err = u.ReLU(rows[0], in.Blocksize)
+	case isa.OpVote:
+		result, err = u.Vote(rows)
+	case isa.OpAnd, isa.OpOr, isa.OpNand, isa.OpNor, isa.OpXor, isa.OpXnor, isa.OpNot:
+		op, _ := bulkOp(in.Op)
+		result, err = u.BulkBitwise(op, rows)
+	default:
+		return nil, fmt.Errorf("memory: opcode %v is not a PIM operation", in.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := m.writeRowLocked(dst, result); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// sameDBC reports whether two addresses share a DBC.
+func sameDBC(a, b isa.Addr) bool { return dbcBase(a) == dbcBase(b) }
+
+// bulkOp maps a bulk opcode to the PIM logic selector.
+func bulkOp(o isa.OpCode) (dbc.Op, bool) {
+	switch o {
+	case isa.OpAnd:
+		return dbc.OpAND, true
+	case isa.OpOr:
+		return dbc.OpOR, true
+	case isa.OpNand:
+		return dbc.OpNAND, true
+	case isa.OpNor:
+		return dbc.OpNOR, true
+	case isa.OpXor:
+		return dbc.OpXOR, true
+	case isa.OpXnor:
+		return dbc.OpXNOR, true
+	case isa.OpNot:
+		return dbc.OpNOT, true
+	}
+	return 0, false
+}
+
+// MaterializedDBCs reports how many clusters have been touched (for
+// tests and capacity sanity checks).
+func (m *Memory) MaterializedDBCs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.plain) + len(m.units)
+}

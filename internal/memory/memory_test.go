@@ -1,0 +1,258 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/isa"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+func testMemory(t *testing.T) *Memory {
+	t.Helper()
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 32
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randRow(n int, rng *rand.Rand) []uint8 {
+	r := make([]uint8, n)
+	for i := range r {
+		r[i] = uint8(rng.Intn(2))
+	}
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := testMemory(t)
+	rng := rand.New(rand.NewSource(70))
+	addrs := []isa.Addr{
+		{Bank: 0, Subarray: 0, Tile: 3, DBC: 2, Row: 0},
+		{Bank: 31, Subarray: 63, Tile: 15, DBC: 15, Row: 31},
+		{Bank: 5, Subarray: 9, Tile: 0, DBC: 15, Row: 17}, // PIM-enabled
+		{Bank: 5, Subarray: 9, Tile: 0, DBC: 15, Row: 3},  // same DBC
+	}
+	want := make(map[isa.Addr][]uint8)
+	for _, a := range addrs {
+		row := randRow(32, rng)
+		want[a] = row
+		if err := m.WriteRow(a, row); err != nil {
+			t.Fatalf("WriteRow(%+v): %v", a, err)
+		}
+	}
+	for _, a := range addrs {
+		got, err := m.ReadRow(a)
+		if err != nil {
+			t.Fatalf("ReadRow(%+v): %v", a, err)
+		}
+		for w := range got {
+			if got[w] != want[a][w] {
+				t.Fatalf("addr %+v wire %d = %d, want %d", a, w, got[w], want[a][w])
+			}
+		}
+	}
+	if m.MaterializedDBCs() != 3 {
+		t.Errorf("materialized %d DBCs, want 3 (lazy allocation)", m.MaterializedDBCs())
+	}
+	if m.Moves().RowWrites != 4 || m.Moves().RowReads != 4 {
+		t.Errorf("moves = %+v", m.Moves())
+	}
+}
+
+func TestAddressableWithoutAllocation(t *testing.T) {
+	// The Table II geometry holds half a million DBCs; touching two far
+	// corners must not materialize anything else.
+	m := testMemory(t)
+	if err := m.WriteRow(isa.Addr{Row: 0}, make([]uint8, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRow(isa.Addr{Bank: 31, Subarray: 63, Tile: 15, DBC: 14, Row: 31}, make([]uint8, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if m.MaterializedDBCs() != 2 {
+		t.Errorf("materialized %d DBCs, want 2", m.MaterializedDBCs())
+	}
+}
+
+func TestCopyRowAcrossDBCs(t *testing.T) {
+	m := testMemory(t)
+	rng := rand.New(rand.NewSource(71))
+	src := isa.Addr{Bank: 1, Subarray: 2, Tile: 3, DBC: 4, Row: 5}
+	dst := isa.Addr{Bank: 9, Subarray: 8, Tile: 7, DBC: 6, Row: 30}
+	row := randRow(32, rng)
+	if err := m.WriteRow(src, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CopyRow(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadRow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range got {
+		if got[w] != row[w] {
+			t.Fatalf("copied row wire %d = %d", w, got[w])
+		}
+	}
+	if m.Moves().RowCopies != 1 {
+		t.Errorf("copies = %d, want 1", m.Moves().RowCopies)
+	}
+}
+
+func TestExecuteStagesAndStores(t *testing.T) {
+	// The full §III-A flow: operands in ordinary DBCs, staged into the
+	// PIM DBC over the row buffer, added there, result stored elsewhere.
+	m := testMemory(t)
+	pimAddr := isa.Addr{Bank: 0, Subarray: 0, Tile: 0, DBC: 15, Row: 0}
+	a := isa.Addr{Bank: 0, Subarray: 0, Tile: 2, DBC: 1, Row: 4}
+	b := isa.Addr{Bank: 0, Subarray: 0, Tile: 2, DBC: 1, Row: 9}
+	dst := isa.Addr{Bank: 0, Subarray: 0, Tile: 5, DBC: 0, Row: 1}
+
+	av := []uint64{250, 17, 99, 3}
+	bv := []uint64{10, 29, 1, 250}
+	ra := pim.MustPackLanes(av, 8, 32)
+	rb := pim.MustPackLanes(bv, 8, 32)
+	if err := m.WriteRow(a, ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRow(b, rb); err != nil {
+		t.Fatal(err)
+	}
+
+	in := isa.Instruction{Op: isa.OpAdd, Src: pimAddr, Blocksize: 8, Operands: 2}
+	res, err := m.Execute(in, []isa.Addr{a, b}, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pim.UnpackLanes(res, 8)
+	for l := range av {
+		want := (av[l] + bv[l]) & 0xff
+		if got[l] != want {
+			t.Fatalf("lane %d = %d, want %d", l, got[l], want)
+		}
+	}
+	stored, err := m.ReadRow(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range stored {
+		if stored[w] != res[w] {
+			t.Fatal("stored result differs from returned result")
+		}
+	}
+	if m.Moves().RowCopies < 2 {
+		t.Errorf("staging should count row-buffer copies, got %+v", m.Moves())
+	}
+}
+
+func TestExecuteBulkAndMult(t *testing.T) {
+	m := testMemory(t)
+	pimAddr := isa.Addr{Tile: 0, DBC: 15}
+	a := isa.Addr{Tile: 1, DBC: 0, Row: 0}
+	b := isa.Addr{Tile: 1, DBC: 0, Row: 1}
+	rng := rand.New(rand.NewSource(72))
+	ra, rb := randRow(32, rng), randRow(32, rng)
+	if err := m.WriteRow(a, ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRow(b, rb); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Execute(isa.Instruction{Op: isa.OpXor, Src: pimAddr, Blocksize: 8, Operands: 2},
+		[]isa.Addr{a, b}, isa.Addr{Tile: 2, Row: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range res {
+		if res[w] != ra[w]^rb[w] {
+			t.Fatalf("XOR wire %d", w)
+		}
+	}
+
+	ma := pim.MustPackLanes([]uint64{210}, 16, 32)
+	mb := pim.MustPackLanes([]uint64{123}, 16, 32)
+	if err := m.WriteRow(a, ma); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRow(b, mb); err != nil {
+		t.Fatal(err)
+	}
+	res, err = m.Execute(isa.Instruction{Op: isa.OpMult, Src: pimAddr, Blocksize: 16, Operands: 2},
+		[]isa.Addr{a, b}, isa.Addr{Tile: 2, Row: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pim.UnpackLanes(res, 16)[0]; got != 210*123 {
+		t.Fatalf("mult = %d, want %d", got, 210*123)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	m := testMemory(t)
+	nonPIM := isa.Addr{Tile: 5, DBC: 0}
+	if _, err := m.Execute(isa.Instruction{Op: isa.OpAdd, Src: nonPIM, Blocksize: 8, Operands: 2},
+		[]isa.Addr{{}, {}}, isa.Addr{}); err == nil {
+		t.Error("execution on a non-PIM DBC accepted")
+	}
+	pimAddr := isa.Addr{Tile: 0, DBC: 15}
+	if _, err := m.Execute(isa.Instruction{Op: isa.OpAdd, Src: pimAddr, Blocksize: 8, Operands: 2},
+		[]isa.Addr{{}}, isa.Addr{}); err == nil {
+		t.Error("operand-count mismatch accepted")
+	}
+	if _, err := m.Execute(isa.Instruction{Op: isa.OpRead, Src: pimAddr},
+		nil, isa.Addr{}); err == nil {
+		t.Error("bypass opcode accepted by Execute")
+	}
+	if err := m.WriteRow(isa.Addr{Bank: 99}, make([]uint8, 32)); err == nil {
+		t.Error("out-of-range address accepted")
+	}
+	if err := m.WriteRow(isa.Addr{}, make([]uint8, 5)); err == nil {
+		t.Error("wrong row width accepted")
+	}
+}
+
+func TestMemoryFaultInjection(t *testing.T) {
+	m := testMemory(t)
+	pimAddr := isa.Addr{Tile: 0, DBC: 15}
+	a := isa.Addr{Tile: 1, Row: 0}
+	zero := make([]uint8, 32)
+	if err := m.WriteRow(a, zero); err != nil {
+		t.Fatal(err)
+	}
+	m.SetFaultInjector(device.NewFaultInjector(1.0, 0, 9))
+	res, err := m.Execute(isa.Instruction{Op: isa.OpXor, Src: pimAddr, Blocksize: 8, Operands: 2},
+		[]isa.Addr{a, a}, isa.Addr{Tile: 2, Row: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := false
+	for _, b := range res {
+		if b != 0 {
+			faulty = true
+		}
+	}
+	if !faulty {
+		t.Error("probability-1 faults produced a clean result")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := testMemory(t)
+	if err := m.WriteRow(isa.Addr{Row: 20}, make([]uint8, 32)); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Cycles() == 0 {
+		t.Error("no device cycles traced for an aligned write")
+	}
+	if s.WriteSteps != 1 {
+		t.Errorf("write steps = %d, want 1", s.WriteSteps)
+	}
+}

@@ -1,0 +1,125 @@
+package params
+
+import "testing"
+
+func TestDefaultGeometryCapacity(t *testing.T) {
+	// Table II: 1 GB (8 Gb) memory.
+	g := DefaultGeometry()
+	if got := g.TotalBytes(); got != 1<<30 {
+		t.Errorf("TotalBytes = %d, want 1 GiB", got)
+	}
+}
+
+func TestPIMDBCCount(t *testing.T) {
+	// One PIM DBC per subarray: 32 banks × 64 subarrays = 2048 units of
+	// PIM parallelism.
+	g := DefaultGeometry()
+	if got := g.PIMDBCs(); got != 2048 {
+		t.Errorf("PIMDBCs = %d, want 2048", got)
+	}
+}
+
+func TestPortPlacementPaperAnchor(t *testing.T) {
+	// §III-A: Y=32, TRD=7 → ports at 1-indexed 14 and 20; overhead
+	// drops from 31 (single port) to 25.
+	pl, pr := PortPlacement(32, TRD7)
+	if pl+1 != 14 || pr+1 != 20 {
+		t.Errorf("ports at 1-indexed (%d,%d), want (14,20)", pl+1, pr+1)
+	}
+	if got := OverheadDomains(32, TRD7); got != 25 {
+		t.Errorf("overhead = %d, want 25", got)
+	}
+}
+
+func TestOverheadMonotoneInTRD(t *testing.T) {
+	// Wider windows pull the ports closer to the middle, shrinking
+	// overhead (§III-A: TR-constrained ports reduce overhead less than
+	// optimally-placed ones).
+	o3 := OverheadDomains(32, TRD3)
+	o5 := OverheadDomains(32, TRD5)
+	o7 := OverheadDomains(32, TRD7)
+	if !(o3 > o5 && o5 > o7) {
+		t.Errorf("overhead not monotone: %d, %d, %d", o3, o5, o7)
+	}
+}
+
+func TestTRDProperties(t *testing.T) {
+	if TRD3.MaxAddOperands() != 2 {
+		t.Errorf("TRD3 add operands = %d, want 2", TRD3.MaxAddOperands())
+	}
+	if TRD5.MaxAddOperands() != 3 {
+		t.Errorf("TRD5 add operands = %d, want 3", TRD5.MaxAddOperands())
+	}
+	if TRD7.MaxAddOperands() != 5 {
+		t.Errorf("TRD7 add operands = %d, want 5", TRD7.MaxAddOperands())
+	}
+	if TRD3.HasSuperCarry() {
+		t.Error("TRD3 cannot produce a super-carry")
+	}
+	if !TRD7.HasSuperCarry() || !TRD5.HasSuperCarry() {
+		t.Error("TRD5/TRD7 must produce a super-carry")
+	}
+	if TRD(4).Valid() || TRD(9).Valid() {
+		t.Error("invalid TRDs accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := cfg
+	bad.TRD = TRD(6)
+	if err := bad.Validate(); err == nil {
+		t.Error("TRD=6 accepted")
+	}
+	bad = cfg
+	bad.Geometry.RowsPerDBC = 4
+	if err := bad.Validate(); err == nil {
+		t.Error("rows < TRD accepted")
+	}
+	bad = cfg
+	bad.TRFaultProb = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("probability 2 accepted")
+	}
+}
+
+func TestBlockSizes(t *testing.T) {
+	for _, b := range []int{8, 64, 512} {
+		if !ValidBlockSize(b) {
+			t.Errorf("blocksize %d rejected", b)
+		}
+	}
+	for _, b := range []int{0, 7, 9, 1024} {
+		if ValidBlockSize(b) {
+			t.Errorf("blocksize %d accepted", b)
+		}
+	}
+}
+
+func TestEnergyTRMonotone(t *testing.T) {
+	e := DefaultEnergy()
+	if !(e.TRPJ(TRD3) < e.TRPJ(TRD5) && e.TRPJ(TRD5) < e.TRPJ(TRD7)) {
+		t.Error("TR energy must grow with window length")
+	}
+}
+
+func TestDDRTimings(t *testing.T) {
+	tm := DefaultTiming()
+	// Table II: DRAM 20-8-8-8-8; DWM 9-4-S-4-4 with no precharge.
+	if tm.DRAM.TRAS != 20 || tm.DRAM.TRCD != 8 || tm.DRAM.TRP != 8 {
+		t.Errorf("DRAM timings %+v", tm.DRAM)
+	}
+	if tm.DWM.TRP != 0 || tm.DWM.TRCD != 4 {
+		t.Errorf("DWM timings %+v", tm.DWM)
+	}
+	// A DWM row read with 3 shifts: tRCD + tCAS + 3·S.
+	if got := tm.DWM.RowCycleRead(3); got != 4+4+3 {
+		t.Errorf("DWM row read = %d cycles, want 11", got)
+	}
+	if got := tm.DRAM.RowCycleRead(0); got != 8+8+8 {
+		t.Errorf("DRAM row read = %d cycles, want 24", got)
+	}
+}

@@ -1,0 +1,87 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+)
+
+// AddMulti adds up to TRD−2 operand rows lane-wise (Fig. 6, §III-C).
+// Each operand row is divided into independent lanes of blocksize bits
+// (little-endian along the wire index); the result row holds the lane
+// sums modulo 2^blocksize, with carries masked at lane boundaries by the
+// memory controller (§III-E).
+//
+// The carry chain walks the lanes' bit positions serially: at step j a
+// transverse read of wire j (in every lane, in parallel) senses the
+// operand bits together with the incoming carry C (right port slot) and
+// super-carry C' (left port slot); the level's binary decomposition gives
+// S (kept at wire j's left port), C (sent to wire j+1's right port), and
+// C' (sent to wire j+2's left port) in one simultaneous write step. The
+// result remains stored in the DBC: the returned row equals the row under
+// the left port.
+//
+// Cycle anchor (§V-B): 8-bit five-operand add = 10 placement + 16
+// compute = 26 cycles for TRD=7; the TRD=3 two-operand layout saves the
+// final placement shift: 3 + 16 = 19 cycles.
+func (u *Unit) AddMulti(operands []dbc.Row, blocksize int) (dbc.Row, error) {
+	k := len(operands)
+	if k < 2 {
+		return nil, fmt.Errorf("pim: add needs at least 2 operands, got %d", k)
+	}
+	if max := u.maxAddOperands(); k > max {
+		return nil, fmt.Errorf("pim: add with %d operands exceeds limit %d for %v", k, max, u.cfg.TRD)
+	}
+	if err := u.checkBlocksize(blocksize); err != nil {
+		return nil, err
+	}
+	width := u.D.Width()
+	for _, r := range operands {
+		if len(r) != width {
+			return nil, fmt.Errorf("pim: operand width %d, want %d", len(r), width)
+		}
+	}
+	hasCp := u.cfg.TRD.HasSuperCarry()
+	// TRD≥5: operands at positions 1..k, position 0 is the S/C' slot and
+	// the last position the C slot. TRD=3: operands at positions 0..k−1
+	// (S overwrites an operand slot after its TR), C slot at the right.
+	if err := u.placeWindow(operands, 0, hasCp); err != nil {
+		return nil, err
+	}
+	return u.addPlaced(blocksize, hasCp)
+}
+
+// addPlaced runs the per-bit carry chain over operands already placed in
+// the window and returns the sum row.
+func (u *Unit) addPlaced(blocksize int, hasCp bool) (dbc.Row, error) {
+	width := u.D.Width()
+	b := blocksize
+	sum := make(dbc.Row, width)
+	wires := make([]int, 0, width/b)
+	for j := 0; j < b; j++ {
+		wires = wires[:0]
+		for t := j; t < width; t += b {
+			wires = append(wires, t)
+		}
+		levels := u.D.TRWires(wires)
+		writes := make([]dbc.PortBit, 0, 3*len(wires))
+		for _, t := range wires {
+			o := dbc.Sense(levels[t], u.cfg.TRD)
+			sum[t] = o.S
+			writes = append(writes, dbc.PortBit{Wire: t, Side: dbcLeft, Bit: o.S})
+			if j+1 < b {
+				writes = append(writes, dbc.PortBit{Wire: t + 1, Side: dbcRight, Bit: o.C})
+			}
+			if hasCp && j+2 < b {
+				writes = append(writes, dbc.PortBit{Wire: t + 2, Side: dbcLeft, Bit: o.Cp})
+			}
+		}
+		u.D.WriteScatter(writes)
+	}
+	return sum, nil
+}
+
+// Add2 is a convenience wrapper adding two rows lane-wise.
+func (u *Unit) Add2(a, b dbc.Row, blocksize int) (dbc.Row, error) {
+	return u.AddMulti([]dbc.Row{a, b}, blocksize)
+}

@@ -1,0 +1,124 @@
+package pim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+)
+
+// TestAddMultiFullRowBlocksize exercises the widest cpim blocksize: one
+// 512-bit lane spanning the whole row (§III-E: "up to a full 512-bit
+// addition"). Values are compared on their low 64 bits with operands
+// chosen so no carry crosses bit 63.
+func TestAddMultiFullRowBlocksize(t *testing.T) {
+	cfg := params.DefaultConfig() // full 512-wire row
+	u := MustNewUnit(cfg)
+	vals := []uint64{1 << 40, 1 << 41, 1 << 42, 3, 9}
+	rows := make([]dbc.Row, len(vals))
+	for i, v := range vals {
+		row := make(dbc.Row, 512)
+		for j := 0; j < 64; j++ {
+			row[j] = uint8((v >> uint(j)) & 1)
+		}
+		rows[i] = row
+	}
+	sum, err := u.AddMulti(rows, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for j := 0; j < 64; j++ {
+		got |= uint64(sum[j]&1) << uint(j)
+	}
+	var want uint64
+	for _, v := range vals {
+		want += v
+	}
+	if got != want {
+		t.Errorf("512-bit add low word = %d, want %d", got, want)
+	}
+	for j := 64; j < 512; j++ {
+		if sum[j] != 0 {
+			t.Fatalf("unexpected high bit %d set", j)
+		}
+	}
+}
+
+// TestAddMultiCarryAcross64 checks that carries propagate across the
+// 64-bit boundary of a wide lane — the chain is genuinely bit-serial
+// along the wires, not word-sized.
+func TestAddMultiCarryAcross64(t *testing.T) {
+	u := MustNewUnit(params.DefaultConfig())
+	a := make(dbc.Row, 512)
+	b := make(dbc.Row, 512)
+	for j := 0; j < 64; j++ {
+		a[j] = 1 // a = 2^64 − 1 in a 128-bit lane
+	}
+	b[0] = 1 // b = 1
+	sum, err := u.AddMulti([]dbc.Row{a, b}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a + b = 2^64: only bit 64 of lane 0 set.
+	for j := 0; j < 128; j++ {
+		want := uint8(0)
+		if j == 64 {
+			want = 1
+		}
+		if sum[j] != want {
+			t.Fatalf("bit %d = %d, want %d", j, sum[j], want)
+		}
+	}
+}
+
+// TestMultiplyWideLanes runs 32-bit multiplication in 64-bit product
+// lanes across the whole row.
+func TestMultiplyWideLanes(t *testing.T) {
+	u := MustNewUnit(params.DefaultConfig())
+	rng := rand.New(rand.NewSource(110))
+	a := make([]uint64, 8)
+	b := make([]uint64, 8)
+	for i := range a {
+		a[i] = uint64(rng.Uint32())
+		b[i] = uint64(rng.Uint32())
+	}
+	got, err := u.MultiplyValues(a, b, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if got[i] != a[i]*b[i] {
+			t.Errorf("lane %d: %d × %d = %d, want %d", i, a[i], b[i], got[i], a[i]*b[i])
+		}
+	}
+}
+
+// TestConsecutiveOpsRecenter verifies that back-to-back operations on
+// one unit stay correct: each op recenters with traced shifts, so
+// results never depend on the previous op's alignment.
+func TestConsecutiveOpsRecenter(t *testing.T) {
+	u := MustNewUnit(params.DefaultConfig())
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 10; trial++ {
+		av := uint64(rng.Intn(256))
+		bv := uint64(rng.Intn(256))
+		a := MustPackLanes([]uint64{av}, 8, 512)
+		b := MustPackLanes([]uint64{bv}, 8, 512)
+		sum, err := u.AddMulti([]dbc.Row{a, b}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := UnpackLanes(sum, 8)[0]; got != (av+bv)&0xff {
+			t.Fatalf("trial %d: add drifted after prior ops: %d", trial, got)
+		}
+		prods, err := u.MultiplyValues([]uint64{av}, []uint64{bv}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prods[0] != av*bv {
+			t.Fatalf("trial %d: mult drifted: %d", trial, prods[0])
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+)
+
+// BulkBitwise computes a k-operand bulk-bitwise operation in a single
+// transverse read (§III-B, Fig. 5). Up to TRD operand rows are combined;
+// unused window slots carry the Fig. 7 padding constant so smaller
+// cardinalities remain correct. The result is written back through the
+// left port (one write step), as the paper stores it over an operand or
+// in a separate DBC, and is also returned.
+func (u *Unit) BulkBitwise(op dbc.Op, operands []dbc.Row) (dbc.Row, error) {
+	k := len(operands)
+	if k == 0 {
+		return nil, fmt.Errorf("pim: bulk %v with no operands", op)
+	}
+	if k > u.cfg.TRD.MaxBulkOperands() {
+		return nil, fmt.Errorf("pim: bulk %v with %d operands exceeds TRD %d", op, k, int(u.cfg.TRD))
+	}
+	if op == dbc.OpNOT && k != 1 {
+		return nil, fmt.Errorf("pim: NOT takes exactly one operand, got %d", k)
+	}
+	for _, r := range operands {
+		if len(r) != u.D.Width() {
+			return nil, fmt.Errorf("pim: operand width %d, want %d", len(r), u.D.Width())
+		}
+	}
+	if err := u.placeWindow(operands, op.PadBit(), true); err != nil {
+		return nil, err
+	}
+	levels := u.D.TRAll()
+	out := make(dbc.Row, u.D.Width())
+	for w, l := range levels {
+		out[w] = dbc.Eval(op, l, u.cfg.TRD)
+	}
+	u.D.WritePort(dbcLeft, out)
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+	"repro/internal/device"
+)
+
+// Port side aliases used throughout the package.
+const (
+	dbcLeft  = device.Left
+	dbcRight = device.Right
+)
+
+// PackLanes packs vals into a row of the given total width, one value per
+// lane of lane bits. Bit j of vals[l] lands on wire l·lane+j, i.e. each
+// lane is little-endian along the wire index — matching the carry chain,
+// which propagates toward higher wire indices (Fig. 6). Values must fit
+// in lane bits.
+func PackLanes(vals []uint64, lane, width int) (dbc.Row, error) {
+	if lane <= 0 || width%lane != 0 {
+		return nil, fmt.Errorf("pim: width %d not divisible by lane %d", width, lane)
+	}
+	if len(vals) > width/lane {
+		return nil, fmt.Errorf("pim: %d values exceed %d lanes", len(vals), width/lane)
+	}
+	row := make(dbc.Row, width)
+	for l, v := range vals {
+		if lane < 64 && v >= 1<<uint(lane) {
+			return nil, fmt.Errorf("pim: value %d does not fit in %d-bit lane", v, lane)
+		}
+		for j := 0; j < lane && j < 64; j++ {
+			row[l*lane+j] = uint8((v >> uint(j)) & 1)
+		}
+	}
+	return row, nil
+}
+
+// MustPackLanes is PackLanes panicking on error, for fixed-shape callers.
+func MustPackLanes(vals []uint64, lane, width int) dbc.Row {
+	row, err := PackLanes(vals, lane, width)
+	if err != nil {
+		panic(err)
+	}
+	return row
+}
+
+// UnpackLanes extracts the lane values of a row (lanes wider than 64 bits
+// are truncated to their low 64 bits).
+func UnpackLanes(row dbc.Row, lane int) []uint64 {
+	n := len(row) / lane
+	vals := make([]uint64, n)
+	for l := 0; l < n; l++ {
+		var v uint64
+		for j := 0; j < lane && j < 64; j++ {
+			v |= uint64(row[l*lane+j]&1) << uint(j)
+		}
+		vals[l] = v
+	}
+	return vals
+}
+
+// zeroRow returns an all-zero row of the given width.
+func zeroRow(width int) dbc.Row { return make(dbc.Row, width) }
+
+// constRow returns a row filled with the given bit.
+func constRow(width int, bit uint8) dbc.Row {
+	r := make(dbc.Row, width)
+	if bit != 0 {
+		for i := range r {
+			r[i] = 1
+		}
+	}
+	return r
+}
+
+// copyRow returns a copy of r.
+func copyRow(r dbc.Row) dbc.Row {
+	out := make(dbc.Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// laneShiftLeft returns r logically shifted left by one bit position
+// within each lane of the given width: bit j moves to bit j+1, the lane
+// MSB is discarded, bit 0 becomes zero. This is the Fig. 4(a) brown
+// i→i+1 forwarding path (§III-D: a logical left shift, multiply by two).
+func laneShiftLeft(r dbc.Row, lane int) dbc.Row {
+	out := make(dbc.Row, len(r))
+	for base := 0; base < len(r); base += lane {
+		for j := lane - 1; j >= 1; j-- {
+			out[base+j] = r[base+j-1]
+		}
+		out[base] = 0
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+)
+
+// MaxTR computes the lane-wise maximum of up to TRD candidate rows using
+// the transverse-read tournament of §IV-B (Fig. 8): bit positions are
+// examined MSB to LSB; at each position a TR across the candidates'
+// bits decides, per lane, whether candidates with a '0' there are
+// eliminated (overwritten with the zero vector). Each candidate is read
+// from the right port and returned to its place through a transverse
+// write from the left port — the segmented shift that motivates TW.
+//
+// Lanes are blocksize bits wide, values unsigned. Candidates that tie for
+// the maximum all survive; the final result is extracted with a last TR
+// whose OR output reads the surviving value regardless of its position.
+func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
+	k := len(candidates)
+	if k < 2 {
+		return nil, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
+	}
+	if k > u.cfg.TRD.MaxBulkOperands() {
+		return nil, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
+	}
+	if err := u.checkBlocksize(blocksize); err != nil {
+		return nil, err
+	}
+	width := u.D.Width()
+	for _, r := range candidates {
+		if len(r) != width {
+			return nil, fmt.Errorf("pim: candidate width %d, want %d", len(r), width)
+		}
+	}
+	if err := u.placeWindow(candidates, 0, false); err != nil {
+		return nil, err
+	}
+
+	lanes := width / blocksize
+	for j := blocksize - 1; j >= 0; j-- {
+		// TR across the candidates' bit j, one wire per lane.
+		wires := make([]int, lanes)
+		for l := 0; l < lanes; l++ {
+			wires[l] = l*blocksize + j
+		}
+		levels := u.D.TRWires(wires)
+		// Rotate all TRD window rows once around: read at the right
+		// port, predicated row-buffer reset, transverse write at the
+		// left port. Rows holding padding rotate like candidates so the
+		// controller sequence is identical across subarrays (§IV-B).
+		for r := 0; r < int(u.cfg.TRD); r++ {
+			row := u.D.ReadPort(dbcRight)
+			for l := 0; l < lanes; l++ {
+				w := l*blocksize + j
+				if levels[w] > 0 && row[w] == 0 {
+					// Some candidate has a '1' here and this one does
+					// not: the predicated reset zeroes the lane.
+					for t := l * blocksize; t < (l+1)*blocksize; t++ {
+						row[t] = 0
+					}
+				}
+			}
+			u.D.TW(row)
+		}
+	}
+
+	// Extraction: a final TR per wire; the OR output reads the max
+	// (losers are zero vectors; ties overlap harmlessly).
+	levels := u.D.TRAll()
+	out := make(dbc.Row, width)
+	for w, l := range levels {
+		out[w] = dbc.Eval(dbc.OpOR, l, u.cfg.TRD)
+	}
+	return out, nil
+}
+
+// ReLU applies the rectifier of §IV-C lane-wise to two's-complement
+// values: lanes whose sign bit (lane MSB) is set are replaced by zero
+// using a predicated row refresh; other lanes pass through. One read of
+// the MSB wires plus one predicated write.
+func (u *Unit) ReLU(row dbc.Row, blocksize int) (dbc.Row, error) {
+	if err := u.checkBlocksize(blocksize); err != nil {
+		return nil, err
+	}
+	width := u.D.Width()
+	if len(row) != width {
+		return nil, fmt.Errorf("pim: row width %d, want %d", len(row), width)
+	}
+	lanes := width / blocksize
+	u.tr.Read(lanes)  // sign-bit wires into the row buffer
+	u.tr.Write(width) // predicated refresh
+	out := copyRow(row)
+	for l := 0; l < lanes; l++ {
+		if out[l*blocksize+blocksize-1] == 1 {
+			for t := l * blocksize; t < (l+1)*blocksize; t++ {
+				out[t] = 0
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+)
+
+// MaxTRFullShift computes the same lane-wise maximum as MaxTR but
+// rotates the candidates with whole-nanowire shifts instead of the
+// transverse write's segmented shift: each candidate costs a read, a
+// domain-wall shift, and a write (§IV-B: "each word is read from the
+// right and re-written to the left access point, while shifting in
+// between"). It exists as the ablation baseline for the paper's claim
+// that TW reduces maximum-function cycles by 28.5%.
+//
+// Whole-nanowire shifting drifts the DBC alignment — the very problem
+// §IV-B raises — so the rotation direction alternates per bit position
+// to stay within the overhead-domain excursion.
+func (u *Unit) MaxTRFullShift(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
+	k := len(candidates)
+	if k < 2 {
+		return nil, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
+	}
+	if k > u.cfg.TRD.MaxBulkOperands() {
+		return nil, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
+	}
+	if err := u.checkBlocksize(blocksize); err != nil {
+		return nil, err
+	}
+	width := u.D.Width()
+	for _, r := range candidates {
+		if len(r) != width {
+			return nil, fmt.Errorf("pim: candidate width %d, want %d", len(r), width)
+		}
+	}
+	if err := u.placeWindow(candidates, 0, false); err != nil {
+		return nil, err
+	}
+
+	trd := int(u.cfg.TRD)
+	lanes := width / blocksize
+	rightward := true
+	for j := blocksize - 1; j >= 0; j-- {
+		wires := make([]int, lanes)
+		for l := 0; l < lanes; l++ {
+			wires[l] = l*blocksize + j
+		}
+		levels := u.D.TRWires(wires)
+		for r := 0; r < trd; r++ {
+			var row dbc.Row
+			if rightward {
+				row = u.D.ReadPort(dbcRight)
+			} else {
+				row = u.D.ReadPort(dbcLeft)
+			}
+			for l := 0; l < lanes; l++ {
+				w := l*blocksize + j
+				if levels[w] > 0 && row[w] == 0 {
+					for t := l * blocksize; t < (l+1)*blocksize; t++ {
+						row[t] = 0
+					}
+				}
+			}
+			if rightward {
+				if err := u.D.Shift(1); err != nil {
+					return nil, err
+				}
+				u.D.WritePort(dbcLeft, row)
+			} else {
+				if err := u.D.Shift(-1); err != nil {
+					return nil, err
+				}
+				u.D.WritePort(dbcRight, row)
+			}
+		}
+		rightward = !rightward
+	}
+
+	levels := u.D.TRAll()
+	out := make(dbc.Row, width)
+	for w, l := range levels {
+		out[w] = dbc.Eval(dbc.OpOR, l, u.cfg.TRD)
+	}
+	return out, nil
+}

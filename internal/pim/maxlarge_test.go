@@ -1,0 +1,80 @@
+package pim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+)
+
+func TestMaxLargeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		for _, k := range []int{1, 2, 7, 9, 20} {
+			u := unitFor(t, trd, 32)
+			cands := make([]dbc.Row, k)
+			vals := make([][]uint64, k)
+			for i := range cands {
+				vals[i] = make([]uint64, 4)
+				for l := range vals[i] {
+					vals[i][l] = uint64(rng.Intn(256))
+				}
+				cands[i] = MustPackLanes(vals[i], 8, 32)
+			}
+			got, err := u.MaxLarge(cands, 8)
+			if err != nil {
+				t.Fatalf("%v k=%d: %v", trd, k, err)
+			}
+			res := UnpackLanes(got, 8)
+			for l := 0; l < 4; l++ {
+				var want uint64
+				for i := range vals {
+					if vals[i][l] > want {
+						want = vals[i][l]
+					}
+				}
+				if res[l] != want {
+					t.Fatalf("%v k=%d lane %d = %d, want %d", trd, k, l, res[l], want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxLargeProperty(t *testing.T) {
+	u := unitFor(t, params.TRD7, 16)
+	check := func(raw [11]uint8) bool {
+		cands := make([]dbc.Row, len(raw))
+		want := uint64(0)
+		for i, v := range raw {
+			cands[i] = MustPackLanes([]uint64{uint64(v), uint64(255 - v)}, 8, 16)
+			if uint64(v) > want {
+				want = uint64(v)
+			}
+		}
+		got, err := u.MaxLarge(cands, 8)
+		if err != nil {
+			return false
+		}
+		res := UnpackLanes(got, 8)
+		want2 := uint64(0)
+		for _, v := range raw {
+			if uint64(255-v) > want2 {
+				want2 = uint64(255 - v)
+			}
+		}
+		return res[0] == want && res[1] == want2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLargeErrors(t *testing.T) {
+	u := unitFor(t, params.TRD7, 16)
+	if _, err := u.MaxLarge(nil, 8); err == nil {
+		t.Error("no candidates accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Package pim implements the CORUSCANT processing-in-memory operations on
+// a PIM-enabled domain-block cluster: multi-operand bulk-bitwise logic,
+// multi-operand addition with the C/C' carry chain (Fig. 6), the 7→3
+// carry-save reduction, two-operand and constant multiplication (§III-D),
+// the transverse-write-based max function and ReLU (§IV-B/C), and
+// N-modular redundancy voting (§III-F).
+//
+// Every operation runs functionally on the bit-level DBC model — results
+// are exact and are property-tested against integer arithmetic — while a
+// trace.Tracer counts the device primitives from which cycle latency and
+// energy derive. Cycle-count anchors from the paper (§V-B): an 8-bit
+// five-operand add takes 10 cycles of operand placement plus 16 cycles of
+// per-bit TR+write = 26 cycles; one 7→3 reduction takes 4 cycles.
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+	"repro/internal/trace"
+)
+
+// Unit is one PIM-enabled DBC together with its sensing and PIM logic,
+// executing CORUSCANT operations.
+type Unit struct {
+	D   *dbc.DBC
+	cfg params.Config
+	tr  *trace.Tracer
+}
+
+// NewUnit builds a PIM unit for the given configuration.
+func NewUnit(cfg params.Config) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := dbc.New(cfg.Geometry.TrackWidth, cfg.Geometry.RowsPerDBC, cfg.TRD)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{D: d, cfg: cfg, tr: &trace.Tracer{}}
+	d.SetTracer(u.tr)
+	return u, nil
+}
+
+// MustNewUnit is NewUnit for configurations known to be valid.
+func MustNewUnit(cfg params.Config) *Unit {
+	u, err := NewUnit(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() params.Config { return u.cfg }
+
+// Width returns the DBC track width (bits per row).
+func (u *Unit) Width() int { return u.D.Width() }
+
+// TRD returns the unit's transverse-read distance.
+func (u *Unit) TRD() params.TRD { return u.cfg.TRD }
+
+// Tracer exposes the unit's primitive-op accounting.
+func (u *Unit) Tracer() *trace.Tracer { return u.tr }
+
+// Stats returns the accumulated primitive counts.
+func (u *Unit) Stats() trace.Stats { return u.tr.Stats() }
+
+// ResetStats clears the accumulated counters.
+func (u *Unit) ResetStats() { u.tr.Reset() }
+
+// Cost converts the accumulated trace into a latency/energy cost.
+func (u *Unit) Cost() trace.Cost {
+	return trace.OfStats(u.tr.Stats(), u.cfg.Energy, u.cfg.TRD)
+}
+
+// maxAddOperands returns the operand limit for multi-operand addition.
+func (u *Unit) maxAddOperands() int { return u.cfg.TRD.MaxAddOperands() }
+
+// checkBlocksize validates a cpim blocksize argument.
+func (u *Unit) checkBlocksize(b int) error {
+	if !params.ValidBlockSize(b) {
+		return fmt.Errorf("pim: invalid blocksize %d (want one of %v)", b, params.BlockSizes)
+	}
+	if b > u.D.Width() {
+		return fmt.Errorf("pim: blocksize %d exceeds track width %d", b, u.D.Width())
+	}
+	return nil
+}
+
+// recenter returns the DBC to its rest alignment with traced shifts, so
+// the following operation has full shift headroom. Fresh units are
+// already at rest and pay nothing.
+func (u *Unit) recenter() error {
+	return u.D.Shift(-u.D.Offset())
+}
+
+// placeWindow loads the operand rows into the PIM window through the left
+// access port: each operand costs one write step plus one shift step (the
+// paper's "shifts and writes the words between the two heads", 10 cycles
+// for five operands). With finalShift, operand i (0-based) ends at window
+// position k-i, leaving position 0 free for the S/C' slot of the carry
+// chain; without it, the last operand stays under the left port (the
+// TRD=3 layout, where the sum overwrites an operand slot), costing 2k−1
+// cycles.
+//
+// The pad constant models the Fig. 7 pre-populated padding rows in and
+// adjacent to the window; restoring them is untraced, as the paper
+// maintains them as preset constants.
+func (u *Unit) placeWindow(rows []dbc.Row, pad uint8, finalShift bool) error {
+	trd := int(u.cfg.TRD)
+	if len(rows) > trd {
+		return fmt.Errorf("pim: %d operands exceed window of %d", len(rows), trd)
+	}
+	if err := u.recenter(); err != nil {
+		return err
+	}
+	if len(rows) == trd {
+		// A full window leaves no slot to shift into; the last operand
+		// stays under the left port.
+		finalShift = false
+	}
+	for i := 0; i < trd; i++ {
+		u.D.PokeWindowConst(i, pad)
+	}
+	for i, r := range rows {
+		u.D.WritePort(dbcLeft, r)
+		if !finalShift && i == len(rows)-1 {
+			break
+		}
+		if err := u.D.Shift(1); err != nil {
+			return err
+		}
+		// The domain shifted in under the left port comes from the
+		// pre-populated padding region.
+		u.D.PokeWindowConst(0, pad)
+	}
+	return nil
+}

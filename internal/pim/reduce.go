@@ -1,0 +1,115 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+)
+
+// Reduction is the output of a carry-save reduction step (§III-D3): three
+// rows whose lane-wise sum equals the lane-wise sum of the inputs modulo
+// 2^blocksize. For TRD=3 there is no super-carry and Cp is nil (a 3→2
+// reduction).
+type Reduction struct {
+	S  dbc.Row // level bit 0, at the original bit positions
+	C  dbc.Row // level bit 1, already routed one bit position up
+	Cp dbc.Row // level bit 2, already routed two bit positions up (nil for TRD=3)
+}
+
+// Rows returns the non-nil rows of the reduction.
+func (r Reduction) Rows() []dbc.Row {
+	if r.Cp == nil {
+		return []dbc.Row{r.S, r.C}
+	}
+	return []dbc.Row{r.S, r.C, r.Cp}
+}
+
+// Reduce performs one TRD→3 carry-save reduction over up to TRD operand
+// rows: a single parallel transverse read of every nanowire senses all
+// lanes' bit positions at once (no carry chain — the defining advantage
+// over addition), and the level bits are written back as the S, C and C'
+// rows. Carries crossing a lane boundary are masked.
+//
+// Cycle anchor (§IV-A): the reduction step itself is O(1) — one TR plus
+// three write-backs (S through the left port, then C and C' by transverse
+// writes that rotate the window) = 4 cycles for TRD≥5, 3 for TRD=3 —
+// regardless of operand count or lane width. Operand placement, when the
+// rows are not already in the window, costs 2k cycles as usual.
+func (u *Unit) Reduce(operands []dbc.Row, blocksize int) (Reduction, error) {
+	k := len(operands)
+	if k < 2 {
+		return Reduction{}, fmt.Errorf("pim: reduce needs at least 2 operands, got %d", k)
+	}
+	if k > u.cfg.TRD.MaxBulkOperands() {
+		return Reduction{}, fmt.Errorf("pim: reduce with %d operands exceeds TRD %d", k, int(u.cfg.TRD))
+	}
+	if err := u.checkBlocksize(blocksize); err != nil {
+		return Reduction{}, err
+	}
+	width := u.D.Width()
+	for _, r := range operands {
+		if len(r) != width {
+			return Reduction{}, fmt.Errorf("pim: operand width %d, want %d", len(r), width)
+		}
+	}
+	if err := u.placeWindow(operands, 0, false); err != nil {
+		return Reduction{}, err
+	}
+	return u.reducePlaced(blocksize)
+}
+
+// reducePlaced reduces whatever occupies the window. After it returns,
+// the window holds the result rows: S under the left port region after
+// the transverse writes rotate it inward (positions 0..2 hold C', C, S
+// for TRD≥5; positions 0..1 hold C, S for TRD=3).
+func (u *Unit) reducePlaced(blocksize int) (Reduction, error) {
+	levels := u.D.TRAll()
+	red := reductionOfLevels(levels, blocksize, u.cfg.TRD.HasSuperCarry())
+	// Write-back: S through the left port, then rotate C (and C') in by
+	// transverse writes so all outputs occupy window rows (§IV-B notes TW
+	// also accelerates padding and multi-step operations).
+	u.D.WritePort(dbcLeft, red.S)
+	u.D.TW(red.C)
+	if red.Cp != nil {
+		u.D.TW(red.Cp)
+	}
+	return red, nil
+}
+
+// reductionOfLevels converts per-wire TR levels into the S/C/C' rows,
+// masking carries at lane boundaries.
+func reductionOfLevels(levels []int, blocksize int, hasCp bool) Reduction {
+	width := len(levels)
+	red := Reduction{S: make(dbc.Row, width), C: make(dbc.Row, width)}
+	if hasCp {
+		red.Cp = make(dbc.Row, width)
+	}
+	for t, l := range levels {
+		if l < 0 {
+			continue
+		}
+		j := t % blocksize
+		red.S[t] = uint8(l & 1)
+		if j+1 < blocksize {
+			red.C[t+1] = uint8((l >> 1) & 1)
+		}
+		if hasCp && j+2 < blocksize {
+			red.Cp[t+2] = uint8((l >> 2) & 1)
+		}
+	}
+	return red
+}
+
+// reduceRowsFunctional is the dataflow of Reduce without touching the
+// DBC: used by Multiply, which charges its cost explicitly, and by tests
+// that check equivalence with the DBC-executed path.
+func reduceRowsFunctional(rows []dbc.Row, blocksize int, hasCp bool) Reduction {
+	width := len(rows[0])
+	levels := make([]int, width)
+	for _, r := range rows {
+		for t, b := range r {
+			levels[t] += int(b)
+		}
+	}
+	return reductionOfLevels(levels, blocksize, hasCp)
+}

@@ -1,0 +1,122 @@
+package pim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+)
+
+// TestSoakRandomOpSequence drives one unit through a long random mix of
+// operations, checking every result against integer arithmetic. It
+// guards the cross-operation contract: no operation may leave the DBC in
+// a state (alignment, stale window contents, padding) that corrupts a
+// later one.
+func TestSoakRandomOpSequence(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		rng := rand.New(rand.NewSource(int64(trd) * 1000))
+		u := unitFor(t, trd, 64)
+		const lanes = 8
+		randVals := func() []uint64 {
+			v := make([]uint64, lanes)
+			for i := range v {
+				v[i] = uint64(rng.Intn(256))
+			}
+			return v
+		}
+		pack := func(v []uint64) dbc.Row { return MustPackLanes(v, 8, 64) }
+
+		for step := 0; step < 150; step++ {
+			switch rng.Intn(5) {
+			case 0: // multi-operand add
+				k := 2 + rng.Intn(trd.MaxAddOperands()-1)
+				vals := make([][]uint64, k)
+				rows := make([]dbc.Row, k)
+				for i := range rows {
+					vals[i] = randVals()
+					rows[i] = pack(vals[i])
+				}
+				sum, err := u.AddMulti(rows, 8)
+				if err != nil {
+					t.Fatalf("%v step %d add: %v", trd, step, err)
+				}
+				got := UnpackLanes(sum, 8)
+				for l := 0; l < lanes; l++ {
+					var want uint64
+					for i := range vals {
+						want += vals[i][l]
+					}
+					if got[l] != want&0xff {
+						t.Fatalf("%v step %d add lane %d: %d != %d", trd, step, l, got[l], want&0xff)
+					}
+				}
+			case 1: // bulk op
+				ops := []dbc.Op{dbc.OpAND, dbc.OpOR, dbc.OpXOR, dbc.OpNAND, dbc.OpNOR, dbc.OpXNOR}
+				op := ops[rng.Intn(len(ops))]
+				k := 2 + rng.Intn(int(trd)-1)
+				rows := make([]dbc.Row, k)
+				for i := range rows {
+					rows[i] = randBits(64, rng)
+				}
+				res, err := u.BulkBitwise(op, rows)
+				if err != nil {
+					t.Fatalf("%v step %d bulk %v: %v", trd, step, op, err)
+				}
+				for w := range res {
+					if res[w] != refBulk(op, rows, w) {
+						t.Fatalf("%v step %d bulk %v wire %d wrong", trd, step, op, w)
+					}
+				}
+			case 2: // multiply
+				a := []uint64{uint64(rng.Intn(256)), uint64(rng.Intn(256))}
+				b := []uint64{uint64(rng.Intn(256)), uint64(rng.Intn(256))}
+				got, err := u.MultiplyValues(a, b, 8)
+				if err != nil {
+					t.Fatalf("%v step %d mult: %v", trd, step, err)
+				}
+				for l := range a {
+					if got[l] != a[l]*b[l] {
+						t.Fatalf("%v step %d mult lane %d: %d != %d", trd, step, l, got[l], a[l]*b[l])
+					}
+				}
+			case 3: // max tournament
+				k := 2 + rng.Intn(int(trd)-1)
+				vals := make([][]uint64, k)
+				rows := make([]dbc.Row, k)
+				for i := range rows {
+					vals[i] = randVals()
+					rows[i] = pack(vals[i])
+				}
+				res, err := u.MaxTR(rows, 8)
+				if err != nil {
+					t.Fatalf("%v step %d max: %v", trd, step, err)
+				}
+				got := UnpackLanes(res, 8)
+				for l := 0; l < lanes; l++ {
+					var want uint64
+					for i := range vals {
+						if vals[i][l] > want {
+							want = vals[i][l]
+						}
+					}
+					if got[l] != want {
+						t.Fatalf("%v step %d max lane %d: %d != %d", trd, step, l, got[l], want)
+					}
+				}
+			case 4: // vote
+				good := pack(randVals())
+				bad := randBits(64, rng)
+				res, err := u.Vote([]dbc.Row{good, bad, good})
+				if err != nil {
+					t.Fatalf("%v step %d vote: %v", trd, step, err)
+				}
+				for w := range res {
+					if res[w] != good[w] {
+						t.Fatalf("%v step %d vote wire %d wrong", trd, step, w)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package pim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/params"
+)
+
+func TestSubExact(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		u := unitFor(t, trd, 64)
+		got, err := u.SubValues(
+			[]uint64{200, 10, 128, 0, 255, 1, 100, 50},
+			[]uint64{50, 20, 128, 1, 255, 2, 99, 200},
+			8)
+		if err != nil {
+			t.Fatalf("%v: %v", trd, err)
+		}
+		want := []uint64{150, 246, 0, 255, 0, 255, 1, 106} // mod 256
+		for l := range want {
+			if got[l] != want[l] {
+				t.Errorf("%v lane %d: %d, want %d", trd, l, got[l], want[l])
+			}
+		}
+	}
+}
+
+func TestSubProperty(t *testing.T) {
+	u := unitFor(t, params.TRD7, 64)
+	check := func(a, b [8]uint8) bool {
+		av := make([]uint64, 8)
+		bv := make([]uint64, 8)
+		for i := range a {
+			av[i], bv[i] = uint64(a[i]), uint64(b[i])
+		}
+		got, err := u.SubValues(av, bv, 8)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if got[i] != uint64(uint8(a[i]-b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubThenReLUIsPositivePart(t *testing.T) {
+	// Sub + ReLU is the paper's "pos − neg then rectify" idiom (§IV-C):
+	// negative differences must rectify to zero, positive pass through.
+	u := unitFor(t, params.TRD7, 64)
+	a := []uint64{100, 10, 50, 0}
+	b := []uint64{30, 90, 50, 1}
+	diff, err := u.SubValues(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := PackLanes(append(diff, 0, 0, 0, 0), 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relued, err := u.ReLU(row, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := UnpackLanes(relued, 8)
+	want := []uint64{70, 0, 0, 0}
+	for l := range want {
+		if got[l] != want[l] {
+			t.Errorf("lane %d = %d, want %d", l, got[l], want[l])
+		}
+	}
+}
+
+func TestSubErrors(t *testing.T) {
+	u := unitFor(t, params.TRD7, 32)
+	if _, err := u.SubValues([]uint64{1}, []uint64{1, 2}, 8); err == nil {
+		t.Error("mismatched counts accepted")
+	}
+	if _, err := u.Sub(make([]uint8, 4), make([]uint8, 4), 8); err == nil {
+		t.Error("wrong widths accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package reliability
+
+import (
+	"math/rand"
+
+	"repro/internal/dbc"
+	"repro/internal/device"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// MonteCarlo estimates operation error rates empirically by running the
+// bit-level simulator with TR fault injection at an inflated probability
+// (real rates of 1e-6 would need billions of trials) and counting wrong
+// results. The analytic model of this package is validated against it in
+// the tests.
+type MonteCarlo struct {
+	TRD    params.TRD
+	FaultP float64
+	Trials int
+	Seed   int64
+}
+
+// MCResult summarizes one estimated rate.
+type MCResult struct {
+	Op       string
+	Trials   int
+	Failures int
+}
+
+// Rate returns the observed failure fraction.
+func (r MCResult) Rate() float64 { return float64(r.Failures) / float64(r.Trials) }
+
+// newUnit builds a narrow faulty unit for one trial batch.
+func (m MonteCarlo) newUnit(seed int64) *pim.Unit {
+	cfg := params.DefaultConfig()
+	cfg.TRD = m.TRD
+	cfg.Geometry.TrackWidth = 8
+	u := pim.MustNewUnit(cfg)
+	u.D.SetFaultInjector(device.NewFaultInjector(m.FaultP, 0, seed))
+	return u
+}
+
+// RunXOR estimates the two-operand bulk XOR error rate per 8-bit row.
+func (m MonteCarlo) RunXOR() (MCResult, error) {
+	rng := rand.New(rand.NewSource(m.Seed))
+	res := MCResult{Op: "xor8", Trials: m.Trials}
+	u := m.newUnit(m.Seed + 1)
+	for t := 0; t < m.Trials; t++ {
+		a, b := randRow(8, rng), randRow(8, rng)
+		got, err := u.BulkBitwise(dbc.OpXOR, []dbc.Row{a, b})
+		if err != nil {
+			return res, err
+		}
+		for i := range got {
+			if got[i] != a[i]^b[i] {
+				res.Failures++
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunAdd estimates the 8-bit two-operand addition error rate.
+func (m MonteCarlo) RunAdd() (MCResult, error) {
+	rng := rand.New(rand.NewSource(m.Seed))
+	res := MCResult{Op: "add8", Trials: m.Trials}
+	u := m.newUnit(m.Seed + 2)
+	for t := 0; t < m.Trials; t++ {
+		av, bv := uint64(rng.Intn(256)), uint64(rng.Intn(256))
+		a := pim.MustPackLanes([]uint64{av}, 8, 8)
+		b := pim.MustPackLanes([]uint64{bv}, 8, 8)
+		got, err := u.AddMulti([]dbc.Row{a, b}, 8)
+		if err != nil {
+			return res, err
+		}
+		if pim.UnpackLanes(got, 8)[0] != (av+bv)&0xff {
+			res.Failures++
+		}
+	}
+	return res, nil
+}
+
+// RunAddNMR estimates the 8-bit addition error rate under N-modular
+// redundancy with voting on the same faulty unit.
+func (m MonteCarlo) RunAddNMR(n int) (MCResult, error) {
+	rng := rand.New(rand.NewSource(m.Seed))
+	res := MCResult{Op: "add8-nmr", Trials: m.Trials}
+	u := m.newUnit(m.Seed + 3)
+	for t := 0; t < m.Trials; t++ {
+		av, bv := uint64(rng.Intn(256)), uint64(rng.Intn(256))
+		a := pim.MustPackLanes([]uint64{av}, 8, 8)
+		b := pim.MustPackLanes([]uint64{bv}, 8, 8)
+		got, err := u.RunNMR(n, func() (dbc.Row, error) {
+			return u.AddMulti([]dbc.Row{a, b}, 8)
+		})
+		if err != nil {
+			return res, err
+		}
+		if pim.UnpackLanes(got, 8)[0] != (av+bv)&0xff {
+			res.Failures++
+		}
+	}
+	return res, nil
+}
+
+// MeasureMultTREvents runs one traced multiply per TRD and returns the
+// per-8-bit transverse-read event counts the analytic multiply model
+// consumes.
+func MeasureMultTREvents() map[params.TRD]int {
+	out := map[params.TRD]int{}
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		cfg := params.DefaultConfig()
+		cfg.TRD = trd
+		cfg.Geometry.TrackWidth = 16
+		u := pim.MustNewUnit(cfg)
+		if _, err := u.MultiplyValues([]uint64{201}, []uint64{57}, 8); err != nil {
+			panic(err)
+		}
+		out[trd] = u.Stats().TRWires
+	}
+	return out
+}
+
+func randRow(width int, rng *rand.Rand) dbc.Row {
+	r := make(dbc.Row, width)
+	for i := range r {
+		r[i] = uint8(rng.Intn(2))
+	}
+	return r
+}

@@ -1,0 +1,55 @@
+package reliability
+
+import "testing"
+
+func TestAddNMRPerStepBeatsEndVoting(t *testing.T) {
+	// §V-F: per-nanowire voting is well over an order of magnitude more
+	// reliable than end-of-add voting, because carry errors cannot
+	// accumulate across the serial chain.
+	p := DefaultTRFaultProb
+	end := AddNMREndRate(3, 8, p)
+	step := AddNMRPerStepRate(3, 8, p)
+	if ratio := end / step; ratio < 10 || ratio > 100 {
+		t.Errorf("end/per-step ratio = %.1f, want well over 10x", ratio)
+	}
+	if step > 1e-11 {
+		t.Errorf("per-step TMR rate %.2g above the 1e-11 class", step)
+	}
+}
+
+func TestAddNMRRatesScaleWithWidth(t *testing.T) {
+	p := DefaultTRFaultProb
+	if AddNMREndRate(3, 16, p) <= AddNMREndRate(3, 8, p) {
+		t.Error("end-vote rate must grow with width")
+	}
+	if AddNMRPerStepRate(3, 16, p) != 2*AddNMRPerStepRate(3, 8, p) {
+		t.Error("per-step rate must be linear in width")
+	}
+	// Wider words make the end-vote disadvantage worse (quadratic
+	// accumulation vs linear).
+	r8 := AddNMREndRate(3, 8, p) / AddNMRPerStepRate(3, 8, p)
+	r16 := AddNMREndRate(3, 16, p) / AddNMRPerStepRate(3, 16, p)
+	if r16 <= r8 {
+		t.Error("accumulation penalty should grow with width")
+	}
+}
+
+func TestAddNMRHigherNHelps(t *testing.T) {
+	p := DefaultTRFaultProb
+	if AddNMRPerStepRate(5, 8, p) >= AddNMRPerStepRate(3, 8, p) {
+		t.Error("N=5 per-step not below N=3")
+	}
+	if AddNMREndRate(5, 8, p) >= AddNMREndRate(3, 8, p) {
+		t.Error("N=5 end-vote not below N=3")
+	}
+}
+
+func TestTenYearTarget(t *testing.T) {
+	// §V-F: ">10 year error free runtime" needs ≤5e-18 per operation
+	// under N=5. With the per-step scheme, even the serial add clears
+	// the bar.
+	p := DefaultTRFaultProb
+	if got := AddNMRPerStepRate(5, 8, p); got > 5e-18 {
+		t.Errorf("N=5 per-step rate %.2g misses the 5e-18 target", got)
+	}
+}

@@ -1,0 +1,251 @@
+// Package reliability implements the §V-F fault analysis (Table V): the
+// transverse-read ±1-level fault model, analytic per-operation error
+// rates, the N-modular-redundancy uncorrectable-error combinatorics, and
+// a Monte-Carlo fault-injection harness that cross-checks the analytic
+// rates against the bit-level simulator.
+package reliability
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/params"
+)
+
+// DefaultTRFaultProb is the intrinsic probability that one transverse
+// read senses a level off by one (§V-F: circa 1e-6, derived from LLG
+// sense margins under 4% MTJ process variation).
+const DefaultTRFaultProb = 1e-6
+
+// Func identifies the PIM logic output whose error rate is analyzed.
+type Func int
+
+// Analyzed logic functions (Table V rows).
+const (
+	FuncANDOR Func = iota // AND, OR and C' share a single flip boundary
+	FuncXOR               // parity: every ±1 fault flips it
+	FuncC                 // carry: level bit 1
+)
+
+func (f Func) String() string {
+	switch f {
+	case FuncANDOR:
+		return "AND/OR/C'"
+	case FuncXOR:
+		return "XOR"
+	default:
+		return "C"
+	}
+}
+
+// flipPairs returns how many of the TRD adjacent level pairs (l, l+1)
+// change the function's output — the fraction of ±1 faults that corrupt
+// it under the paper's uniform-boundary model. For AND/OR/C' exactly one
+// boundary flips; for XOR every boundary does; for C the count follows
+// bit 1 of the level (1 for TRD=3, 2 for TRD=5, 3 for TRD=7).
+func flipPairs(f Func, trd params.TRD) int {
+	switch f {
+	case FuncANDOR:
+		return 1
+	case FuncXOR:
+		return int(trd)
+	default:
+		n := 0
+		for l := 0; l < int(trd); l++ {
+			if (l>>1)&1 != ((l+1)>>1)&1 {
+				n++
+			}
+		}
+		return n
+	}
+}
+
+// BitErrorRate returns the per-bit error probability of one sensed
+// output under TR fault probability p (Table V, upper block):
+// p × flipPairs/TRD. For TRD=7 this gives 1.4e-7 for AND/OR/C', 1e-6
+// for XOR, and 4.3e-7 for C, matching the paper.
+func BitErrorRate(f Func, trd params.TRD, p float64) float64 {
+	return p * float64(flipPairs(f, trd)) / float64(int(trd))
+}
+
+// AddErrorRate returns the probability that a b-bit addition is wrong:
+// the sum bit S is the level parity, so any of the b transverse reads'
+// faults corrupts the result (§V-F: 8e-6 for 8 bits at p=1e-6,
+// independent of TRD).
+func AddErrorRate(bits int, p float64) float64 {
+	return atLeastOnce(p, bits)
+}
+
+// MultiplyErrorRate returns the probability that a b-bit multiplication
+// is wrong, given the number of individual transverse reads the
+// choreography performs (each carries parity-critical information).
+// The TR count comes from the traced functional implementation; smaller
+// TRDs need more reduction rounds and therefore more TRs, reproducing
+// the Table V ordering (C3 worst).
+func MultiplyErrorRate(trEvents int, p float64) float64 {
+	return atLeastOnce(p, trEvents)
+}
+
+// NModular returns the probability that N-modular redundancy produces an
+// uncorrectable error for a value of the given width, where q is the
+// per-bit error rate of one replica, p the TR fault probability and trd
+// the voting window:
+//
+//   - m = ⌈N/2⌉ replicas must be wrong in the same bit position, agreeing
+//     on the erroneous value (±1-level faults agree with probability 1/4
+//     per additional faulty replica — calibrated against Table V's TMR
+//     add row);
+//   - or a replica fault coincides with a fault in sensing the majority
+//     itself (the C' circuit, one flip boundary).
+func NModular(n int, q, p float64, trd params.TRD, bits int) float64 {
+	if n != 3 && n != 5 && n != 7 {
+		panic(fmt.Sprintf("reliability: unsupported redundancy degree %d", n))
+	}
+	m := (n + 1) / 2
+	replicas := binom(n, m) * math.Pow(q, float64(m)) * math.Pow(0.25, float64(m-1))
+	// The vote-sense fault counts as one of the m required coinciding
+	// faults (§III-F: "a fault in one of A, B, and C and a fault in
+	// sensing C'"), not as a standalone failure.
+	voteFault := binom(n, m-1) * math.Pow(q, float64(m-1)) *
+		(p / float64(int(trd))) * math.Pow(0.25, float64(m-1))
+	perBit := replicas + voteFault
+	return atLeastOnce(perBit, bits)
+}
+
+// AddNMREndRate returns the uncorrectable-error probability of a b-bit
+// addition protected by voting once at the end (§V-F): a replica's bit j
+// is wrong whenever any of the j+1 transverse reads feeding it (its own
+// plus the carry chain behind it) faulted, so replica bit-error rates
+// grow along the word and the replicas must disagree only where the
+// accumulated errors coincide.
+func AddNMREndRate(n, bits int, p float64) float64 {
+	total := 0.0
+	m := (n + 1) / 2
+	for j := 1; j <= bits; j++ {
+		q := float64(j) * p // accumulated susceptibility of bit j-1
+		total += binom(n, m) * math.Pow(q, float64(m)) * math.Pow(0.25, float64(m-1))
+	}
+	return total
+}
+
+// AddNMRPerStepRate returns the uncorrectable-error probability when
+// each bit position's S/C/C' is voted before the carry chain advances
+// (§III-F's per-nanowire voting): every step is an independent vote of
+// single-TR replicas, so no error accumulation occurs. The paper quotes
+// a "nearly two orders of magnitude lower fault rate" than end-of-add
+// TMR; our accumulation model gives AddNMREndRate/AddNMRPerStepRate =
+// Σj²/b ≈ 25× for 8 bits — the same direction, somewhat smaller because
+// the paper's end-vote figure additionally counts write-path exposure
+// we fold elsewhere. Both orderings are asserted by tests.
+func AddNMRPerStepRate(n, bits int, p float64) float64 {
+	m := (n + 1) / 2
+	perStep := binom(n, m) * math.Pow(p, float64(m)) * math.Pow(0.25, float64(m-1))
+	return float64(bits) * perStep
+}
+
+// atLeastOnce returns 1−(1−q)^n, switching to the n·q series term when
+// q is too small for the direct form to survive float64 rounding.
+func atLeastOnce(q float64, n int) float64 {
+	if q < 1e-9 {
+		return float64(n) * q
+	}
+	return 1 - math.Pow(1-q, float64(n))
+}
+
+// binom returns the binomial coefficient C(n, k).
+func binom(n, k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// TableVRow is one operation's reliability across the TRD variants.
+type TableVRow struct {
+	Name string
+	C3   float64
+	C5   float64
+	C7   float64
+}
+
+// multTREvents is the traced per-8-bit-multiply transverse-read count of
+// the functional implementation for each TRD (see the pim package
+// tests); smaller windows need more reduction rounds.
+var multTREvents = map[params.TRD]int{
+	params.TRD3: 112,
+	params.TRD5: 64,
+	params.TRD7: 32,
+}
+
+// SetMultTREvents overrides the traced multiply TR counts (used by the
+// experiments harness to feed in the live simulator measurement).
+func SetMultTREvents(m map[params.TRD]int) {
+	for k, v := range m {
+		multTREvents[k] = v
+	}
+}
+
+// TableV computes the Table V upper block (intrinsic rates) for the
+// given TR fault probability.
+func TableV(p float64) []TableVRow {
+	per := func(f Func) TableVRow {
+		return TableVRow{
+			Name: f.String() + " (per bit)",
+			C3:   BitErrorRate(f, params.TRD3, p),
+			C5:   BitErrorRate(f, params.TRD5, p),
+			C7:   BitErrorRate(f, params.TRD7, p),
+		}
+	}
+	add := AddErrorRate(8, p)
+	return []TableVRow{
+		per(FuncANDOR),
+		per(FuncXOR),
+		per(FuncC),
+		{Name: "add (per 8 bits)", C3: add, C5: add, C7: add},
+		{
+			Name: "multiply (per 8 bits)",
+			C3:   MultiplyErrorRate(multTREvents[params.TRD3], p),
+			C5:   MultiplyErrorRate(multTREvents[params.TRD5], p),
+			C7:   MultiplyErrorRate(multTREvents[params.TRD7], p),
+		},
+	}
+}
+
+// TableVNMR computes the Table V lower block: 8-bit uncorrectable-error
+// rates under N ∈ {3,5,7}-modular redundancy for each function, per TRD
+// variant (N ≤ TRD).
+type NMRRow struct {
+	Name string
+	// Rate[n][trd] is the uncorrectable probability; absent
+	// combinations (n > trd) are NaN.
+	Rate map[int]map[params.TRD]float64
+}
+
+// TableVNMRRows returns the redundancy block for probability p.
+func TableVNMRRows(p float64) []NMRRow {
+	trds := []params.TRD{params.TRD3, params.TRD5, params.TRD7}
+	mk := func(name string, q func(params.TRD) float64) NMRRow {
+		row := NMRRow{Name: name, Rate: map[int]map[params.TRD]float64{}}
+		for _, n := range []int{3, 5, 7} {
+			row.Rate[n] = map[params.TRD]float64{}
+			for _, trd := range trds {
+				if n > int(trd) {
+					row.Rate[n][trd] = math.NaN()
+					continue
+				}
+				row.Rate[n][trd] = NModular(n, q(trd), p, trd, 8)
+			}
+		}
+		return row
+	}
+	return []NMRRow{
+		mk("AND, OR, C' (8-bit)", func(t params.TRD) float64 { return BitErrorRate(FuncANDOR, t, p) }),
+		mk("XOR (8-bit)", func(t params.TRD) float64 { return BitErrorRate(FuncXOR, t, p) }),
+		mk("C (8-bit)", func(t params.TRD) float64 { return BitErrorRate(FuncC, t, p) }),
+		mk("add (8-bit)", func(params.TRD) float64 { return AddErrorRate(8, p) / 8 }),
+		mk("multiply (8-bit)", func(t params.TRD) float64 {
+			return MultiplyErrorRate(multTREvents[t], p) / 8
+		}),
+	}
+}

@@ -1,0 +1,175 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/params"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.3g, want ≈%.3g", name, got, want)
+	}
+}
+
+func TestBitErrorRatesMatchTableV(t *testing.T) {
+	p := DefaultTRFaultProb
+	// Table V upper block.
+	approx(t, "AND/OR/C' C3", BitErrorRate(FuncANDOR, params.TRD3, p), 3.3e-7, 0.02)
+	approx(t, "AND/OR/C' C5", BitErrorRate(FuncANDOR, params.TRD5, p), 2.0e-7, 0.02)
+	approx(t, "AND/OR/C' C7", BitErrorRate(FuncANDOR, params.TRD7, p), 1.4e-7, 0.03)
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		approx(t, "XOR "+trd.String(), BitErrorRate(FuncXOR, trd, p), 1.0e-6, 0.01)
+	}
+	approx(t, "C C3", BitErrorRate(FuncC, params.TRD3, p), 3.3e-7, 0.02)
+	approx(t, "C C5", BitErrorRate(FuncC, params.TRD5, p), 4.0e-7, 0.01)
+	approx(t, "C C7", BitErrorRate(FuncC, params.TRD7, p), 4.3e-7, 0.01)
+}
+
+func TestAddErrorRateMatchesTableV(t *testing.T) {
+	approx(t, "add8", AddErrorRate(8, DefaultTRFaultProb), 8.0e-6, 0.01)
+}
+
+func TestMultiplyErrorOrdering(t *testing.T) {
+	// Table V: multiply error is worst for C3 and best for C7.
+	p := DefaultTRFaultProb
+	rows := TableV(p)
+	var mult TableVRow
+	for _, r := range rows {
+		if r.Name == "multiply (per 8 bits)" {
+			mult = r
+		}
+	}
+	if !(mult.C3 > mult.C5 && mult.C5 > mult.C7) {
+		t.Errorf("multiply rates not ordered C3 > C5 > C7: %+v", mult)
+	}
+	if mult.C7 < 1e-5/8 || mult.C3 > 1e-3 {
+		t.Errorf("multiply rates out of Table V's order of magnitude: %+v", mult)
+	}
+}
+
+func TestMeasuredMultTREventsFeedTheModel(t *testing.T) {
+	events := MeasureMultTREvents()
+	if !(events[params.TRD3] > events[params.TRD5] && events[params.TRD5] > events[params.TRD7]) {
+		t.Errorf("TR event counts not decreasing with TRD: %v", events)
+	}
+	SetMultTREvents(events)
+	rows := TableV(DefaultTRFaultProb)
+	for _, r := range rows {
+		if r.Name == "multiply (per 8 bits)" && !(r.C3 > r.C7) {
+			t.Errorf("after live measurement, multiply ordering broken: %+v", r)
+		}
+	}
+}
+
+func TestNModularTMRAdd(t *testing.T) {
+	// Table V: TMR brings the 8-bit add from 8e-6 to circa 5.6e-12.
+	p := DefaultTRFaultProb
+	q := AddErrorRate(8, p) / 8
+	got := NModular(3, q, p, params.TRD7, 8)
+	if got < 1e-12 || got > 2e-11 {
+		t.Errorf("TMR add = %.3g, want circa 5.6e-12", got)
+	}
+}
+
+func TestNModularScaling(t *testing.T) {
+	p := DefaultTRFaultProb
+	q := 1e-6
+	tmr := NModular(3, q, p, params.TRD7, 8)
+	n5 := NModular(5, q, p, params.TRD7, 8)
+	n7 := NModular(7, q, p, params.TRD7, 8)
+	if !(tmr > n5 && n5 > n7) {
+		t.Errorf("NMR rates not decreasing with N: %g %g %g", tmr, n5, n7)
+	}
+	// §V-F: N=5 achieves ≤ 5e-18-class rates for >10-year error-free
+	// operation.
+	if n5 > 1e-16 {
+		t.Errorf("N=5 rate %.3g too high for the >10-year target", n5)
+	}
+}
+
+func TestNModularMonotoneInQ(t *testing.T) {
+	p := DefaultTRFaultProb
+	lo := NModular(3, 1e-8, p, params.TRD7, 8)
+	hi := NModular(3, 1e-5, p, params.TRD7, 8)
+	if lo >= hi {
+		t.Errorf("NMR not monotone in replica error rate: %g vs %g", lo, hi)
+	}
+}
+
+func TestNModularRejectsBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("N=4 accepted")
+		}
+	}()
+	NModular(4, 1e-6, 1e-6, params.TRD7, 8)
+}
+
+func TestTableVRows(t *testing.T) {
+	rows := TableV(DefaultTRFaultProb)
+	if len(rows) != 5 {
+		t.Fatalf("TableV rows = %d, want 5", len(rows))
+	}
+	nmr := TableVNMRRows(DefaultTRFaultProb)
+	if len(nmr) != 5 {
+		t.Fatalf("NMR rows = %d, want 5", len(nmr))
+	}
+	for _, r := range nmr {
+		if !math.IsNaN(r.Rate[5][params.TRD3]) || !math.IsNaN(r.Rate[7][params.TRD5]) {
+			t.Errorf("%s: N > TRD combinations must be absent", r.Name)
+		}
+		if math.IsNaN(r.Rate[3][params.TRD3]) || math.IsNaN(r.Rate[7][params.TRD7]) {
+			t.Errorf("%s: valid combinations missing", r.Name)
+		}
+	}
+}
+
+func TestMonteCarloMatchesAnalyticXOR(t *testing.T) {
+	// At an inflated fault probability the observed XOR row error rate
+	// must track 1-(1-p)^8 (each of 8 wires senses once; every ±1 fault
+	// flips the parity).
+	mc := MonteCarlo{TRD: params.TRD7, FaultP: 0.01, Trials: 4000, Seed: 7}
+	res, err := mc.RunXOR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(1-0.01, 8)
+	got := res.Rate()
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("MC XOR rate %.4f, analytic %.4f", got, want)
+	}
+}
+
+func TestMonteCarloMatchesAnalyticAdd(t *testing.T) {
+	mc := MonteCarlo{TRD: params.TRD7, FaultP: 0.005, Trials: 4000, Seed: 11}
+	res, err := mc.RunAdd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AddErrorRate(8, 0.005)
+	got := res.Rate()
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("MC add rate %.4f, analytic %.4f", got, want)
+	}
+}
+
+func TestMonteCarloNMRImproves(t *testing.T) {
+	mc := MonteCarlo{TRD: params.TRD7, FaultP: 0.01, Trials: 1500, Seed: 13}
+	plain, err := mc.RunAdd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := mc.RunAddNMR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Failures == 0 {
+		t.Skip("no baseline failures at this seed")
+	}
+	if protected.Rate() >= plain.Rate() {
+		t.Errorf("TMR rate %.4f not below unprotected %.4f", protected.Rate(), plain.Rate())
+	}
+}

@@ -1,0 +1,206 @@
+package bitmapidx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dbc"
+	"repro/internal/mem"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+func testSystem() *mem.System {
+	return mem.NewSystem(params.DefaultConfig())
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Error("set/get broken")
+	}
+	if b.Popcount() != 3 {
+		t.Errorf("popcount = %d, want 3", b.Popcount())
+	}
+}
+
+func TestStoreDeterministic(t *testing.T) {
+	a := NewStore(1000, 4, 7)
+	b := NewStore(1000, 4, 7)
+	ra, _ := a.Reference(3)
+	rb, _ := b.Reference(3)
+	if ra != rb {
+		t.Error("store not deterministic for equal seeds")
+	}
+}
+
+func TestReferenceCountsByHand(t *testing.T) {
+	s := &Store{Users: 8, Male: NewBitmap(8), Weeks: []Bitmap{NewBitmap(8), NewBitmap(8)}}
+	for _, i := range []int{0, 1, 2, 3} {
+		s.Male.Set(i)
+	}
+	for _, i := range []int{1, 2, 5} {
+		s.Weeks[0].Set(i)
+	}
+	for _, i := range []int{2, 3, 5} {
+		s.Weeks[1].Set(i)
+	}
+	got, err := s.Reference(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 { // only user 2 is male and active both weeks
+		t.Errorf("reference = %d, want 1", got)
+	}
+}
+
+func TestAllEnginesAgree(t *testing.T) {
+	sys := testSystem()
+	s := NewStore(4096, 4, 99)
+	for w := 1; w <= 4; w++ {
+		ref, err := s.Reference(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := Query(s, w, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 4 {
+			t.Fatalf("w=%d: %d engines, want 4", w, len(results))
+		}
+		for _, r := range results {
+			if r.Count != ref {
+				t.Errorf("w=%d %s count = %d, want %d", w, r.Engine, r.Count, ref)
+			}
+			if r.LatencyNS <= 0 {
+				t.Errorf("w=%d %s non-positive latency", w, r.Engine)
+			}
+		}
+	}
+}
+
+func TestQueryOnPIMUnit(t *testing.T) {
+	// Cross-check the CORUSCANT engine semantics on the real bit-level
+	// simulator: a store slice ANDed through BulkBitwise must match the
+	// reference count.
+	s := NewStore(256, 2, 5)
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 256
+	u := pim.MustNewUnit(cfg)
+	ops, err := s.operandRows(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]dbc.Row, len(ops))
+	for i, o := range ops {
+		rows[i] = unpack(o, s.Users)
+	}
+	res, err := u.BulkBitwise(dbc.OpAND, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Reference(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRow(res); got != ref {
+		t.Errorf("PIM-unit count = %d, want %d", got, ref)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	// The headline: CORUSCANT stays nearly flat in the criteria count
+	// while the DRAM PIMs grow linearly, yielding the 1.6×/2.2×/3.4×
+	// ELP²IM speedups (±30%).
+	sys := testSystem()
+	s := NewStore(1<<24, 4, 1)
+	want := map[int]float64{2: 1.6, 3: 2.2, 4: 3.4}
+	var prevCor float64
+	for w := 2; w <= 4; w++ {
+		results, err := Query(s, w, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elp, cor, amb float64
+		for _, r := range results {
+			switch r.Engine {
+			case "ELP2IM":
+				elp = r.LatencyNS
+			case "Ambit":
+				amb = r.LatencyNS
+			case "CORUSCANT":
+				cor = r.LatencyNS
+			}
+		}
+		ratio := elp / cor
+		if ratio < want[w]*0.7 || ratio > want[w]*1.3 {
+			t.Errorf("w=%d: speedup over ELP2IM %.2f, want ≈%.1f", w, ratio, want[w])
+		}
+		if amb <= elp {
+			t.Errorf("w=%d: Ambit should be slower than ELP2IM", w)
+		}
+		if prevCor != 0 && cor != prevCor {
+			t.Errorf("w=%d: CORUSCANT latency changed with criteria count (%.0f vs %.0f ns)", w, cor, prevCor)
+		}
+		prevCor = cor
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	sys := testSystem()
+	s := NewStore(100, 2, 1)
+	if _, err := s.Reference(5); err == nil {
+		t.Error("out-of-range week accepted")
+	}
+	if _, err := QueryCoruscant(s, 0, sys); err == nil {
+		t.Error("w=0 accepted")
+	}
+	// More criteria than the TR window.
+	cfg := params.DefaultConfig()
+	cfg.TRD = params.TRD3
+	small := mem.NewSystem(cfg)
+	s4 := NewStore(100, 4, 1)
+	if _, err := QueryCoruscant(s4, 4, small); err == nil {
+		t.Error("5 criteria on TRD=3 accepted")
+	}
+}
+
+func TestPopcountProperty(t *testing.T) {
+	check := func(words [4]uint64) bool {
+		b := Bitmap(words[:])
+		n := 0
+		for i := 0; i < 256; i++ {
+			if b.Get(i) {
+				n++
+			}
+		}
+		return n == b.Popcount()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := NewBitmap(200)
+	for i := 0; i < 200; i++ {
+		if rng.Intn(2) == 1 {
+			b.Set(i)
+		}
+	}
+	row := unpack(b, 200)
+	if countRow(row) != b.Popcount() {
+		t.Error("unpack changed the popcount")
+	}
+	for i := 0; i < 200; i++ {
+		if (row[i] == 1) != b.Get(i) {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package bitmapidx
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/params"
+)
+
+// Boolean query expressions over the store's bitmaps — the general form
+// of the §V-D experiment. CORUSCANT collapses every ≤TRD-ary AND/OR/XOR
+// node into a single transverse read, while two-operand DRAM PIM engines
+// chain k−1 passes per node; Plan quantifies exactly that gap.
+
+// Expr is a boolean query over user bitmaps.
+type Expr interface {
+	eval(s *Store) (Bitmap, error)
+	// arity walks the tree collecting per-node operand counts.
+	arity(counts *[]int)
+	String() string
+}
+
+// Male selects the gender bitmap.
+func Male() Expr {
+	return leaf{name: "male", get: func(s *Store) (Bitmap, error) { return s.Male, nil }}
+}
+
+// Week selects week i's activity bitmap.
+func Week(i int) Expr {
+	return leaf{
+		name: fmt.Sprintf("week%d", i),
+		get: func(s *Store) (Bitmap, error) {
+			if i < 0 || i >= len(s.Weeks) {
+				return nil, fmt.Errorf("bitmapidx: week %d outside store", i)
+			}
+			return s.Weeks[i], nil
+		},
+	}
+}
+
+type leaf struct {
+	name string
+	get  func(*Store) (Bitmap, error)
+}
+
+func (l leaf) eval(s *Store) (Bitmap, error) { return l.get(s) }
+func (l leaf) arity(*[]int)                  {}
+func (l leaf) String() string                { return l.name }
+
+type nary struct {
+	op   string // "and", "or", "xor"
+	args []Expr
+}
+
+// And combines sub-queries conjunctively.
+func And(args ...Expr) Expr { return nary{op: "and", args: args} }
+
+// Or combines sub-queries disjunctively.
+func Or(args ...Expr) Expr { return nary{op: "or", args: args} }
+
+// Xor combines sub-queries by parity.
+func Xor(args ...Expr) Expr { return nary{op: "xor", args: args} }
+
+// Not negates a sub-query.
+func Not(arg Expr) Expr { return negate{arg} }
+
+type negate struct{ arg Expr }
+
+func (n negate) eval(s *Store) (Bitmap, error) {
+	b, err := n.arg.eval(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make(Bitmap, len(b))
+	for i, w := range b {
+		out[i] = ^w
+	}
+	// Mask bits beyond the user count.
+	if extra := len(out)*64 - s.Users; extra > 0 {
+		out[len(out)-1] &= ^uint64(0) >> uint(extra)
+	}
+	return out, nil
+}
+
+func (n negate) arity(counts *[]int) {
+	*counts = append(*counts, 1)
+	n.arg.arity(counts)
+}
+func (n negate) String() string { return "not(" + n.arg.String() + ")" }
+
+func (n nary) eval(s *Store) (Bitmap, error) {
+	if len(n.args) == 0 {
+		return nil, fmt.Errorf("bitmapidx: empty %s", n.op)
+	}
+	first, err := n.args[0].eval(s)
+	if err != nil {
+		return nil, err
+	}
+	acc := make(Bitmap, len(first))
+	copy(acc, first)
+	for _, a := range n.args[1:] {
+		b, err := a.eval(s)
+		if err != nil {
+			return nil, err
+		}
+		for i := range acc {
+			switch n.op {
+			case "and":
+				acc[i] &= b[i]
+			case "or":
+				acc[i] |= b[i]
+			default:
+				acc[i] ^= b[i]
+			}
+		}
+	}
+	return acc, nil
+}
+
+func (n nary) arity(counts *[]int) {
+	*counts = append(*counts, len(n.args))
+	for _, a := range n.args {
+		a.arity(counts)
+	}
+}
+
+func (n nary) String() string {
+	parts := make([]string, len(n.args))
+	for i, a := range n.args {
+		parts[i] = a.String()
+	}
+	return n.op + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Plan summarizes how many full-bitmap passes each engine needs for the
+// query: CORUSCANT serves a k-ary node with ⌈(k−1)/(TRD−1)⌉ multi-operand
+// passes (each pass folds up to TRD operands, one slot carrying the
+// running result after the first); a two-operand engine needs k−1.
+// Negations are free on CORUSCANT (the NOR/NAND/XNOR outputs of the same
+// sense, §III-B) but cost a pass (DCC copy) on Ambit-style engines.
+type Plan struct {
+	Query           string
+	CoruscantPasses int
+	TwoOpPasses     int
+}
+
+// PlanQuery analyses an expression for the given TRD.
+func PlanQuery(e Expr, trd params.TRD) Plan {
+	var counts []int
+	e.arity(&counts)
+	p := Plan{Query: e.String()}
+	for _, k := range counts {
+		if k == 1 { // negation
+			p.TwoOpPasses++
+			continue
+		}
+		per := int(trd) - 1
+		p.CoruscantPasses += (k - 2 + per) / per
+		p.TwoOpPasses += k - 1
+	}
+	if p.CoruscantPasses == 0 && p.TwoOpPasses == 0 {
+		// Bare leaf: a single read either way.
+		p.CoruscantPasses, p.TwoOpPasses = 1, 1
+	}
+	return p
+}
+
+// Count evaluates the query and returns the matching-user count (the
+// ground-truth result every engine must reproduce).
+func Count(s *Store, e Expr) (int, error) {
+	b, err := e.eval(s)
+	if err != nil {
+		return 0, err
+	}
+	return b.Popcount(), nil
+}

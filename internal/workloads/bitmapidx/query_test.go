@@ -1,0 +1,146 @@
+package bitmapidx
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+func queryStore(t *testing.T) *Store {
+	t.Helper()
+	return NewStore(2048, 6, 5)
+}
+
+func TestQueryAndMatchesReference(t *testing.T) {
+	s := queryStore(t)
+	// The §V-D query expressed as an expression tree.
+	e := And(Male(), Week(0), Week(1))
+	got, err := Count(s, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Reference(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestQueryCombinators(t *testing.T) {
+	s := queryStore(t)
+	// Verify against direct bit math for a compound query:
+	// male AND (week0 OR week1) AND NOT week2.
+	e := And(Male(), Or(Week(0), Week(1)), Not(Week(2)))
+	got, err := Count(s, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < s.Users; i++ {
+		if s.Male.Get(i) && (s.Weeks[0].Get(i) || s.Weeks[1].Get(i)) && !s.Weeks[2].Get(i) {
+			want++
+		}
+	}
+	if got != want {
+		t.Errorf("compound query = %d, want %d", got, want)
+	}
+}
+
+func TestQueryDeMorgan(t *testing.T) {
+	// NOT(a AND b) must equal NOT a OR NOT b on every store.
+	s := queryStore(t)
+	lhs, err := Count(s, Not(And(Male(), Week(0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := Count(s, Or(Not(Male()), Not(Week(0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lhs != rhs {
+		t.Errorf("De Morgan violated: %d vs %d", lhs, rhs)
+	}
+}
+
+func TestQueryXor(t *testing.T) {
+	s := queryStore(t)
+	got, err := Count(s, Xor(Week(0), Week(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < s.Users; i++ {
+		if s.Weeks[0].Get(i) != s.Weeks[1].Get(i) {
+			want++
+		}
+	}
+	if got != want {
+		t.Errorf("xor query = %d, want %d", got, want)
+	}
+}
+
+func TestQueryNotMasksTailBits(t *testing.T) {
+	// A store whose size is not a multiple of 64 must not count ghost
+	// users beyond the population after a NOT.
+	s := NewStore(100, 1, 9)
+	got, err := Count(s, Or(Not(Male()), Male()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("NOT leaked tail bits: universe = %d, want 100", got)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	s := queryStore(t)
+	if _, err := Count(s, Week(99)); err == nil {
+		t.Error("out-of-range week accepted")
+	}
+	if _, err := Count(s, And()); err == nil {
+		t.Error("empty AND accepted")
+	}
+}
+
+func TestPlanQueryPassCounts(t *testing.T) {
+	// The §V-D structural claim: a 5-ary AND is one CORUSCANT pass but
+	// four two-operand passes.
+	e := And(Male(), Week(0), Week(1), Week(2), Week(3))
+	p := PlanQuery(e, params.TRD7)
+	if p.CoruscantPasses != 1 {
+		t.Errorf("CORUSCANT passes = %d, want 1", p.CoruscantPasses)
+	}
+	if p.TwoOpPasses != 4 {
+		t.Errorf("two-op passes = %d, want 4", p.TwoOpPasses)
+	}
+	// On TRD=3 the same query folds 2 operands per pass: ceil(4/2) = 2.
+	p3 := PlanQuery(e, params.TRD3)
+	if p3.CoruscantPasses != 2 {
+		t.Errorf("TRD=3 passes = %d, want 2", p3.CoruscantPasses)
+	}
+}
+
+func TestPlanQueryCompound(t *testing.T) {
+	e := And(Male(), Or(Week(0), Week(1), Week(2)), Not(Week(3)))
+	p := PlanQuery(e, params.TRD7)
+	// Nodes: and(3-ary) = 1 pass, or(3-ary) = 1 pass, not = 0 extra.
+	if p.CoruscantPasses != 2 {
+		t.Errorf("CORUSCANT passes = %d, want 2", p.CoruscantPasses)
+	}
+	// Two-op: and 2 + or 2 + not 1 = 5.
+	if p.TwoOpPasses != 5 {
+		t.Errorf("two-op passes = %d, want 5", p.TwoOpPasses)
+	}
+	if p.Query == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestPlanQueryLeaf(t *testing.T) {
+	p := PlanQuery(Male(), params.TRD7)
+	if p.CoruscantPasses != 1 || p.TwoOpPasses != 1 {
+		t.Errorf("bare leaf plan = %+v", p)
+	}
+}

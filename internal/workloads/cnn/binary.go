@@ -1,0 +1,101 @@
+package cnn
+
+import (
+	"fmt"
+
+	"repro/internal/dbc"
+	"repro/internal/pim"
+)
+
+// BinaryConv is a NID-style [44] binary-weight convolution (§V-E's BWN
+// mode) executed bit-exactly on the PIM unit: activations and weights
+// are single bits, point-wise multiplication degenerates to XNOR, and
+// the accumulation is a popcount realized with the large-cardinality
+// adder. The output bit is the sign of popcount − K²/2 (majority).
+type BinaryConv struct {
+	Kernel [3][3]uint8 // weights in {0,1}; 0 encodes −1
+}
+
+// InferRef computes the reference output for a binary image (valid
+// padding): out = 1 iff the XNOR popcount exceeds half the taps.
+func (b *BinaryConv) InferRef(img [][]uint8) [][]uint8 {
+	h, w := len(img)-2, len(img[0])-2
+	out := make([][]uint8, h)
+	for y := 0; y < h; y++ {
+		out[y] = make([]uint8, w)
+		for x := 0; x < w; x++ {
+			pop := 0
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					if img[y+ky][x+kx] == b.Kernel[ky][kx] { // XNOR
+						pop++
+					}
+				}
+			}
+			if pop > 4 {
+				out[y][x] = 1
+			}
+		}
+	}
+	return out
+}
+
+// InferPIM runs the same convolution on the PIM unit: one XNOR bulk
+// operation per tap (bit-parallel across output pixels), a 9-operand
+// popcount through AddLarge, and the majority threshold from the lane
+// comparison.
+func (b *BinaryConv) InferPIM(u *pim.Unit, img [][]uint8) ([][]uint8, error) {
+	h, w := len(img)-2, len(img[0])-2
+	if h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("cnn: image too small for a 3x3 kernel")
+	}
+	const lane = 8 // popcount of 9 fits in 8 bits with headroom
+	lanes := u.Width() / lane
+	out := make([][]uint8, h)
+	for y := range out {
+		out[y] = make([]uint8, w)
+	}
+	pixels := make([][2]int, 0, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pixels = append(pixels, [2]int{y, x})
+		}
+	}
+	for start := 0; start < len(pixels); start += lanes {
+		batch := pixels[start:min(start+lanes, len(pixels))]
+		// One row per tap: bit 0 of each lane holds the tap's XNOR.
+		tapRows := make([]dbc.Row, 0, 9)
+		for ky := 0; ky < 3; ky++ {
+			for kx := 0; kx < 3; kx++ {
+				acts := make(dbc.Row, u.Width())
+				wgts := make(dbc.Row, u.Width())
+				for i, p := range batch {
+					acts[i*lane] = img[p[0]+ky][p[1]+kx]
+					wgts[i*lane] = b.Kernel[ky][kx]
+				}
+				xnor, err := u.BulkBitwise(dbc.OpXNOR, []dbc.Row{acts, wgts})
+				if err != nil {
+					return nil, err
+				}
+				// Mask to the lanes' bit 0 (the XNOR of the padding
+				// positions is 1 and must not pollute the popcount).
+				row := make(dbc.Row, u.Width())
+				for i := range batch {
+					row[i*lane] = xnor[i*lane]
+				}
+				tapRows = append(tapRows, row)
+			}
+		}
+		pop, err := u.AddLarge(tapRows, lane)
+		if err != nil {
+			return nil, err
+		}
+		counts := pim.UnpackLanes(pop, lane)
+		for i, p := range batch {
+			if counts[i] > 4 {
+				out[p[0]][p[1]] = 1
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package cnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+func TestBinaryConvMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		cfg := params.DefaultConfig()
+		cfg.TRD = trd
+		cfg.Geometry.TrackWidth = 128
+		u := pim.MustNewUnit(cfg)
+		conv := &BinaryConv{Kernel: [3][3]uint8{{1, 0, 1}, {0, 1, 0}, {1, 0, 1}}}
+		img := make([][]uint8, 8)
+		for y := range img {
+			img[y] = make([]uint8, 8)
+			for x := range img[y] {
+				img[y][x] = uint8(rng.Intn(2))
+			}
+		}
+		want := conv.InferRef(img)
+		got, err := conv.InferPIM(u, img)
+		if err != nil {
+			t.Fatalf("%v: %v", trd, err)
+		}
+		for y := range want {
+			for x := range want[y] {
+				if got[y][x] != want[y][x] {
+					t.Errorf("%v: out[%d][%d] = %d, want %d", trd, y, x, got[y][x], want[y][x])
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryConvAllOnes(t *testing.T) {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	u := pim.MustNewUnit(cfg)
+	conv := &BinaryConv{Kernel: [3][3]uint8{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}}
+	img := make([][]uint8, 4)
+	for y := range img {
+		img[y] = []uint8{1, 1, 1, 1}
+	}
+	got, err := conv.InferPIM(u, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := range got {
+		for x := range got[y] {
+			if got[y][x] != 1 { // all taps match: popcount 9 > 4
+				t.Errorf("out[%d][%d] = %d, want 1", y, x, got[y][x])
+			}
+		}
+	}
+}
+
+func TestBinaryConvTooSmall(t *testing.T) {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	u := pim.MustNewUnit(cfg)
+	conv := &BinaryConv{}
+	if _, err := conv.InferPIM(u, [][]uint8{{1, 1}, {1, 1}}); err == nil {
+		t.Error("2x2 image accepted for a 3x3 kernel")
+	}
+}

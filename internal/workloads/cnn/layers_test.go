@@ -1,0 +1,152 @@
+package cnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+func layerUnit(t *testing.T, trd params.TRD) *pim.Unit {
+	t.Helper()
+	cfg := params.DefaultConfig()
+	cfg.TRD = trd
+	cfg.Geometry.TrackWidth = 256
+	return pim.MustNewUnit(cfg)
+}
+
+func randTensor(c, h, w int, rng *rand.Rand) Tensor3 {
+	t := NewTensor3(c, h, w)
+	for ch := range t {
+		for y := range t[ch] {
+			for x := range t[ch][y] {
+				t[ch][y][x] = rng.Intn(16)
+			}
+		}
+	}
+	return t
+}
+
+func assertEqual(t *testing.T, got, want Tensor3, context string) {
+	t.Helper()
+	gc, gh, gw := got.Dims()
+	wc, wh, ww := want.Dims()
+	if gc != wc || gh != wh || gw != ww {
+		t.Fatalf("%s: dims (%d,%d,%d) vs (%d,%d,%d)", context, gc, gh, gw, wc, wh, ww)
+	}
+	for c := range want {
+		for y := range want[c] {
+			for x := range want[c][y] {
+				if got[c][y][x] != want[c][y][x] {
+					t.Fatalf("%s: [%d][%d][%d] = %d, want %d",
+						context, c, y, x, got[c][y][x], want[c][y][x])
+				}
+			}
+		}
+	}
+}
+
+func TestConvLayerMultiChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	u := layerUnit(t, params.TRD7)
+	layer := &ConvLayer{
+		W: [][][3][3]int{
+			{{{1, 0, -1}, {2, 0, -2}, {1, 0, -1}}, {{0, 1, 0}, {1, -4, 1}, {0, 1, 0}}},
+			{{{-1, -1, -1}, {-1, 8, -1}, {-1, -1, -1}}, {{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}},
+		},
+		B: []int{3, -5},
+	}
+	x := randTensor(2, 6, 6, rng)
+	got, err := layer.Forward(u, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, got, layer.ForwardRef(x), "2-in 2-out conv")
+}
+
+func TestPoolLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	u := layerUnit(t, params.TRD7)
+	x := randTensor(3, 4, 6, rng)
+	var pool PoolLayer
+	got, err := pool.Forward(u, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, got, pool.ForwardRef(x), "3-channel pool")
+}
+
+func TestFCLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	u := layerUnit(t, params.TRD7)
+	const in, out = 12, 5
+	layer := &FCLayer{W: make([][]int, out), B: make([]int, out)}
+	for j := range layer.W {
+		layer.W[j] = make([]int, in)
+		for i := range layer.W[j] {
+			layer.W[j][i] = rng.Intn(9) - 4
+		}
+		layer.B[j] = rng.Intn(21) - 10
+	}
+	x := randTensor(3, 2, 2, rng)
+	got, err := layer.Forward(u, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, got, layer.ForwardRef(x), "fc 12->5")
+}
+
+func TestSequentialEndToEnd(t *testing.T) {
+	// A LeNet-shaped micro network: conv(1→2) → pool → fc, running
+	// entirely on the PIM unit across all TRD variants.
+	rng := rand.New(rand.NewSource(103))
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		u := layerUnit(t, trd)
+		conv := &ConvLayer{
+			W: [][][3][3]int{
+				{{{1, 2, 1}, {0, 0, 0}, {-1, -2, -1}}},
+				{{{1, 0, -1}, {2, 0, -2}, {1, 0, -1}}},
+			},
+			B: []int{0, 2},
+		}
+		fcIn := 2 * 2 * 2 // channels × pooled dims for a 6×6 input
+		fc := &FCLayer{W: make([][]int, 3), B: []int{1, -2, 0}}
+		for j := range fc.W {
+			fc.W[j] = make([]int, fcIn)
+			for i := range fc.W[j] {
+				fc.W[j][i] = rng.Intn(5) - 2
+			}
+		}
+		net := &Sequential{Layers: []PIMLayer{conv, PoolLayer{}, fc}}
+		x := randTensor(1, 6, 6, rng)
+		got, err := net.Forward(u, x)
+		if err != nil {
+			t.Fatalf("%v: %v", trd, err)
+		}
+		assertEqual(t, got, net.ForwardRef(x), trd.String()+" sequential")
+	}
+}
+
+func TestConvLayerErrors(t *testing.T) {
+	u := layerUnit(t, params.TRD7)
+	bad := &ConvLayer{W: [][][3][3]int{{{}}}, B: []int{0, 1}}
+	if _, err := bad.Forward(u, NewTensor3(1, 6, 6)); err == nil {
+		t.Error("bias/weight mismatch accepted")
+	}
+	ok := &ConvLayer{W: [][][3][3]int{{{}}}, B: []int{0}}
+	if _, err := ok.Forward(u, NewTensor3(1, 2, 2)); err == nil {
+		t.Error("too-small input accepted")
+	}
+	if _, err := ok.Forward(u, NewTensor3(2, 6, 6)); err == nil {
+		t.Error("channel mismatch accepted")
+	}
+}
+
+func TestPoolLayerErrors(t *testing.T) {
+	u := layerUnit(t, params.TRD7)
+	var pool PoolLayer
+	if _, err := pool.Forward(u, NewTensor3(1, 3, 4)); err == nil {
+		t.Error("odd height accepted")
+	}
+}

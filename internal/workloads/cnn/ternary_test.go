@@ -1,0 +1,67 @@
+package cnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+func TestTernaryConvMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	kernels := [][3][3]int{
+		{{1, 0, -1}, {1, 0, -1}, {1, 0, -1}},  // vertical edge
+		{{-1, -1, -1}, {0, 0, 0}, {1, 1, 1}},  // horizontal edge
+		{{0, 1, 0}, {1, -1, 1}, {0, 1, 0}},    // cross
+		{{-1, 1, -1}, {1, 1, 1}, {-1, 1, -1}}, // plus
+	}
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		for ki, kernel := range kernels {
+			cfg := params.DefaultConfig()
+			cfg.TRD = trd
+			cfg.Geometry.TrackWidth = 128
+			u := pim.MustNewUnit(cfg)
+			conv := &TernaryConv{Kernel: kernel}
+			img := make([][]uint8, 7)
+			for y := range img {
+				img[y] = make([]uint8, 7)
+				for x := range img[y] {
+					img[y][x] = uint8(rng.Intn(2))
+				}
+			}
+			want := conv.InferRef(img)
+			got, err := conv.InferPIM(u, img)
+			if err != nil {
+				t.Fatalf("%v kernel %d: %v", trd, ki, err)
+			}
+			for y := range want {
+				for x := range want[y] {
+					if got[y][x] != want[y][x] {
+						t.Errorf("%v kernel %d out[%d][%d] = %d, want %d",
+							trd, ki, y, x, got[y][x], want[y][x])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTernaryConvZeroKernel(t *testing.T) {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	u := pim.MustNewUnit(cfg)
+	conv := &TernaryConv{} // all-zero weights: no output fires
+	img := [][]uint8{{1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}, {1, 1, 1, 1}}
+	got, err := conv.InferPIM(u, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := range got {
+		for x := range got[y] {
+			if got[y][x] != 0 {
+				t.Errorf("out[%d][%d] fired with zero weights", y, x)
+			}
+		}
+	}
+}

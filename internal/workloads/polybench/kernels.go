@@ -1,0 +1,427 @@
+package polybench
+
+import "repro/internal/baseline/cpu"
+
+// Each kernel below documents its loop nest, the exact operation-count
+// formula the tests verify against the instrumented run, and the
+// traffic model used for the Fig. 10/11 CPU baseline.
+
+// --- gemm: C = α·A·B + β·C ------------------------------------------------
+
+func runGemm(c *Ctx, n int) float64 {
+	a, b := matrix(n, 0.1), matrix(n, 0.2)
+	cm := matrix(n, 0.3)
+	const alpha, beta = 1.5, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cm[i][j] = c.Mul(beta, cm[i][j])
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc = c.Add(acc, c.Mul(a[i][k], b[k][j]))
+			}
+			cm[i][j] = c.Add(cm[i][j], c.Mul(alpha, acc))
+		}
+	}
+	return checksum(cm)
+}
+
+// countsGemm: mults = N³ + 2N², adds = N³ + N². Traffic: A and C
+// streamed once; B is column-accessed inside the k-loop, and for the
+// benchmark N its column working set exceeds the caches, so every inner
+// iteration fetches one element off-chip (plain-code Polybench defeats
+// line reuse on the strided operand).
+func countsGemm(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    n3(n) + 2*n2(n),
+		Adds:     n3(n) + n2(n),
+		BusBytes: streamBytes(3, n2(n)) + stridedBytes(n3(n)),
+	}
+}
+
+// --- 2mm: D = A·B, E = D·C ------------------------------------------------
+
+func run2mm(c *Ctx, n int) float64 {
+	a, b, cc := matrix(n, 0.1), matrix(n, 0.2), matrix(n, 0.3)
+	d, e := zeros(n), zeros(n)
+	matmulInto(c, d, a, b)
+	matmulInto(c, e, d, cc)
+	return checksum(e)
+}
+
+// counts2mm: two N³ matmuls.
+func counts2mm(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    2 * n3(n),
+		Adds:     2 * n3(n),
+		BusBytes: streamBytes(5, n2(n)) + stridedBytes(2*n3(n)),
+	}
+}
+
+// --- 3mm: E = A·B, F = C·D, G = E·F ----------------------------------------
+
+func run3mm(c *Ctx, n int) float64 {
+	a, b := matrix(n, 0.1), matrix(n, 0.2)
+	cc, d := matrix(n, 0.3), matrix(n, 0.4)
+	e, f, g := zeros(n), zeros(n), zeros(n)
+	matmulInto(c, e, a, b)
+	matmulInto(c, f, cc, d)
+	matmulInto(c, g, e, f)
+	return checksum(g)
+}
+
+func counts3mm(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    3 * n3(n),
+		Adds:     3 * n3(n),
+		BusBytes: streamBytes(7, n2(n)) + stridedBytes(3*n3(n)),
+	}
+}
+
+// --- atax: y = Aᵀ·(A·x) -----------------------------------------------------
+
+func runAtax(c *Ctx, n int) float64 {
+	a := matrix(n, 0.1)
+	x := vector(n, 0.2)
+	tmp := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < n; j++ {
+			acc = c.Add(acc, c.Mul(a[i][j], x[j]))
+		}
+		tmp[i] = acc
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			y[j] = c.Add(y[j], c.Mul(a[i][j], tmp[i]))
+		}
+	}
+	return checksumVec(y)
+}
+
+// countsAtax: two N² matrix-vector products; A streamed twice with no
+// reuse between them (matrix exceeds cache), vectors cached.
+func countsAtax(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    2 * n2(n),
+		Adds:     2 * n2(n),
+		BusBytes: 2 * streamBytes(1, n2(n)),
+	}
+}
+
+// --- bicg: q = A·p, s = Aᵀ·r -------------------------------------------------
+
+func runBicg(c *Ctx, n int) float64 {
+	a := matrix(n, 0.1)
+	p, r := vector(n, 0.2), vector(n, 0.3)
+	q := make([]float64, n)
+	s := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < n; j++ {
+			s[j] = c.Add(s[j], c.Mul(r[i], a[i][j]))
+			acc = c.Add(acc, c.Mul(a[i][j], p[j]))
+		}
+		q[i] = acc
+	}
+	return checksumVec(q) + checksumVec(s)
+}
+
+// countsBicg: both products share one streaming pass over A.
+func countsBicg(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    2 * n2(n),
+		Adds:     2 * n2(n),
+		BusBytes: streamBytes(1, n2(n)),
+	}
+}
+
+// --- doitgen: sum[r][q][p] = Σs A[r][q][s]·C4[s][p] --------------------------
+
+func runDoitgen(c *Ctx, n int) float64 {
+	nr, nq, np := n, n, n
+	a := make([][][]float64, nr)
+	for r := range a {
+		a[r] = matrix(nq, float64(r)*0.01)
+	}
+	c4 := matrix(np, 0.5)
+	var sum float64
+	for r := 0; r < nr; r++ {
+		for q := 0; q < nq; q++ {
+			out := make([]float64, np)
+			for p := 0; p < np; p++ {
+				var acc float64
+				for s := 0; s < np; s++ {
+					acc = c.Add(acc, c.Mul(a[r][q][s], c4[s][p]))
+				}
+				out[p] = acc
+			}
+			copy(a[r][q], out)
+			sum += out[np-1]
+		}
+	}
+	return sum
+}
+
+// countsDoitgen: NR·NQ·NP² MACs with the C4 matrix cached (NP² small).
+func countsDoitgen(n int) cpu.OpCounts {
+	ops := n3(n) * int64(n)
+	return cpu.OpCounts{
+		Mults: ops,
+		Adds:  ops,
+		// A read and rewritten, plus the column-strided C4 operand
+		// fetched per inner iteration.
+		BusBytes: 2*streamBytes(1, n3(n)) + stridedBytes(ops),
+	}
+}
+
+// --- gemver: B = A + u1·v1ᵀ + u2·v2ᵀ; x = βBᵀy + z; w = αBx -------------------
+
+func runGemver(c *Ctx, n int) float64 {
+	a := matrix(n, 0.1)
+	u1, v1 := vector(n, 0.2), vector(n, 0.3)
+	u2, v2 := vector(n, 0.4), vector(n, 0.5)
+	y, z := vector(n, 0.6), vector(n, 0.7)
+	const alpha, beta = 1.1, 1.3
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] = c.Add(a[i][j], c.Add(c.Mul(u1[i], v1[j]), c.Mul(u2[i], v2[j])))
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x[j] = c.Add(x[j], c.Mul(c.Mul(beta, a[i][j]), y[i]))
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] = c.Add(x[i], z[i])
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		for j := 0; j < n; j++ {
+			acc = c.Add(acc, c.Mul(c.Mul(alpha, a[i][j]), x[j]))
+		}
+		w[i] = acc
+	}
+	return checksumVec(w)
+}
+
+// countsGemver: rank-2 update (2N² mult, 2N² add) plus two scaled
+// matrix-vector products (2N² mult + N² add each) and a vector add.
+func countsGemver(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    6 * n2(n),
+		Adds:     4*n2(n) + int64(n),
+		BusBytes: 3 * streamBytes(1, n2(n)), // A updated then read twice
+	}
+}
+
+// --- gesummv: y = α·A·x + β·B·x ----------------------------------------------
+
+func runGesummv(c *Ctx, n int) float64 {
+	a, b := matrix(n, 0.1), matrix(n, 0.2)
+	x := vector(n, 0.3)
+	y := make([]float64, n)
+	const alpha, beta = 1.4, 1.6
+	for i := 0; i < n; i++ {
+		var ta, tb float64
+		for j := 0; j < n; j++ {
+			ta = c.Add(ta, c.Mul(a[i][j], x[j]))
+			tb = c.Add(tb, c.Mul(b[i][j], x[j]))
+		}
+		y[i] = c.Add(c.Mul(alpha, ta), c.Mul(beta, tb))
+	}
+	return checksumVec(y)
+}
+
+func countsGesummv(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    2*n2(n) + 2*int64(n),
+		Adds:     2*n2(n) + int64(n),
+		BusBytes: streamBytes(2, n2(n)),
+	}
+}
+
+// --- mvt: x1 += A·y1; x2 += Aᵀ·y2 ---------------------------------------------
+
+func runMvt(c *Ctx, n int) float64 {
+	a := matrix(n, 0.1)
+	x1, x2 := vector(n, 0.2), vector(n, 0.3)
+	y1, y2 := vector(n, 0.4), vector(n, 0.5)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x1[i] = c.Add(x1[i], c.Mul(a[i][j], y1[j]))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x2[i] = c.Add(x2[i], c.Mul(a[j][i], y2[j]))
+		}
+	}
+	return checksumVec(x1) + checksumVec(x2)
+}
+
+// countsMvt: the transposed product's column accesses miss per line
+// group, adding strided traffic on top of the two streaming passes.
+func countsMvt(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults:    2 * n2(n),
+		Adds:     2 * n2(n),
+		BusBytes: streamBytes(1, n2(n)) + stridedBytes(n2(n)),
+	}
+}
+
+// --- symm: C = α·A·B + β·C with A symmetric (lower stored) --------------------
+
+func runSymm(c *Ctx, n int) float64 {
+	a, b := matrix(n, 0.1), matrix(n, 0.2)
+	cm := matrix(n, 0.3)
+	const alpha, beta = 1.2, 1.1
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var temp float64
+			for k := 0; k < i; k++ {
+				cm[k][j] = c.Add(cm[k][j], c.Mul(c.Mul(alpha, b[i][j]), a[i][k]))
+				temp = c.Add(temp, c.Mul(b[k][j], a[i][k]))
+			}
+			cm[i][j] = c.Add(c.Mul(beta, cm[i][j]),
+				c.Add(c.Mul(c.Mul(alpha, b[i][j]), a[i][i]), c.Mul(alpha, temp)))
+		}
+	}
+	return checksum(cm)
+}
+
+// countsSymm: the k<i triangle contributes (N³−N²)/2 iterations with 3
+// mults and 2 adds each, plus 4 mults and 2 adds per (i,j).
+func countsSymm(n int) cpu.OpCounts {
+	tri := (n3(n) - n2(n)) / 2
+	return cpu.OpCounts{
+		Mults:    3*tri + 4*n2(n),
+		Adds:     2*tri + 2*n2(n),
+		BusBytes: streamBytes(3, n2(n)) + stridedBytes(tri),
+	}
+}
+
+// --- syr2k: C = α(A·Bᵀ + B·Aᵀ) + β·C ------------------------------------------
+
+func runSyr2k(c *Ctx, n int) float64 {
+	a, b := matrix(n, 0.1), matrix(n, 0.2)
+	cm := matrix(n, 0.3)
+	const alpha, beta = 1.3, 1.2
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cm[i][j] = c.Mul(beta, cm[i][j])
+			for k := 0; k < n; k++ {
+				cm[i][j] = c.Add(cm[i][j],
+					c.Add(c.Mul(c.Mul(alpha, a[i][k]), b[j][k]),
+						c.Mul(c.Mul(alpha, b[i][k]), a[j][k])))
+			}
+		}
+	}
+	return checksum(cm)
+}
+
+func countsSyr2k(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults: 4*n3(n) + n2(n),
+		Adds:  2 * n3(n),
+		// A and B are each fully re-streamed for every output row: the
+		// matrices exceed the caches at benchmark sizes.
+		BusBytes: streamBytes(1, n2(n)) + 2*streamBytes(1, n3(n)),
+	}
+}
+
+// --- syrk: C = α·A·Aᵀ + β·C ----------------------------------------------------
+
+func runSyrk(c *Ctx, n int) float64 {
+	a := matrix(n, 0.1)
+	cm := matrix(n, 0.3)
+	const alpha, beta = 1.5, 1.4
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cm[i][j] = c.Mul(beta, cm[i][j])
+			for k := 0; k < n; k++ {
+				cm[i][j] = c.Add(cm[i][j], c.Mul(c.Mul(alpha, a[i][k]), a[j][k]))
+			}
+		}
+	}
+	return checksum(cm)
+}
+
+func countsSyrk(n int) cpu.OpCounts {
+	return cpu.OpCounts{
+		Mults: 2*n3(n) + n2(n),
+		Adds:  n3(n),
+		// A is fully re-streamed for every output row.
+		BusBytes: streamBytes(1, n2(n)) + streamBytes(1, n3(n)),
+	}
+}
+
+// --- trmm: B = α·Aᵀ·B with A unit lower triangular ------------------------------
+
+func runTrmm(c *Ctx, n int) float64 {
+	a, b := matrix(n, 0.1), matrix(n, 0.2)
+	const alpha = 1.1
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := i + 1; k < n; k++ {
+				b[i][j] = c.Add(b[i][j], c.Mul(a[k][i], b[k][j]))
+			}
+			b[i][j] = c.Mul(alpha, b[i][j])
+		}
+	}
+	return checksum(b)
+}
+
+func countsTrmm(n int) cpu.OpCounts {
+	tri := (n3(n) - n2(n)) / 2
+	return cpu.OpCounts{
+		Mults:    tri + n2(n),
+		Adds:     tri,
+		BusBytes: streamBytes(2, n2(n)) + stridedBytes(2*tri),
+	}
+}
+
+// --- covariance ---------------------------------------------------------------
+
+func runCovariance(c *Ctx, n int) float64 {
+	data := matrix(n, 0.1)
+	mean := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc = c.Add(acc, data[i][j])
+		}
+		mean[j] = acc / float64(n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			data[i][j] = c.Sub(data[i][j], mean[j])
+		}
+	}
+	cov := zeros(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc = c.Add(acc, c.Mul(data[k][i], data[k][j]))
+			}
+			cov[i][j] = acc / float64(n-1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return checksum(cov)
+}
+
+// countsCovariance: mean (N² adds) + centering (N² subs) + upper
+// triangle of products (~N³/2 MACs over i≤j).
+func countsCovariance(n int) cpu.OpCounts {
+	tri := n3(n)/2 + n2(n)/2
+	return cpu.OpCounts{
+		Mults:    tri,
+		Adds:     2*n2(n) + tri,
+		BusBytes: 3*streamBytes(1, n2(n)) + stridedBytes(2*tri),
+	}
+}

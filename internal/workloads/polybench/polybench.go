@@ -1,0 +1,171 @@
+// Package polybench implements the add/multiply-heavy subset of the
+// Polybench suite used by Fig. 10/11 (§V-C): linear-algebra,
+// matrix-multiply and data-mining kernels. Each kernel exists twice:
+//
+//   - a functional implementation over an instrumented arithmetic
+//     context, executable at any problem size (the tests run small sizes
+//     and check the analytic formulas against the instrumented counts);
+//   - analytic operation/traffic counts at the benchmark size, standing
+//     in for the paper's pintool traces (the trace is consumed only as
+//     #adds, #mults and off-chip bytes).
+//
+// Off-chip traffic uses a per-kernel streaming model documented on each
+// Counts function: element size 8 bytes (double), 64-byte lines, with line-level
+// reuse for unit-stride streams and full misses for strided ones.
+package polybench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/cpu"
+)
+
+// Ctx is the instrumented arithmetic context: kernels perform all
+// floating-point work through it so operation counts are observable.
+type Ctx struct {
+	Adds, Mults int64
+}
+
+// Add returns a+b, counting one addition.
+func (c *Ctx) Add(a, b float64) float64 { c.Adds++; return a + b }
+
+// Sub returns a-b, counting one addition (same ALU class).
+func (c *Ctx) Sub(a, b float64) float64 { c.Adds++; return a - b }
+
+// Mul returns a*b, counting one multiplication.
+func (c *Ctx) Mul(a, b float64) float64 { c.Mults++; return a * b }
+
+// Kernel is one Polybench benchmark.
+type Kernel struct {
+	Name   string
+	Domain string
+
+	// Run executes the kernel functionally at size n and returns a
+	// checksum of the outputs.
+	Run func(c *Ctx, n int) float64
+
+	// Counts returns the analytic operation and traffic counts at
+	// size n.
+	Counts func(n int) cpu.OpCounts
+
+	// DefaultN is the Fig. 10/11 problem size.
+	DefaultN int
+}
+
+// Kernels returns the Fig. 10/11 benchmark set in display order.
+func Kernels() []Kernel {
+	return []Kernel{
+		{"2mm", "linear-algebra", run2mm, counts2mm, 512},
+		{"3mm", "linear-algebra", run3mm, counts3mm, 512},
+		{"atax", "linear-algebra", runAtax, countsAtax, 2048},
+		{"bicg", "linear-algebra", runBicg, countsBicg, 2048},
+		{"doitgen", "linear-algebra", runDoitgen, countsDoitgen, 128},
+		{"gemm", "linear-algebra", runGemm, countsGemm, 512},
+		{"gemver", "linear-algebra", runGemver, countsGemver, 2048},
+		{"gesummv", "linear-algebra", runGesummv, countsGesummv, 2048},
+		{"mvt", "linear-algebra", runMvt, countsMvt, 2048},
+		{"symm", "linear-algebra", runSymm, countsSymm, 512},
+		{"syr2k", "linear-algebra", runSyr2k, countsSyr2k, 512},
+		{"syrk", "linear-algebra", runSyrk, countsSyrk, 512},
+		{"trmm", "linear-algebra", runTrmm, countsTrmm, 512},
+		{"covariance", "datamining", runCovariance, countsCovariance, 512},
+	}
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("polybench: unknown kernel %q", name)
+}
+
+// --- helpers -------------------------------------------------------------
+
+const (
+	elemBytes = 8 // Polybench's default DATA_TYPE is double
+	lineBytes = 64
+	lineElems = lineBytes / elemBytes
+)
+
+// matrix returns an n×n matrix with deterministic pseudo-data.
+func matrix(n int, seed float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = float64((i*7+j*3)%13)/13 + seed
+		}
+	}
+	return m
+}
+
+// vector returns a deterministic vector.
+func vector(n int, seed float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i%11)/11 + seed
+	}
+	return v
+}
+
+// checksum folds a matrix into one value.
+func checksum(m [][]float64) float64 {
+	var s float64
+	for _, row := range m {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+func checksumVec(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// matmulInto computes dst = A·B through the context.
+func matmulInto(c *Ctx, dst, a, b [][]float64) {
+	n := len(dst)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc = c.Add(acc, c.Mul(a[i][k], b[k][j]))
+			}
+			dst[i][j] = acc
+		}
+	}
+}
+
+// zeros returns an n×n zero matrix.
+func zeros(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+// n2 and n3 avoid overflow-prone int multiplication chains.
+func n2(n int) int64 { return int64(n) * int64(n) }
+func n3(n int) int64 { return int64(n) * int64(n) * int64(n) }
+
+// streamBytes is the traffic of streaming k arrays of e elements once
+// with unit stride (line-filtered compulsory misses).
+func streamBytes(k int, e int64) int64 {
+	return int64(k) * e * elemBytes
+}
+
+// stridedBytes is the traffic of e strided (column-order) accesses that
+// miss on every line-sized group of lineElems rows — conservatively one
+// line fetch per lineElems accesses once the working set exceeds cache.
+func stridedBytes(e int64) int64 {
+	return e * elemBytes
+}

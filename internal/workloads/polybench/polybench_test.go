@@ -1,0 +1,100 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKernelRegistry(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 14 {
+		t.Fatalf("kernel count = %d, want 14", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel %q", k.Name)
+		}
+		seen[k.Name] = true
+		if k.Run == nil || k.Counts == nil || k.DefaultN <= 0 {
+			t.Errorf("kernel %q incomplete", k.Name)
+		}
+	}
+	if !seen["2mm"] || !seen["gemm"] {
+		t.Error("§V-C names 2mm and gemm explicitly; both must be present")
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("gemm")
+	if err != nil || k.Name != "gemm" {
+		t.Fatalf("ByName(gemm) = %v, %v", k.Name, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+// TestAnalyticCountsMatchInstrumented is the core trace-substitute
+// validation: the closed-form operation counts must equal the counts
+// observed by actually running each kernel.
+func TestAnalyticCountsMatchInstrumented(t *testing.T) {
+	for _, k := range Kernels() {
+		for _, n := range []int{8, 12, 16} {
+			if k.Name == "doitgen" && n > 12 {
+				continue // quartic kernel; keep test fast
+			}
+			var c Ctx
+			k.Run(&c, n)
+			want := k.Counts(n)
+			if c.Adds != want.Adds {
+				t.Errorf("%s n=%d: instrumented adds %d, analytic %d", k.Name, n, c.Adds, want.Adds)
+			}
+			if c.Mults != want.Mults {
+				t.Errorf("%s n=%d: instrumented mults %d, analytic %d", k.Name, n, c.Mults, want.Mults)
+			}
+		}
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range Kernels() {
+		var c1, c2 Ctx
+		r1 := k.Run(&c1, 8)
+		r2 := k.Run(&c2, 8)
+		if r1 != r2 {
+			t.Errorf("%s not deterministic: %v vs %v", k.Name, r1, r2)
+		}
+		if math.IsNaN(r1) || math.IsInf(r1, 0) {
+			t.Errorf("%s checksum %v", k.Name, r1)
+		}
+	}
+}
+
+func TestTrafficPositiveAndScaling(t *testing.T) {
+	for _, k := range Kernels() {
+		small := k.Counts(64)
+		big := k.Counts(128)
+		if small.BusBytes <= 0 {
+			t.Errorf("%s: non-positive traffic", k.Name)
+		}
+		if big.BusBytes <= small.BusBytes {
+			t.Errorf("%s: traffic not increasing with n", k.Name)
+		}
+		if big.Ops() <= small.Ops() {
+			t.Errorf("%s: ops not increasing with n", k.Name)
+		}
+	}
+}
+
+func TestBytesPerOpInMemoryBoundRange(t *testing.T) {
+	// The kernels are selected for being memory-bound on a CPU: the
+	// cache-filtered traffic should be a fraction of a byte up to a few
+	// bytes per operation at benchmark sizes.
+	for _, k := range Kernels() {
+		b := k.Counts(k.DefaultN).BytesPerOp()
+		if b < 0.02 || b > 10 {
+			t.Errorf("%s: %.3f bytes/op outside memory-bound range", k.Name, b)
+		}
+	}
+}
