@@ -1,0 +1,27 @@
+# CI entry points for the CORUSCANT reproduction. `make ci` is the gate:
+# vet + build + race-enabled tests + the DBC-engine benchmarks.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmarks of the word-packed bit-plane engine: DBC primitives and the
+# bulk/multi-operand PIM operations built on them. Reference numbers for
+# the seed (per-byte) engine and this one are recorded in
+# BENCH_plane.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkDBC|BenchmarkBulk' -benchmem ./...

@@ -114,6 +114,12 @@ type (
 // NewUnit builds a PIM unit for the configuration.
 func NewUnit(cfg Config) (*Unit, error) { return pim.NewUnit(cfg) }
 
+// NewRow returns an all-zero row of n wires.
+func NewRow(n int) Row { return dbc.NewRow(n) }
+
+// FromBits packs per-wire bits into a row.
+func FromBits(bits ...uint8) Row { return dbc.FromBits(bits...) }
+
 // PackLanes packs values into a row of lane-bit lanes (little-endian
 // along the wire index).
 func PackLanes(vals []uint64, lane, width int) (Row, error) {

@@ -48,14 +48,14 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 
 func TestFacadeBulkOps(t *testing.T) {
 	u := newUnit(t, 16)
-	a := coruscant.Row{1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 0}
-	b := coruscant.Row{1, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	a := coruscant.FromBits(1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 0)
+	b := coruscant.FromBits(1, 1, 0, 0, 1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0)
 	res, err := u.BulkBitwise(coruscant.OpNAND, []coruscant.Row{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res {
-		if res[i] != 1-a[i]&b[i] {
+	for i := 0; i < res.Len(); i++ {
+		if res.Get(i) != 1-a.Get(i)&b.Get(i) {
 			t.Fatalf("NAND bit %d", i)
 		}
 	}
@@ -110,18 +110,12 @@ func TestFacadeCSD(t *testing.T) {
 func TestFacadeFaultInjection(t *testing.T) {
 	u := newUnit(t, 16)
 	u.D.SetFaultInjector(coruscant.NewFaultInjector(1.0, 0, 5))
-	a := make(coruscant.Row, 16)
+	a := coruscant.NewRow(16)
 	res, err := u.BulkBitwise(coruscant.OpXOR, []coruscant.Row{a, a})
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty := false
-	for _, b := range res {
-		if b != 0 {
-			faulty = true
-		}
-	}
-	if !faulty {
+	if res.OnesCount() == 0 {
 		t.Error("probability-1 fault injection produced no faults")
 	}
 }

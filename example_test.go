@@ -57,14 +57,14 @@ func ExampleUnit_BulkBitwise() {
 		log.Fatal(err)
 	}
 	res, err := u.BulkBitwise(coruscant.OpXOR, []coruscant.Row{
-		{1, 1, 0, 0, 1, 1, 0, 0},
-		{1, 0, 1, 0, 1, 0, 1, 0},
-		{1, 1, 1, 1, 0, 0, 0, 0},
+		coruscant.FromBits(1, 1, 0, 0, 1, 1, 0, 0),
+		coruscant.FromBits(1, 0, 1, 0, 1, 0, 1, 0),
+		coruscant.FromBits(1, 1, 1, 1, 0, 0, 0, 0),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(res)
+	fmt.Println(res.Bits())
 	// Output:
 	// [1 0 0 1 0 1 1 0]
 }

@@ -4,29 +4,34 @@
 // second access port per wire spaced a transverse-read distance away, a
 // multi-level sense amplifier, and the PIM logic block of Fig. 4.
 //
+// The cluster state lives in a word-packed device.PlaneArray — one bit
+// plane per physical domain row, 64 wires per word — so shifts are index
+// bookkeeping and row transfers, transverse reads and bulk-bitwise
+// evaluation run 64 wires per machine instruction. device.Nanowire is
+// the single-wire reference model the packed engine is differentially
+// tested against (refdbc_test.go).
+//
 // All state-changing operations are traced: each control step logs into a
 // trace.Tracer from which cycle latency and energy are derived.
 package dbc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/device"
 	"repro/internal/params"
 	"repro/internal/trace"
 )
 
-// Row is a horizontal bit vector across the DBC's nanowires: Row[w] is
-// the bit stored by nanowire w, one of 0 or 1.
-type Row = []uint8
-
 // DBC is a PIM-enabled domain-block cluster.
 type DBC struct {
 	width int // X: nanowires (bits per row)
+	words int // ceil(width/64)
 	rows  int // Y: data rows
 	trd   params.TRD
 
-	wires  []*device.Nanowire
+	pa     *device.PlaneArray
 	tracer *trace.Tracer
 	inj    *device.FaultInjector
 }
@@ -37,15 +42,11 @@ func New(width, rows int, trd params.TRD) (*DBC, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("dbc: non-positive width %d", width)
 	}
-	d := &DBC{width: width, rows: rows, trd: trd, wires: make([]*device.Nanowire, width)}
-	for i := range d.wires {
-		w, err := device.NewNanowire(rows, trd)
-		if err != nil {
-			return nil, err
-		}
-		d.wires[i] = w
+	pa, err := device.NewPlaneArray(width, rows, trd)
+	if err != nil {
+		return nil, err
 	}
-	return d, nil
+	return &DBC{width: width, words: pa.Words(), rows: rows, trd: trd, pa: pa}, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -75,41 +76,37 @@ func (d *DBC) Tracer() *trace.Tracer { return d.tracer }
 // SetFaultInjector enables fault injection on TRs and shifts.
 func (d *DBC) SetFaultInjector(f *device.FaultInjector) { d.inj = f }
 
-// checkRow validates a bit-vector argument length.
-func (d *DBC) checkRow(bits Row) {
-	if len(bits) != d.width {
-		panic(fmt.Sprintf("dbc: row length %d, want %d", len(bits), d.width))
+// checkRow validates a row argument width.
+func (d *DBC) checkRow(r Row) {
+	if r.N != d.width {
+		panic(fmt.Sprintf("dbc: row length %d, want %d", r.N, d.width))
 	}
 }
 
 // LoadRow initializes data row r with bits, bypassing the ports. It
 // models pre-existing memory contents (and Fig. 7 pre-populated padding)
-// and is not traced.
+// and is not traced. The row is copied; the caller keeps ownership.
 func (d *DBC) LoadRow(r int, bits Row) {
 	d.checkRow(bits)
-	for w, wire := range d.wires {
-		wire.SetRow(r, bits[w])
-	}
+	d.pa.SetRow(r, bits.Words)
 }
 
 // LoadConst fills data row r with the constant bit (Fig. 7 padding).
 func (d *DBC) LoadConst(r int, bit uint8) {
-	for _, wire := range d.wires {
-		wire.SetRow(r, bit)
-	}
+	d.pa.FillRow(r, bit)
 }
 
-// PeekRow returns a copy of data row r without modelling an access.
+// PeekRow returns an owned copy of data row r without modelling an
+// access. Callers may mutate the result freely; domain state is never
+// aliased.
 func (d *DBC) PeekRow(r int) Row {
-	out := make(Row, d.width)
-	for w, wire := range d.wires {
-		out[w] = wire.PeekRow(r)
-	}
+	out := NewRow(d.width)
+	d.pa.RowWords(r, out.Words)
 	return out
 }
 
 // Offset returns the current shift displacement of the lockstepped wires.
-func (d *DBC) Offset() int { return d.wires[0].Offset() }
+func (d *DBC) Offset() int { return d.pa.Offset() }
 
 // Shift moves all nanowires by steps positions (positive = right), one
 // traced control step per position. With a fault injector attached, each
@@ -136,24 +133,16 @@ func (d *DBC) Shift(steps int) error {
 }
 
 func (d *DBC) shiftOne(dir int) error {
-	for _, wire := range d.wires {
-		var err error
-		if dir > 0 {
-			err = wire.ShiftRight()
-		} else {
-			err = wire.ShiftLeft()
-		}
-		if err != nil {
-			return err
-		}
+	if dir > 0 {
+		return d.pa.ShiftRight()
 	}
-	return nil
+	return d.pa.ShiftLeft()
 }
 
 // Align shifts the DBC so data row r is under the given port, tracing
 // each shift step. It returns the number of steps taken.
 func (d *DBC) Align(r int, s device.Side) (int, error) {
-	steps := d.wires[0].AlignSteps(r, s)
+	steps := d.pa.AlignSteps(r, s)
 	if err := d.Shift(steps); err != nil {
 		return 0, err
 	}
@@ -166,20 +155,19 @@ func (d *DBC) Align(r int, s device.Side) (int, error) {
 // AlignNearest shifts row r under its nearest port and returns the port
 // used and the steps taken.
 func (d *DBC) AlignNearest(r int) (device.Side, int, error) {
-	side, _ := d.wires[0].NearestPort(r)
+	side, _ := d.pa.NearestPort(r)
 	steps, err := d.Align(r, side)
 	return side, steps, err
 }
 
 // RowAtPort returns the data row currently under the port, or -1.
-func (d *DBC) RowAtPort(s device.Side) int { return d.wires[0].RowAtPort(s) }
+func (d *DBC) RowAtPort(s device.Side) int { return d.pa.RowAtPort(s) }
 
-// ReadPort reads the full row under the port (one traced step).
+// ReadPort reads the full row under the port (one traced step). The
+// returned row is an owned copy.
 func (d *DBC) ReadPort(s device.Side) Row {
-	out := make(Row, d.width)
-	for w, wire := range d.wires {
-		out[w] = wire.ReadPort(s)
-	}
+	out := NewRow(d.width)
+	d.pa.ReadPort(s, out.Words)
 	d.tracer.Read(d.width)
 	return out
 }
@@ -187,16 +175,8 @@ func (d *DBC) ReadPort(s device.Side) Row {
 // WritePort writes the full row under the port (one traced step).
 func (d *DBC) WritePort(s device.Side, bits Row) {
 	d.checkRow(bits)
-	for w, wire := range d.wires {
-		wire.WritePort(s, bits[w])
-	}
+	d.pa.WritePort(s, bits.Words)
 	d.tracer.Write(d.width)
-}
-
-// PortWrite is a single-wire port write used as part of a compound step;
-// callers are responsible for tracing the enclosing step.
-func (d *DBC) portWrite(wire int, s device.Side, bit uint8) {
-	d.wires[wire].WritePort(s, bit)
 }
 
 // WriteScatter performs, in one traced control step, a set of port writes
@@ -205,7 +185,7 @@ func (d *DBC) portWrite(wire int, s device.Side, bit uint8) {
 // of wire k, the right port of wire k+1 and the left port of wire k+2.
 func (d *DBC) WriteScatter(writes []PortBit) {
 	for _, pw := range writes {
-		d.portWrite(pw.Wire, pw.Side, pw.Bit)
+		d.pa.SetPortBit(pw.Side, pw.Wire, pw.Bit)
 	}
 	d.tracer.Write(len(writes))
 }
@@ -217,30 +197,146 @@ type PortBit struct {
 	Bit  uint8
 }
 
+// LevelPlanes is the bit-sliced output of a whole-DBC transverse read:
+// the sensed level of wire w is the 3-bit number c2c1c0 read at bit
+// position w%64 of word w/64 of the three counter planes. Word-parallel
+// consumers (EvalPlanes, the carry-save reduction) combine the planes
+// directly; Levels expands to per-wire integers.
+type LevelPlanes struct {
+	C0, C1, C2 []uint64
+	N          int
+}
+
+// Level returns the sensed level of wire w.
+func (lp LevelPlanes) Level(w int) int {
+	word, bit := w>>6, uint(w&63)
+	return int(lp.C0[word]>>bit&1) | int(lp.C1[word]>>bit&1)<<1 | int(lp.C2[word]>>bit&1)<<2
+}
+
+// Levels expands the planes into one level per wire.
+func (lp LevelPlanes) Levels() []int {
+	out := make([]int, lp.N)
+	for w := range out {
+		out[w] = lp.Level(w)
+	}
+	return out
+}
+
+// NewLevelPlanes returns zeroed level planes for a DBC of the given
+// width, suitable as the destination of TRAllPlanesInto/TRMaskedInto.
+func NewLevelPlanes(width int) LevelPlanes {
+	words := (width + 63) / 64
+	backing := make([]uint64, 3*words)
+	return LevelPlanes{
+		C0: backing[:words:words],
+		C1: backing[words : 2*words : 2*words],
+		C2: backing[2*words:],
+		N:  width,
+	}
+}
+
+// TRAllPlanes performs a transverse read on every nanowire in one traced
+// control step, returning the bit-sliced level planes for word-parallel
+// evaluation.
+func (d *DBC) TRAllPlanes() LevelPlanes {
+	lp := NewLevelPlanes(d.width)
+	d.TRAllPlanesInto(&lp)
+	return lp
+}
+
+// TRAllPlanesInto is TRAllPlanes writing into caller-owned planes (sized
+// by NewLevelPlanes), for hot paths that reuse a scratch buffer across
+// transverse reads instead of allocating per read.
+func (d *DBC) TRAllPlanesInto(lp *LevelPlanes) {
+	d.pa.TRPlanes(lp.C0, lp.C1, lp.C2)
+	if flip, up, any := d.inj.TRFaultMasks(d.width); any {
+		device.PerturbTRPlanes(lp.C0, lp.C1, lp.C2, flip, up, int(d.trd))
+	}
+	d.tracer.TR(d.width)
+}
+
 // TRAll performs a transverse read on every nanowire in one traced
 // control step, returning the per-wire '1' counts (levels 0..TRD).
 func (d *DBC) TRAll() []int {
-	levels := make([]int, d.width)
-	for w, wire := range d.wires {
-		levels[w] = d.inj.PerturbTR(wire.TR(), int(d.trd))
-	}
-	d.tracer.TR(d.width)
-	return levels
+	return d.TRAllPlanes().Levels()
 }
 
 // TRWires performs a transverse read on the selected nanowires in one
 // traced control step (the memory controller masks the other bitlines,
-// §III-E). Unselected entries of the result are -1.
-func (d *DBC) TRWires(wires []int) []int {
+// §III-E). Unselected entries of the result are -1. Duplicate or
+// out-of-range wire indices are rejected: a physical bitline cannot be
+// sensed twice in one step, and silently double-counting would corrupt
+// the energy accounting of the trace.
+func (d *DBC) TRWires(wires []int) ([]int, error) {
 	levels := make([]int, d.width)
 	for i := range levels {
 		levels[i] = -1
 	}
 	for _, w := range wires {
-		levels[w] = d.inj.PerturbTR(d.wires[w].TR(), int(d.trd))
+		if w < 0 || w >= d.width {
+			return nil, fmt.Errorf("dbc: TR wire %d out of range [0,%d)", w, d.width)
+		}
+		if levels[w] != -1 {
+			return nil, fmt.Errorf("dbc: duplicate TR wire %d", w)
+		}
+		levels[w] = d.inj.PerturbTR(d.pa.TRWire(w), int(d.trd))
 	}
 	d.tracer.TR(len(wires))
-	return levels
+	return levels, nil
+}
+
+// TRMasked performs a transverse read on the bitlines selected by mask
+// (bit w%64 of word w/64) in one traced control step — the word-parallel
+// form of TRWires for periodic wire selections such as the Fig. 6 carry
+// chain, where per-index validation is statically unnecessary. wires
+// must be the number of selected bitlines (trace accounting). Unselected
+// lanes of the returned planes are zero. With a fault injector attached,
+// the per-wire perturbation draws happen in increasing wire order,
+// consuming exactly the random stream of the equivalent TRWires call.
+func (d *DBC) TRMasked(mask []uint64, wires int) LevelPlanes {
+	lp := NewLevelPlanes(d.width)
+	d.TRMaskedInto(&lp, mask, wires)
+	return lp
+}
+
+// TRMaskedInto is TRMasked writing into caller-owned planes (sized by
+// NewLevelPlanes), for hot paths that reuse a scratch buffer.
+func (d *DBC) TRMaskedInto(lp *LevelPlanes, mask []uint64, wires int) {
+	d.pa.TRPlanes(lp.C0, lp.C1, lp.C2)
+	for i := range lp.C0 {
+		lp.C0[i] &= mask[i]
+		lp.C1[i] &= mask[i]
+		lp.C2[i] &= mask[i]
+	}
+	if d.inj != nil && d.inj.TRProb != 0 {
+		for i, m := range mask {
+			for m != 0 {
+				w := i<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				lvl := lp.Level(w)
+				if nl := d.inj.PerturbTR(lvl, int(d.trd)); nl != lvl {
+					word, bit := w>>6, uint(w&63)
+					clr := ^(uint64(1) << bit)
+					lp.C0[word] = lp.C0[word]&clr | uint64(nl&1)<<bit
+					lp.C1[word] = lp.C1[word]&clr | uint64(nl>>1&1)<<bit
+					lp.C2[word] = lp.C2[word]&clr | uint64(nl>>2&1)<<bit
+				}
+			}
+		}
+	}
+	d.tracer.TR(wires)
+}
+
+// WriteScatterPlanes performs, in one traced control step, word-parallel
+// masked writes to both access ports: src bits on wires selected by the
+// matching mask overwrite that port's domain, other wires are untouched.
+// It is the plane form of WriteScatter for writes already organized as
+// bit planes (the Fig. 6 S/C/C' scatter). count must be the number of
+// individual bits written (trace accounting). Nil masks skip that port.
+func (d *DBC) WriteScatterPlanes(left, leftMask, right, rightMask []uint64, count int) {
+	d.pa.WritePortMasked(device.Left, left, leftMask)
+	d.pa.WritePortMasked(device.Right, right, rightMask)
+	d.tracer.Write(count)
 }
 
 // TW performs a transverse write of a full row (§IV-B): on every wire the
@@ -249,51 +345,32 @@ func (d *DBC) TRWires(wires []int) []int {
 // control step.
 func (d *DBC) TW(bits Row) {
 	d.checkRow(bits)
-	for w, wire := range d.wires {
-		wire.TW(bits[w])
-	}
+	d.pa.TW(bits.Words)
 	d.tracer.TW(d.width)
 }
 
 // WindowRow maps window position i (0 = left port) to the data row
 // currently aligned there, or -1 for an overhead domain.
-func (d *DBC) WindowRow(i int) int { return d.wires[0].WindowRow(i) }
+func (d *DBC) WindowRow(i int) int { return d.pa.WindowRow(i) }
 
 // PokeWindow overwrites the domain at window position i on every wire
 // without tracing. It models Fig. 7 pre-populated padding constants that
 // are maintained outside the traced operation.
 func (d *DBC) PokeWindow(i int, bits Row) {
 	d.checkRow(bits)
-	for w := range d.wires {
-		d.pokeWindowWire(w, i, bits[w])
-	}
+	d.pa.PokeWindow(i, bits.Words)
 }
 
 // PokeWindowConst fills window position i with a constant on every wire,
 // without tracing (Fig. 7 padding).
 func (d *DBC) PokeWindowConst(i int, bit uint8) {
-	for w := range d.wires {
-		d.pokeWindowWire(w, i, bit)
-	}
+	d.pa.PokeWindowFill(i, bit)
 }
 
-func (d *DBC) pokeWindowWire(w, i int, bit uint8) {
-	wire := d.wires[w]
-	r := wire.WindowRow(i)
-	if r >= 0 {
-		wire.SetRow(r, bit)
-		return
-	}
-	// Overhead domain inside the window: reach it through the port
-	// machinery by writing the physical slot directly.
-	wire.PokeWindow(i, bit)
-}
-
-// PeekWindow returns the row at window position i without tracing.
+// PeekWindow returns an owned copy of the row at window position i
+// without tracing.
 func (d *DBC) PeekWindow(i int) Row {
-	out := make(Row, d.width)
-	for w, wire := range d.wires {
-		out[w] = wire.PeekWindowBit(i)
-	}
+	out := NewRow(d.width)
+	d.pa.PeekWindow(i, out.Words)
 	return out
 }

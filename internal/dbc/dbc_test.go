@@ -10,9 +10,9 @@ import (
 )
 
 func randRow(width int, rng *rand.Rand) Row {
-	r := make(Row, width)
-	for i := range r {
-		r[i] = uint8(rng.Intn(2))
+	r := NewRow(width)
+	for i := 0; i < width; i++ {
+		r.Set(i, uint8(rng.Intn(2)))
 	}
 	return r
 }
@@ -27,10 +27,8 @@ func TestDBCLoadPeekRows(t *testing.T) {
 	}
 	for r := range rows {
 		got := d.PeekRow(r)
-		for w := range got {
-			if got[w] != rows[r][w] {
-				t.Fatalf("row %d wire %d = %d, want %d", r, w, got[w], rows[r][w])
-			}
+		if !got.Equal(rows[r]) {
+			t.Fatalf("row %d = %v, want %v", r, got, rows[r])
 		}
 	}
 }
@@ -50,18 +48,15 @@ func TestDBCLockstepShift(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := range want {
-		got := d.PeekRow(r)
-		for w := range got {
-			if got[w] != want[r][w] {
-				t.Fatalf("after shifts row %d wire %d changed", r, w)
-			}
+		if got := d.PeekRow(r); !got.Equal(want[r]) {
+			t.Fatalf("after shifts row %d changed: %v != %v", r, got, want[r])
 		}
 	}
 }
 
 func TestDBCAlignReadWritePort(t *testing.T) {
 	d := MustNew(8, 32, params.TRD7)
-	row := Row{1, 0, 1, 1, 0, 0, 1, 0}
+	row := FromBits(1, 0, 1, 1, 0, 0, 1, 0)
 	d.LoadRow(5, row)
 	if _, err := d.Align(5, device.Left); err != nil {
 		t.Fatal(err)
@@ -70,16 +65,14 @@ func TestDBCAlignReadWritePort(t *testing.T) {
 		t.Fatalf("RowAtPort = %d, want 5", got)
 	}
 	got := d.ReadPort(device.Left)
-	for w := range row {
-		if got[w] != row[w] {
-			t.Fatalf("ReadPort wire %d = %d, want %d", w, got[w], row[w])
-		}
+	if !got.Equal(row) {
+		t.Fatalf("ReadPort = %v, want %v", got, row)
 	}
-	d.WritePort(device.Left, Row{0, 1, 0, 0, 1, 1, 0, 1})
+	d.WritePort(device.Left, FromBits(0, 1, 0, 0, 1, 1, 0, 1))
 	got = d.PeekRow(5)
-	for w := range got {
-		if got[w] != 1-row[w] {
-			t.Fatalf("after WritePort row 5 wire %d = %d", w, got[w])
+	for w := 0; w < got.Len(); w++ {
+		if got.Get(w) != 1-row.Get(w) {
+			t.Fatalf("after WritePort row 5 wire %d = %d", w, got.Get(w))
 		}
 	}
 }
@@ -94,8 +87,8 @@ func TestDBCTRMatchesPopcount(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		row := randRow(32, rng)
 		d.PokeWindow(i, row)
-		for w, b := range row {
-			want[w] += int(b)
+		for w := 0; w < row.Len(); w++ {
+			want[w] += int(row.Get(w))
 		}
 	}
 	got := d.TRAll()
@@ -109,7 +102,10 @@ func TestDBCTRMatchesPopcount(t *testing.T) {
 func TestDBCTRWiresMasking(t *testing.T) {
 	d := MustNew(16, 32, params.TRD7)
 	d.PokeWindowConst(3, 1)
-	levels := d.TRWires([]int{2, 5})
+	levels, err := d.TRWires([]int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for w, l := range levels {
 		switch w {
 		case 2, 5:
@@ -126,21 +122,17 @@ func TestDBCTRWiresMasking(t *testing.T) {
 
 func TestDBCTWRow(t *testing.T) {
 	d := MustNew(4, 32, params.TRD7)
-	first := Row{1, 1, 0, 0}
+	first := FromBits(1, 1, 0, 0)
 	d.PokeWindow(0, first)
-	d.TW(Row{0, 1, 1, 0})
+	d.TW(FromBits(0, 1, 1, 0))
 	got := d.PeekWindow(0)
-	want := Row{0, 1, 1, 0}
-	for w := range want {
-		if got[w] != want[w] {
-			t.Fatalf("window 0 wire %d = %d, want %d", w, got[w], want[w])
-		}
+	want := FromBits(0, 1, 1, 0)
+	if !got.Equal(want) {
+		t.Fatalf("window 0 = %v, want %v", got, want)
 	}
 	got = d.PeekWindow(1)
-	for w := range first {
-		if got[w] != first[w] {
-			t.Fatalf("window 1 wire %d = %d, want %d (shifted)", w, got[w], first[w])
-		}
+	if !got.Equal(first) {
+		t.Fatalf("window 1 = %v, want %v (shifted)", got, first)
 	}
 }
 
@@ -153,10 +145,10 @@ func TestDBCWriteScatter(t *testing.T) {
 		{Wire: 1, Side: device.Right, Bit: 1},
 		{Wire: 2, Side: device.Left, Bit: 0},
 	})
-	if got := d.PeekWindow(0)[0]; got != 1 {
+	if got := d.PeekWindow(0).Get(0); got != 1 {
 		t.Errorf("wire 0 left port = %d, want 1", got)
 	}
-	if got := d.PeekWindow(6)[1]; got != 1 {
+	if got := d.PeekWindow(6).Get(1); got != 1 {
 		t.Errorf("wire 1 right port = %d, want 1", got)
 	}
 	s := tr.Stats()
@@ -173,9 +165,9 @@ func TestDBCTracing(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.TRAll()
-	d.WritePort(device.Left, make(Row, 8))
+	d.WritePort(device.Left, NewRow(8))
 	d.ReadPort(device.Right)
-	d.TW(make(Row, 8))
+	d.TW(NewRow(8))
 	s := tr.Stats()
 	if s.ShiftSteps != 3 || s.ShiftWires != 24 {
 		t.Errorf("shift trace %d/%d, want 3/24", s.ShiftSteps, s.ShiftWires)

@@ -30,7 +30,7 @@ func TestDBCEquivalentToIndependentNanowires(t *testing.T) {
 		row := randRow(width, rng)
 		d.LoadRow(r, row)
 		for i, w := range wires {
-			w.SetRow(r, row[i])
+			w.SetRow(r, row.Get(i))
 		}
 	}
 
@@ -56,13 +56,13 @@ func TestDBCEquivalentToIndependentNanowires(t *testing.T) {
 			bits := randBits()
 			d.WritePort(side, bits)
 			for i, w := range wires {
-				w.WritePort(side, bits[i])
+				w.WritePort(side, bits.Get(i))
 			}
 		case 2: // port read equivalence
 			side := device.Side(rng.Intn(2))
 			got := d.ReadPort(side)
 			for i, w := range wires {
-				if got[i] != w.ReadPort(side) {
+				if got.Get(i) != w.ReadPort(side) {
 					t.Fatalf("step %d: ReadPort diverged on wire %d", step, i)
 				}
 			}
@@ -77,17 +77,30 @@ func TestDBCEquivalentToIndependentNanowires(t *testing.T) {
 			bits := randBits()
 			d.TW(bits)
 			for i, w := range wires {
-				w.TW(bits[i])
+				w.TW(bits.Get(i))
 			}
 		case 5: // full state comparison
 			for r := 0; r < rows; r++ {
 				row := d.PeekRow(r)
 				for i, w := range wires {
-					if row[i] != w.PeekRow(r) {
+					if row.Get(i) != w.PeekRow(r) {
 						t.Fatalf("step %d: row %d wire %d diverged", step, r, i)
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestDBCEquivalenceUnderFaultInjection repeats the nanowire-bank
+// equivalence with TR and shift faults enabled: the word-masked fault
+// path of the packed engine must reproduce the scalar per-wire fault
+// path bit for bit when both draw from same-seeded injectors. The
+// wire-by-wire reference lives in refdbc_test.go.
+func TestDBCEquivalenceUnderFaultInjection(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		for seq := int64(0); seq < 50; seq++ {
+			runDifferential(t, trd, 77_000+seq, true)
 		}
 	}
 }

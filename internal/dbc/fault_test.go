@@ -15,9 +15,9 @@ func TestShiftFaultsMisalignData(t *testing.T) {
 	clean := MustNew(8, 32, params.TRD7)
 	faulty := MustNew(8, 32, params.TRD7)
 	for r := 0; r < 32; r++ {
-		row := make(Row, 8)
-		for w := range row {
-			row[w] = uint8((r + w) % 2)
+		row := NewRow(8)
+		for w := 0; w < 8; w++ {
+			row.Set(w, uint8((r+w)%2))
 		}
 		clean.LoadRow(r, row)
 		faulty.LoadRow(r, row)

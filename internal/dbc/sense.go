@@ -109,6 +109,69 @@ func Eval(op Op, level int, trd params.TRD) uint8 {
 	}
 }
 
+// EvalPlanes computes the single-bit result of op for every wire at once
+// from the bit-sliced level planes of a transverse read — the
+// word-parallel equivalent of calling Eval per wire. 64 wires are
+// evaluated per handful of bitwise word operations.
+func EvalPlanes(op Op, lp LevelPlanes, trd params.TRD) Row {
+	out := Row{Words: make([]uint64, len(lp.C0)), N: lp.N}
+	tail := TailMask(lp.N)
+	last := len(out.Words) - 1
+	for i := range out.Words {
+		var v uint64
+		switch op {
+		case OpOR:
+			v = lp.C0[i] | lp.C1[i] | lp.C2[i]
+		case OpNOR, OpNOT:
+			v = ^(lp.C0[i] | lp.C1[i] | lp.C2[i])
+		case OpAND:
+			v = levelEQ(lp.C0[i], lp.C1[i], lp.C2[i], int(trd))
+		case OpNAND:
+			v = ^levelEQ(lp.C0[i], lp.C1[i], lp.C2[i], int(trd))
+		case OpXOR:
+			v = lp.C0[i]
+		case OpXNOR:
+			v = ^lp.C0[i]
+		case OpMAJ:
+			v = levelGE(lp.C0[i], lp.C1[i], lp.C2[i], (int(trd)+1)/2)
+		default:
+			panic(fmt.Sprintf("dbc: unknown op %v", op))
+		}
+		if i == last {
+			v &= tail
+		}
+		out.Words[i] = v
+	}
+	return out
+}
+
+// levelEQ returns the mask of lanes whose 3-bit level equals t.
+func levelEQ(c0, c1, c2 uint64, t int) uint64 {
+	t0, t1, t2 := broadcast(t&1), broadcast(t>>1&1), broadcast(t>>2&1)
+	return ^(c0 ^ t0) & ^(c1 ^ t1) & ^(c2 ^ t2)
+}
+
+// levelGE returns the mask of lanes whose 3-bit level is at least t,
+// via a bit-sliced lexicographic comparison from the MSB down.
+func levelGE(c0, c1, c2 uint64, t int) uint64 {
+	t0, t1, t2 := broadcast(t&1), broadcast(t>>1&1), broadcast(t>>2&1)
+	gt := c2 &^ t2
+	eq := ^(c2 ^ t2)
+	gt |= eq & (c1 &^ t1)
+	eq &= ^(c1 ^ t1)
+	gt |= eq & (c0 &^ t0)
+	eq &= ^(c0 ^ t0)
+	return gt | eq
+}
+
+// broadcast replicates a single bit across a word.
+func broadcast(b int) uint64 {
+	if b != 0 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
 // SenseLevels applies Sense to a whole row of levels, skipping entries
 // masked with -1 (unselected bitlines).
 func SenseLevels(levels []int, trd params.TRD) []PIMOutputs {

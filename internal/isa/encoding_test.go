@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/dbc"
 	"repro/internal/params"
 )
 
@@ -81,14 +82,16 @@ func TestEncodeControllerIntegration(t *testing.T) {
 		t.Fatal(err)
 	}
 	decoded := Decode(word)
-	a := make([]uint8, 32)
-	b := make([]uint8, 32)
-	a[3], b[3], a[7] = 1, 1, 1
-	got, err := c.Execute(decoded, [][]uint8{a, b})
+	a := dbc.NewRow(32)
+	b := dbc.NewRow(32)
+	a.Set(3, 1)
+	b.Set(3, 1)
+	a.Set(7, 1)
+	got, err := c.Execute(decoded, []dbc.Row{a, b})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[3] != 0 || got[7] != 1 {
-		t.Errorf("decoded XOR wrong: %v", got[:8])
+	if got.Get(3) != 0 || got.Get(7) != 1 {
+		t.Errorf("decoded XOR wrong: %v", got)
 	}
 }

@@ -176,26 +176,26 @@ func NewController(cfg params.Config) (*Controller, error) {
 // the result row is returned and, for PIM ops, also left in the DBC.
 func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error) {
 	if err := in.Validate(c.geo, c.Unit.TRD()); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	if in.Op != OpRead && in.Op != OpNop && len(operands) != in.Operands {
-		return nil, fmt.Errorf("isa: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
+		return dbc.Row{}, fmt.Errorf("isa: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
 	}
 	switch in.Op {
 	case OpNop:
-		return nil, nil
+		return dbc.Row{}, nil
 	case OpRead:
 		// Bypass path: align the addressed row and read it through the
 		// orange direct path of Fig. 4(a).
 		side, _, err := c.Unit.D.AlignNearest(in.Src.Row)
 		if err != nil {
-			return nil, err
+			return dbc.Row{}, err
 		}
 		return c.Unit.D.ReadPort(side), nil
 	case OpWrite:
 		side, _, err := c.Unit.D.AlignNearest(in.Src.Row)
 		if err != nil {
-			return nil, err
+			return dbc.Row{}, err
 		}
 		c.Unit.D.WritePort(side, operands[0])
 		return operands[0], nil
@@ -203,7 +203,7 @@ func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error
 		return c.Unit.AddMulti(operands, in.Blocksize)
 	case OpMult:
 		if len(operands) != 2 {
-			return nil, fmt.Errorf("isa: mult expects 2 operands, got %d", len(operands))
+			return dbc.Row{}, fmt.Errorf("isa: mult expects 2 operands, got %d", len(operands))
 		}
 		return c.Unit.Multiply(operands[0], operands[1], in.Blocksize/2)
 	case OpMax:
@@ -215,7 +215,7 @@ func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error
 	default:
 		op, ok := in.Op.bulkOp()
 		if !ok {
-			return nil, fmt.Errorf("isa: unhandled opcode %v", in.Op)
+			return dbc.Row{}, fmt.Errorf("isa: unhandled opcode %v", in.Op)
 		}
 		return c.Unit.BulkBitwise(op, operands)
 	}

@@ -119,9 +119,9 @@ func TestControllerBulkOps(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", tc.op, err)
 		}
-		for w := range got {
-			if got[w] != tc.ref(a[w], b[w]) {
-				t.Fatalf("%v wire %d = %d", tc.op, w, got[w])
+		for w := 0; w < got.Len(); w++ {
+			if got.Get(w) != tc.ref(a.Get(w), b.Get(w)) {
+				t.Fatalf("%v wire %d = %d", tc.op, w, got.Get(w))
 			}
 		}
 	}
@@ -183,10 +183,8 @@ func TestControllerMaxVoteRelu(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range vote {
-		if vote[w] != rows[0][w] {
-			t.Fatalf("vote wire %d = %d", w, vote[w])
-		}
+	if !vote.Equal(rows[0]) {
+		t.Fatalf("vote = %v, want %v", vote, rows[0])
 	}
 
 	relu, err := c.Execute(Instruction{Op: OpRelu, Blocksize: 8, Operands: 1},
@@ -215,10 +213,8 @@ func TestControllerReadWriteBypass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range row {
-		if got[w] != row[w] {
-			t.Fatalf("read-back wire %d = %d, want %d", w, got[w], row[w])
-		}
+	if !got.Equal(row) {
+		t.Fatalf("read-back = %v, want %v", got, row)
 	}
 }
 
@@ -233,15 +229,15 @@ func TestControllerErrors(t *testing.T) {
 	if _, err := c.Execute(Instruction{Op: OpNot, Blocksize: 8, Operands: 9}, nil); err == nil {
 		t.Error("operand overflow accepted")
 	}
-	if r, err := c.Execute(Instruction{Op: OpNop}, nil); err != nil || r != nil {
+	if r, err := c.Execute(Instruction{Op: OpNop}, nil); err != nil || !r.IsEmpty() {
 		t.Error("nop misbehaved")
 	}
 }
 
 func randRow(width int, rng *rand.Rand) dbc.Row {
-	r := make(dbc.Row, width)
-	for i := range r {
-		r[i] = uint8(rng.Intn(2))
+	r := dbc.NewRow(width)
+	for i := 0; i < width; i++ {
+		r.Set(i, uint8(rng.Intn(2)))
 	}
 	return r
 }

@@ -37,11 +37,9 @@ func TestConcurrentAccess(t *testing.T) {
 					errs <- err
 					return
 				}
-				for w := range got {
-					if got[w] != row[w] {
-						errs <- errMismatch{g, w}
-						return
-					}
+				if !got.Equal(row) {
+					errs <- errMismatch{g, i}
+					return
 				}
 			}
 		}(g)

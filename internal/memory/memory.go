@@ -143,8 +143,8 @@ func (m *Memory) writeRowLocked(a isa.Addr, row dbc.Row) error {
 	if err != nil {
 		return err
 	}
-	if len(row) != d.Width() {
-		return fmt.Errorf("memory: row width %d, want %d", len(row), d.Width())
+	if row.N != d.Width() {
+		return fmt.Errorf("memory: row width %d, want %d", row.N, d.Width())
 	}
 	side, _, err := d.AlignNearest(a.Row)
 	if err != nil {
@@ -165,11 +165,11 @@ func (m *Memory) ReadRow(a isa.Addr) (dbc.Row, error) {
 func (m *Memory) readRowLocked(a isa.Addr) (dbc.Row, error) {
 	d, err := m.cluster(a)
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	side, _, err := d.AlignNearest(a.Row)
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	m.moves.RowReads++
 	return d.ReadPort(side), nil
@@ -215,23 +215,23 @@ func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := in.Validate(m.cfg.Geometry, m.cfg.TRD); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	if !in.Src.IsPIMEnabled(m.cfg.Geometry) {
-		return nil, fmt.Errorf("memory: %+v is not a PIM-enabled DBC", in.Src)
+		return dbc.Row{}, fmt.Errorf("memory: %+v is not a PIM-enabled DBC", in.Src)
 	}
 	if len(operands) != in.Operands {
-		return nil, fmt.Errorf("memory: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
+		return dbc.Row{}, fmt.Errorf("memory: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
 	}
 	u, err := m.unit(dbcBase(in.Src))
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	rows := make([]dbc.Row, len(operands))
 	for i, a := range operands {
 		row, err := m.readRowLocked(a)
 		if err != nil {
-			return nil, fmt.Errorf("memory: operand %d: %w", i, err)
+			return dbc.Row{}, fmt.Errorf("memory: operand %d: %w", i, err)
 		}
 		if !sameDBC(a, in.Src) {
 			m.moves.RowCopies++ // staged over the row buffer
@@ -245,7 +245,7 @@ func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) 
 		result, err = u.AddMulti(rows, in.Blocksize)
 	case isa.OpMult:
 		if len(rows) != 2 {
-			return nil, fmt.Errorf("memory: mult expects 2 operands")
+			return dbc.Row{}, fmt.Errorf("memory: mult expects 2 operands")
 		}
 		result, err = u.Multiply(rows[0], rows[1], in.Blocksize/2)
 	case isa.OpMax:
@@ -258,13 +258,13 @@ func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) 
 		op, _ := bulkOp(in.Op)
 		result, err = u.BulkBitwise(op, rows)
 	default:
-		return nil, fmt.Errorf("memory: opcode %v is not a PIM operation", in.Op)
+		return dbc.Row{}, fmt.Errorf("memory: opcode %v is not a PIM operation", in.Op)
 	}
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	if err := m.writeRowLocked(dst, result); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	return result, nil
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dbc"
 	"repro/internal/device"
 	"repro/internal/isa"
 	"repro/internal/params"
@@ -21,10 +22,10 @@ func testMemory(t *testing.T) *Memory {
 	return m
 }
 
-func randRow(n int, rng *rand.Rand) []uint8 {
-	r := make([]uint8, n)
-	for i := range r {
-		r[i] = uint8(rng.Intn(2))
+func randRow(n int, rng *rand.Rand) dbc.Row {
+	r := dbc.NewRow(n)
+	for i := 0; i < n; i++ {
+		r.Set(i, uint8(rng.Intn(2)))
 	}
 	return r
 }
@@ -38,7 +39,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		{Bank: 5, Subarray: 9, Tile: 0, DBC: 15, Row: 17}, // PIM-enabled
 		{Bank: 5, Subarray: 9, Tile: 0, DBC: 15, Row: 3},  // same DBC
 	}
-	want := make(map[isa.Addr][]uint8)
+	want := make(map[isa.Addr]dbc.Row)
 	for _, a := range addrs {
 		row := randRow(32, rng)
 		want[a] = row
@@ -51,10 +52,8 @@ func TestWriteReadRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ReadRow(%+v): %v", a, err)
 		}
-		for w := range got {
-			if got[w] != want[a][w] {
-				t.Fatalf("addr %+v wire %d = %d, want %d", a, w, got[w], want[a][w])
-			}
+		if !got.Equal(want[a]) {
+			t.Fatalf("addr %+v = %v, want %v", a, got, want[a])
 		}
 	}
 	if m.MaterializedDBCs() != 3 {
@@ -69,10 +68,10 @@ func TestAddressableWithoutAllocation(t *testing.T) {
 	// The Table II geometry holds half a million DBCs; touching two far
 	// corners must not materialize anything else.
 	m := testMemory(t)
-	if err := m.WriteRow(isa.Addr{Row: 0}, make([]uint8, 32)); err != nil {
+	if err := m.WriteRow(isa.Addr{Row: 0}, dbc.NewRow(32)); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WriteRow(isa.Addr{Bank: 31, Subarray: 63, Tile: 15, DBC: 14, Row: 31}, make([]uint8, 32)); err != nil {
+	if err := m.WriteRow(isa.Addr{Bank: 31, Subarray: 63, Tile: 15, DBC: 14, Row: 31}, dbc.NewRow(32)); err != nil {
 		t.Fatal(err)
 	}
 	if m.MaterializedDBCs() != 2 {
@@ -96,10 +95,8 @@ func TestCopyRowAcrossDBCs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range got {
-		if got[w] != row[w] {
-			t.Fatalf("copied row wire %d = %d", w, got[w])
-		}
+	if !got.Equal(row) {
+		t.Fatalf("copied row = %v, want %v", got, row)
 	}
 	if m.Moves().RowCopies != 1 {
 		t.Errorf("copies = %d, want 1", m.Moves().RowCopies)
@@ -142,10 +139,8 @@ func TestExecuteStagesAndStores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range stored {
-		if stored[w] != res[w] {
-			t.Fatal("stored result differs from returned result")
-		}
+	if !stored.Equal(res) {
+		t.Fatal("stored result differs from returned result")
 	}
 	if m.Moves().RowCopies < 2 {
 		t.Errorf("staging should count row-buffer copies, got %+v", m.Moves())
@@ -170,8 +165,8 @@ func TestExecuteBulkAndMult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range res {
-		if res[w] != ra[w]^rb[w] {
+	for w := 0; w < res.Len(); w++ {
+		if res.Get(w) != ra.Get(w)^rb.Get(w) {
 			t.Fatalf("XOR wire %d", w)
 		}
 	}
@@ -210,10 +205,10 @@ func TestExecuteErrors(t *testing.T) {
 		nil, isa.Addr{}); err == nil {
 		t.Error("bypass opcode accepted by Execute")
 	}
-	if err := m.WriteRow(isa.Addr{Bank: 99}, make([]uint8, 32)); err == nil {
+	if err := m.WriteRow(isa.Addr{Bank: 99}, dbc.NewRow(32)); err == nil {
 		t.Error("out-of-range address accepted")
 	}
-	if err := m.WriteRow(isa.Addr{}, make([]uint8, 5)); err == nil {
+	if err := m.WriteRow(isa.Addr{}, dbc.NewRow(5)); err == nil {
 		t.Error("wrong row width accepted")
 	}
 }
@@ -222,7 +217,7 @@ func TestMemoryFaultInjection(t *testing.T) {
 	m := testMemory(t)
 	pimAddr := isa.Addr{Tile: 0, DBC: 15}
 	a := isa.Addr{Tile: 1, Row: 0}
-	zero := make([]uint8, 32)
+	zero := dbc.NewRow(32)
 	if err := m.WriteRow(a, zero); err != nil {
 		t.Fatal(err)
 	}
@@ -232,20 +227,14 @@ func TestMemoryFaultInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	faulty := false
-	for _, b := range res {
-		if b != 0 {
-			faulty = true
-		}
-	}
-	if !faulty {
+	if res.OnesCount() == 0 {
 		t.Error("probability-1 faults produced a clean result")
 	}
 }
 
 func TestStatsAccumulate(t *testing.T) {
 	m := testMemory(t)
-	if err := m.WriteRow(isa.Addr{Row: 20}, make([]uint8, 32)); err != nil {
+	if err := m.WriteRow(isa.Addr{Row: 20}, dbc.NewRow(32)); err != nil {
 		t.Fatal(err)
 	}
 	s := m.Stats()

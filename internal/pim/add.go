@@ -27,18 +27,18 @@ import (
 func (u *Unit) AddMulti(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 	k := len(operands)
 	if k < 2 {
-		return nil, fmt.Errorf("pim: add needs at least 2 operands, got %d", k)
+		return dbc.Row{}, fmt.Errorf("pim: add needs at least 2 operands, got %d", k)
 	}
 	if max := u.maxAddOperands(); k > max {
-		return nil, fmt.Errorf("pim: add with %d operands exceeds limit %d for %v", k, max, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: add with %d operands exceeds limit %d for %v", k, max, u.cfg.TRD)
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
 	for _, r := range operands {
-		if len(r) != width {
-			return nil, fmt.Errorf("pim: operand width %d, want %d", len(r), width)
+		if r.N != width {
+			return dbc.Row{}, fmt.Errorf("pim: operand width %d, want %d", r.N, width)
 		}
 	}
 	hasCp := u.cfg.TRD.HasSuperCarry()
@@ -46,39 +46,87 @@ func (u *Unit) AddMulti(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 	// the last position the C slot. TRD=3: operands at positions 0..k−1
 	// (S overwrites an operand slot after its TR), C slot at the right.
 	if err := u.placeWindow(operands, 0, hasCp); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	return u.addPlaced(blocksize, hasCp)
 }
 
 // addPlaced runs the per-bit carry chain over operands already placed in
-// the window and returns the sum row.
+// the window and returns the sum row. The chain is word-parallel: at bit
+// position j every lane's wire j is selected by a periodic phase mask,
+// one masked transverse read senses all of them at once, and the level
+// planes are the scatter planes directly — C0 is S (kept at the left
+// port), C1 shifted up one wire is C (sent to the right port), C2
+// shifted up two wires is C' (left port). 64 lanes per word operation;
+// the trace records the same per-wire event counts as the historical
+// scalar scatter.
 func (u *Unit) addPlaced(blocksize int, hasCp bool) (dbc.Row, error) {
 	width := u.D.Width()
 	b := blocksize
-	sum := make(dbc.Row, width)
-	wires := make([]int, 0, width/b)
+	sum := dbc.NewRow(width)
+	words := len(sum.Words)
+	scratch := make([]uint64, 5*words)
+	mask := scratch[:words]
+	cBits := scratch[words : 2*words]
+	cMask := scratch[2*words : 3*words]
+	left := scratch[3*words : 4*words]
+	leftMask := scratch[4*words:]
 	for j := 0; j < b; j++ {
-		wires = wires[:0]
+		nw := 0
+		for i := range mask {
+			mask[i] = 0
+		}
 		for t := j; t < width; t += b {
-			wires = append(wires, t)
+			mask[t>>6] |= 1 << uint(t&63)
+			nw++
 		}
-		levels := u.D.TRWires(wires)
-		writes := make([]dbc.PortBit, 0, 3*len(wires))
-		for _, t := range wires {
-			o := dbc.Sense(levels[t], u.cfg.TRD)
-			sum[t] = o.S
-			writes = append(writes, dbc.PortBit{Wire: t, Side: dbcLeft, Bit: o.S})
-			if j+1 < b {
-				writes = append(writes, dbc.PortBit{Wire: t + 1, Side: dbcRight, Bit: o.C})
-			}
-			if hasCp && j+2 < b {
-				writes = append(writes, dbc.PortBit{Wire: t + 2, Side: dbcLeft, Bit: o.Cp})
-			}
+		u.D.TRMaskedInto(&u.lp, mask, nw)
+		lp := u.lp
+		count := nw
+		// S stays at the selected wires' left ports and is the result bit.
+		copy(left, lp.C0)
+		copy(leftMask, mask)
+		for i := range sum.Words {
+			sum.Words[i] |= lp.C0[i]
 		}
-		u.D.WriteScatter(writes)
+		// C feeds the next bit position: right port of wire t+1.
+		var rBits, rMask []uint64
+		if j+1 < b {
+			shiftWordsUp(cBits, lp.C1, 1)
+			shiftWordsUp(cMask, mask, 1)
+			rBits, rMask = cBits, cMask
+			count += nw
+		}
+		// C' skips a position: left port of wire t+2 (disjoint from the S
+		// wires whenever it is generated, since j+2 < b implies b > 2).
+		if hasCp && j+2 < b {
+			for i, w := range lp.C2 {
+				var lo uint64
+				if i > 0 {
+					lo = lp.C2[i-1] >> 62
+				}
+				left[i] |= w<<2 | lo
+				var lm uint64
+				if i > 0 {
+					lm = mask[i-1] >> 62
+				}
+				leftMask[i] |= mask[i]<<2 | lm
+			}
+			count += nw
+		}
+		u.D.WriteScatterPlanes(left, leftMask, rBits, rMask, count)
 	}
 	return sum, nil
+}
+
+// shiftWordsUp sets dst to src shifted k bit positions toward higher
+// wire indices, carrying across word boundaries (k < 64).
+func shiftWordsUp(dst, src []uint64, k uint) {
+	var carry uint64
+	for i, w := range src {
+		dst[i] = w<<k | carry
+		carry = w >> (64 - k)
+	}
 }
 
 // Add2 is a convenience wrapper adding two rows lane-wise.

@@ -17,15 +17,15 @@ import (
 func (u *Unit) AddLarge(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 	k := len(operands)
 	if k == 0 {
-		return nil, fmt.Errorf("pim: large add with no operands")
+		return dbc.Row{}, fmt.Errorf("pim: large add with no operands")
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
 	for _, r := range operands {
-		if len(r) != width {
-			return nil, fmt.Errorf("pim: operand width %d, want %d", len(r), width)
+		if r.N != width {
+			return dbc.Row{}, fmt.Errorf("pim: operand width %d, want %d", r.N, width)
 		}
 	}
 	if k == 1 {
@@ -43,7 +43,7 @@ func (u *Unit) AddLarge(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 		take := min(trdN, len(rows))
 		red, err := u.Reduce(rows[:take], blocksize)
 		if err != nil {
-			return nil, err
+			return dbc.Row{}, err
 		}
 		rows = append(red.Rows(), rows[take:]...)
 	}
@@ -56,7 +56,7 @@ func (u *Unit) AddLarge(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 func (u *Unit) AddChained(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 	k := len(operands)
 	if k == 0 {
-		return nil, fmt.Errorf("pim: chained add with no operands")
+		return dbc.Row{}, fmt.Errorf("pim: chained add with no operands")
 	}
 	if k == 1 {
 		return copyRow(operands[0]), nil
@@ -70,7 +70,7 @@ func (u *Unit) AddChained(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 		var err error
 		acc, err = u.AddMulti(group, blocksize)
 		if err != nil {
-			return nil, err
+			return dbc.Row{}, err
 		}
 		rest = rest[take:]
 	}

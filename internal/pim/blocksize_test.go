@@ -18,20 +18,15 @@ func TestAddMultiFullRowBlocksize(t *testing.T) {
 	vals := []uint64{1 << 40, 1 << 41, 1 << 42, 3, 9}
 	rows := make([]dbc.Row, len(vals))
 	for i, v := range vals {
-		row := make(dbc.Row, 512)
-		for j := 0; j < 64; j++ {
-			row[j] = uint8((v >> uint(j)) & 1)
-		}
+		row := dbc.NewRow(512)
+		row.Words[0] = v
 		rows[i] = row
 	}
 	sum, err := u.AddMulti(rows, 512)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got uint64
-	for j := 0; j < 64; j++ {
-		got |= uint64(sum[j]&1) << uint(j)
-	}
+	got := sum.Words[0]
 	var want uint64
 	for _, v := range vals {
 		want += v
@@ -40,7 +35,7 @@ func TestAddMultiFullRowBlocksize(t *testing.T) {
 		t.Errorf("512-bit add low word = %d, want %d", got, want)
 	}
 	for j := 64; j < 512; j++ {
-		if sum[j] != 0 {
+		if sum.Get(j) != 0 {
 			t.Fatalf("unexpected high bit %d set", j)
 		}
 	}
@@ -51,12 +46,10 @@ func TestAddMultiFullRowBlocksize(t *testing.T) {
 // along the wires, not word-sized.
 func TestAddMultiCarryAcross64(t *testing.T) {
 	u := MustNewUnit(params.DefaultConfig())
-	a := make(dbc.Row, 512)
-	b := make(dbc.Row, 512)
-	for j := 0; j < 64; j++ {
-		a[j] = 1 // a = 2^64 − 1 in a 128-bit lane
-	}
-	b[0] = 1 // b = 1
+	a := dbc.NewRow(512)
+	b := dbc.NewRow(512)
+	a.Words[0] = ^uint64(0) // a = 2^64 − 1 in a 128-bit lane
+	b.Set(0, 1)             // b = 1
 	sum, err := u.AddMulti([]dbc.Row{a, b}, 128)
 	if err != nil {
 		t.Fatal(err)
@@ -67,8 +60,8 @@ func TestAddMultiCarryAcross64(t *testing.T) {
 		if j == 64 {
 			want = 1
 		}
-		if sum[j] != want {
-			t.Fatalf("bit %d = %d, want %d", j, sum[j], want)
+		if sum.Get(j) != want {
+			t.Fatalf("bit %d = %d, want %d", j, sum.Get(j), want)
 		}
 	}
 }

@@ -12,30 +12,30 @@ import (
 // cardinalities remain correct. The result is written back through the
 // left port (one write step), as the paper stores it over an operand or
 // in a separate DBC, and is also returned.
+//
+// The whole operation is word-parallel: the transverse read yields
+// bit-sliced level planes and the polymorphic gate is evaluated 64 wires
+// per word operation (dbc.EvalPlanes).
 func (u *Unit) BulkBitwise(op dbc.Op, operands []dbc.Row) (dbc.Row, error) {
 	k := len(operands)
 	if k == 0 {
-		return nil, fmt.Errorf("pim: bulk %v with no operands", op)
+		return dbc.Row{}, fmt.Errorf("pim: bulk %v with no operands", op)
 	}
 	if k > u.cfg.TRD.MaxBulkOperands() {
-		return nil, fmt.Errorf("pim: bulk %v with %d operands exceeds TRD %d", op, k, int(u.cfg.TRD))
+		return dbc.Row{}, fmt.Errorf("pim: bulk %v with %d operands exceeds TRD %d", op, k, int(u.cfg.TRD))
 	}
 	if op == dbc.OpNOT && k != 1 {
-		return nil, fmt.Errorf("pim: NOT takes exactly one operand, got %d", k)
+		return dbc.Row{}, fmt.Errorf("pim: NOT takes exactly one operand, got %d", k)
 	}
 	for _, r := range operands {
-		if len(r) != u.D.Width() {
-			return nil, fmt.Errorf("pim: operand width %d, want %d", len(r), u.D.Width())
+		if r.N != u.D.Width() {
+			return dbc.Row{}, fmt.Errorf("pim: operand width %d, want %d", r.N, u.D.Width())
 		}
 	}
 	if err := u.placeWindow(operands, op.PadBit(), true); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
-	levels := u.D.TRAll()
-	out := make(dbc.Row, u.D.Width())
-	for w, l := range levels {
-		out[w] = dbc.Eval(op, l, u.cfg.TRD)
-	}
+	out := dbc.EvalPlanes(op, u.trAll(), u.cfg.TRD)
 	u.D.WritePort(dbcLeft, out)
 	return out, nil
 }

@@ -125,18 +125,18 @@ func (p ConstMulPlan) AdditionSteps() int { return len(p.Groups) }
 func (u *Unit) ConstMultiply(a dbc.Row, c uint64, bw int) (dbc.Row, error) {
 	laneW := 2 * bw
 	if err := u.checkBlocksize(laneW); err != nil {
-		return nil, fmt.Errorf("pim: product lane: %w", err)
+		return dbc.Row{}, fmt.Errorf("pim: product lane: %w", err)
 	}
 	if c == 0 {
 		return zeroRow(u.D.Width()), nil
 	}
 	plan, err := PlanConstMul(c, u.maxAddOperands())
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
-	if len(a) != width {
-		return nil, fmt.Errorf("pim: operand width %d, want %d", len(a), width)
+	if a.N != width {
+		return dbc.Row{}, fmt.Errorf("pim: operand width %d, want %d", a.N, width)
 	}
 
 	// Generate the shifted copies A<<s for every distinct shift in the
@@ -160,7 +160,7 @@ func (u *Unit) ConstMultiply(a dbc.Row, c uint64, bw int) (dbc.Row, error) {
 	var sum dbc.Row
 	for _, g := range plan.Groups {
 		operands := make([]dbc.Row, 0, len(g)+2)
-		if sum != nil {
+		if !sum.IsEmpty() {
 			operands = append(operands, sum)
 		}
 		var correction uint64
@@ -182,7 +182,7 @@ func (u *Unit) ConstMultiply(a dbc.Row, c uint64, bw int) (dbc.Row, error) {
 			}
 			row, err := PackLanes(corr, laneW, width)
 			if err != nil {
-				return nil, err
+				return dbc.Row{}, err
 			}
 			operands = append(operands, row)
 		}
@@ -192,18 +192,21 @@ func (u *Unit) ConstMultiply(a dbc.Row, c uint64, bw int) (dbc.Row, error) {
 		}
 		sum, err = u.AddMulti(operands, laneW)
 		if err != nil {
-			return nil, err
+			return dbc.Row{}, err
 		}
 	}
 	return sum, nil
 }
 
-// complementLanes returns the bitwise complement of each lane.
+// complementLanes returns the bitwise complement of each lane
+// (word-parallel; lanes tile the row exactly, so this is a whole-row
+// complement under the tail mask).
 func complementLanes(r dbc.Row, laneW int) dbc.Row {
-	out := make(dbc.Row, len(r))
-	for i, b := range r {
-		out[i] = 1 - (b & 1)
+	out := dbc.NewRow(r.N)
+	for i, w := range r.Words {
+		out.Words[i] = ^w
 	}
+	out.MaskTail()
 	_ = laneW
 	return out
 }

@@ -64,10 +64,8 @@ func TestAddChainedMatchesAddLarge(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for w := range a {
-			if a[w] != b[w] {
-				t.Fatalf("k=%d wire %d: AddLarge and AddChained disagree", k, w)
-			}
+		if !a.Equal(b) {
+			t.Fatalf("k=%d: AddLarge and AddChained disagree", k)
 		}
 	}
 }
@@ -101,10 +99,10 @@ func TestAddLargeErrors(t *testing.T) {
 	if _, err := u.AddLarge(nil, 8); err == nil {
 		t.Error("no operands accepted")
 	}
-	if _, err := u.AddLarge([]dbc.Row{make(dbc.Row, 32)}, 9); err == nil {
+	if _, err := u.AddLarge([]dbc.Row{dbc.NewRow(32)}, 9); err == nil {
 		t.Error("bad blocksize accepted")
 	}
-	if _, err := u.AddLarge([]dbc.Row{make(dbc.Row, 4), make(dbc.Row, 4)}, 8); err == nil {
+	if _, err := u.AddLarge([]dbc.Row{dbc.NewRow(4), dbc.NewRow(4)}, 8); err == nil {
 		t.Error("wrong width accepted")
 	}
 }
@@ -271,7 +269,7 @@ func TestAddMultiNMRBeatsEndVotingUnderFaults(t *testing.T) {
 
 func TestAddMultiNMRRejectsBadN(t *testing.T) {
 	u := unitFor(t, params.TRD5, 16)
-	rows := []dbc.Row{make(dbc.Row, 16), make(dbc.Row, 16)}
+	rows := []dbc.Row{dbc.NewRow(16), dbc.NewRow(16)}
 	if _, err := u.AddMultiNMR(7, rows, 8); err == nil {
 		t.Error("N=7 on TRD=5 accepted")
 	}

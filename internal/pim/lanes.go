@@ -18,20 +18,32 @@ const (
 // lane is little-endian along the wire index — matching the carry chain,
 // which propagates toward higher wire indices (Fig. 6). Values must fit
 // in lane bits.
+//
+// Because the packed Row uses the same little-endian wire order, packing
+// is a direct word move: a lane that divides the word size lands with one
+// shift-or, and lanes of 64 bits or wider land with one word store.
 func PackLanes(vals []uint64, lane, width int) (dbc.Row, error) {
 	if lane <= 0 || width%lane != 0 {
-		return nil, fmt.Errorf("pim: width %d not divisible by lane %d", width, lane)
+		return dbc.Row{}, fmt.Errorf("pim: width %d not divisible by lane %d", width, lane)
 	}
 	if len(vals) > width/lane {
-		return nil, fmt.Errorf("pim: %d values exceed %d lanes", len(vals), width/lane)
+		return dbc.Row{}, fmt.Errorf("pim: %d values exceed %d lanes", len(vals), width/lane)
 	}
-	row := make(dbc.Row, width)
+	row := dbc.NewRow(width)
 	for l, v := range vals {
 		if lane < 64 && v >= 1<<uint(lane) {
-			return nil, fmt.Errorf("pim: value %d does not fit in %d-bit lane", v, lane)
+			return dbc.Row{}, fmt.Errorf("pim: value %d does not fit in %d-bit lane", v, lane)
 		}
-		for j := 0; j < lane && j < 64; j++ {
-			row[l*lane+j] = uint8((v >> uint(j)) & 1)
+		switch {
+		case 64%lane == 0:
+			per := 64 / lane
+			row.Words[l/per] |= v << (uint(l%per) * uint(lane))
+		case lane%64 == 0:
+			row.Words[l*(lane/64)] = v
+		default:
+			for j := 0; j < lane && j < 64; j++ {
+				row.Set(l*lane+j, uint8(v>>uint(j))&1)
+			}
 		}
 	}
 	return row, nil
@@ -49,50 +61,110 @@ func MustPackLanes(vals []uint64, lane, width int) dbc.Row {
 // UnpackLanes extracts the lane values of a row (lanes wider than 64 bits
 // are truncated to their low 64 bits).
 func UnpackLanes(row dbc.Row, lane int) []uint64 {
-	n := len(row) / lane
+	n := row.N / lane
 	vals := make([]uint64, n)
 	for l := 0; l < n; l++ {
-		var v uint64
-		for j := 0; j < lane && j < 64; j++ {
-			v |= uint64(row[l*lane+j]&1) << uint(j)
+		switch {
+		case 64%lane == 0:
+			per := 64 / lane
+			v := row.Words[l/per] >> (uint(l%per) * uint(lane))
+			if lane < 64 {
+				v &= 1<<uint(lane) - 1
+			}
+			vals[l] = v
+		case lane%64 == 0:
+			vals[l] = row.Words[l*(lane/64)]
+		default:
+			var v uint64
+			for j := 0; j < lane && j < 64; j++ {
+				v |= uint64(row.Get(l*lane+j)) << uint(j)
+			}
+			vals[l] = v
 		}
-		vals[l] = v
 	}
 	return vals
 }
 
 // zeroRow returns an all-zero row of the given width.
-func zeroRow(width int) dbc.Row { return make(dbc.Row, width) }
+func zeroRow(width int) dbc.Row { return dbc.NewRow(width) }
 
 // constRow returns a row filled with the given bit.
-func constRow(width int, bit uint8) dbc.Row {
-	r := make(dbc.Row, width)
-	if bit != 0 {
-		for i := range r {
-			r[i] = 1
-		}
-	}
-	return r
-}
+func constRow(width int, bit uint8) dbc.Row { return dbc.ConstRow(width, bit) }
 
 // copyRow returns a copy of r.
-func copyRow(r dbc.Row) dbc.Row {
-	out := make(dbc.Row, len(r))
-	copy(out, r)
+func copyRow(r dbc.Row) dbc.Row { return r.Clone() }
+
+// lanePattern returns the word mask with bit `bit` of every lane set,
+// for lanes that divide the word size.
+func lanePattern(lane, bit int) uint64 {
+	var p uint64
+	for j := bit; j < 64; j += lane {
+		p |= 1 << uint(j)
+	}
+	return p
+}
+
+// laneShiftLeft returns r logically shifted left by k bit positions
+// within each lane of the given width: bit j moves to bit j+k, the lane's
+// top k bits are discarded, the bottom k bits become zero. With k=1 this
+// is the Fig. 4(a) brown i→i+1 forwarding path (§III-D: a logical left
+// shift, multiply by two). The shift runs word-at-a-time: a cross-word
+// carry chain plus one lane-boundary mask.
+func laneShiftLeftK(r dbc.Row, lane, k int) dbc.Row {
+	out := dbc.NewRow(r.N)
+	if k >= lane {
+		return out
+	}
+	var carry uint64
+	for i, w := range r.Words {
+		out.Words[i] = w<<uint(k) | carry
+		carry = w >> uint(64-k)
+	}
+	switch {
+	case 64%lane == 0:
+		// Clear the k low bits of every lane in one mask per word.
+		var low uint64
+		for b := 0; b < k; b++ {
+			low |= lanePattern(lane, b)
+		}
+		for i := range out.Words {
+			out.Words[i] &^= low
+		}
+	case lane%64 == 0:
+		wpl := lane / 64
+		for base := 0; base < len(out.Words); base += wpl {
+			out.Words[base] &^= 1<<uint(k) - 1
+		}
+	default:
+		for base := 0; base < r.N; base += lane {
+			for b := 0; b < k; b++ {
+				out.Set(base+b, 0)
+			}
+		}
+	}
+	out.MaskTail()
 	return out
 }
 
-// laneShiftLeft returns r logically shifted left by one bit position
-// within each lane of the given width: bit j moves to bit j+1, the lane
-// MSB is discarded, bit 0 becomes zero. This is the Fig. 4(a) brown
-// i→i+1 forwarding path (§III-D: a logical left shift, multiply by two).
-func laneShiftLeft(r dbc.Row, lane int) dbc.Row {
-	out := make(dbc.Row, len(r))
-	for base := 0; base < len(r); base += lane {
-		for j := lane - 1; j >= 1; j-- {
-			out[base+j] = r[base+j-1]
+func laneShiftLeft(r dbc.Row, lane int) dbc.Row { return laneShiftLeftK(r, lane, 1) }
+
+// zeroLane clears lane l of row r in place, word-at-a-time.
+func zeroLane(r dbc.Row, l, lane int) {
+	base := l * lane
+	switch {
+	case 64%lane == 0:
+		mask := (uint64(1)<<uint(lane) - 1) << uint(base%64)
+		if lane == 64 {
+			mask = ^uint64(0)
 		}
-		out[base] = 0
+		r.Words[base/64] &^= mask
+	case lane%64 == 0:
+		for i := base / 64; i < (base+lane)/64; i++ {
+			r.Words[i] = 0
+		}
+	default:
+		for t := base; t < base+lane; t++ {
+			r.Set(t, 0)
+		}
 	}
-	return out
 }

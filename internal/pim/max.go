@@ -20,22 +20,22 @@ import (
 func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 	k := len(candidates)
 	if k < 2 {
-		return nil, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
+		return dbc.Row{}, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
 	}
 	if k > u.cfg.TRD.MaxBulkOperands() {
-		return nil, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
+		return dbc.Row{}, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
 	for _, r := range candidates {
-		if len(r) != width {
-			return nil, fmt.Errorf("pim: candidate width %d, want %d", len(r), width)
+		if r.N != width {
+			return dbc.Row{}, fmt.Errorf("pim: candidate width %d, want %d", r.N, width)
 		}
 	}
 	if err := u.placeWindow(candidates, 0, false); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 
 	lanes := width / blocksize
@@ -45,7 +45,10 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 		for l := 0; l < lanes; l++ {
 			wires[l] = l*blocksize + j
 		}
-		levels := u.D.TRWires(wires)
+		levels, err := u.D.TRWires(wires)
+		if err != nil {
+			return dbc.Row{}, err
+		}
 		// Rotate all TRD window rows once around: read at the right
 		// port, predicated row-buffer reset, transverse write at the
 		// left port. Rows holding padding rotate like candidates so the
@@ -54,12 +57,10 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 			row := u.D.ReadPort(dbcRight)
 			for l := 0; l < lanes; l++ {
 				w := l*blocksize + j
-				if levels[w] > 0 && row[w] == 0 {
+				if levels[w] > 0 && row.Get(w) == 0 {
 					// Some candidate has a '1' here and this one does
 					// not: the predicated reset zeroes the lane.
-					for t := l * blocksize; t < (l+1)*blocksize; t++ {
-						row[t] = 0
-					}
+					zeroLane(row, l, blocksize)
 				}
 			}
 			u.D.TW(row)
@@ -68,12 +69,7 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 
 	// Extraction: a final TR per wire; the OR output reads the max
 	// (losers are zero vectors; ties overlap harmlessly).
-	levels := u.D.TRAll()
-	out := make(dbc.Row, width)
-	for w, l := range levels {
-		out[w] = dbc.Eval(dbc.OpOR, l, u.cfg.TRD)
-	}
-	return out, nil
+	return dbc.EvalPlanes(dbc.OpOR, u.trAll(), u.cfg.TRD), nil
 }
 
 // ReLU applies the rectifier of §IV-C lane-wise to two's-complement
@@ -82,21 +78,19 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 // the MSB wires plus one predicated write.
 func (u *Unit) ReLU(row dbc.Row, blocksize int) (dbc.Row, error) {
 	if err := u.checkBlocksize(blocksize); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
-	if len(row) != width {
-		return nil, fmt.Errorf("pim: row width %d, want %d", len(row), width)
+	if row.N != width {
+		return dbc.Row{}, fmt.Errorf("pim: row width %d, want %d", row.N, width)
 	}
 	lanes := width / blocksize
 	u.tr.Read(lanes)  // sign-bit wires into the row buffer
 	u.tr.Write(width) // predicated refresh
-	out := copyRow(row)
+	out := row.Clone()
 	for l := 0; l < lanes; l++ {
-		if out[l*blocksize+blocksize-1] == 1 {
-			for t := l * blocksize; t < (l+1)*blocksize; t++ {
-				out[t] = 0
-			}
+		if out.Get(l*blocksize+blocksize-1) == 1 {
+			zeroLane(out, l, blocksize)
 		}
 	}
 	return out, nil

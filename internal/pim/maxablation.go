@@ -20,22 +20,22 @@ import (
 func (u *Unit) MaxTRFullShift(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 	k := len(candidates)
 	if k < 2 {
-		return nil, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
+		return dbc.Row{}, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
 	}
 	if k > u.cfg.TRD.MaxBulkOperands() {
-		return nil, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
+		return dbc.Row{}, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
 	for _, r := range candidates {
-		if len(r) != width {
-			return nil, fmt.Errorf("pim: candidate width %d, want %d", len(r), width)
+		if r.N != width {
+			return dbc.Row{}, fmt.Errorf("pim: candidate width %d, want %d", r.N, width)
 		}
 	}
 	if err := u.placeWindow(candidates, 0, false); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 
 	trd := int(u.cfg.TRD)
@@ -46,7 +46,10 @@ func (u *Unit) MaxTRFullShift(candidates []dbc.Row, blocksize int) (dbc.Row, err
 		for l := 0; l < lanes; l++ {
 			wires[l] = l*blocksize + j
 		}
-		levels := u.D.TRWires(wires)
+		levels, err := u.D.TRWires(wires)
+		if err != nil {
+			return dbc.Row{}, err
+		}
 		for r := 0; r < trd; r++ {
 			var row dbc.Row
 			if rightward {
@@ -56,20 +59,18 @@ func (u *Unit) MaxTRFullShift(candidates []dbc.Row, blocksize int) (dbc.Row, err
 			}
 			for l := 0; l < lanes; l++ {
 				w := l*blocksize + j
-				if levels[w] > 0 && row[w] == 0 {
-					for t := l * blocksize; t < (l+1)*blocksize; t++ {
-						row[t] = 0
-					}
+				if levels[w] > 0 && row.Get(w) == 0 {
+					zeroLane(row, l, blocksize)
 				}
 			}
 			if rightward {
 				if err := u.D.Shift(1); err != nil {
-					return nil, err
+					return dbc.Row{}, err
 				}
 				u.D.WritePort(dbcLeft, row)
 			} else {
 				if err := u.D.Shift(-1); err != nil {
-					return nil, err
+					return dbc.Row{}, err
 				}
 				u.D.WritePort(dbcRight, row)
 			}
@@ -77,10 +78,5 @@ func (u *Unit) MaxTRFullShift(candidates []dbc.Row, blocksize int) (dbc.Row, err
 		rightward = !rightward
 	}
 
-	levels := u.D.TRAll()
-	out := make(dbc.Row, width)
-	for w, l := range levels {
-		out[w] = dbc.Eval(dbc.OpOR, l, u.cfg.TRD)
-	}
-	return out, nil
+	return dbc.EvalPlanes(dbc.OpOR, u.trAll(), u.cfg.TRD), nil
 }

@@ -13,7 +13,7 @@ import (
 func (u *Unit) MaxLarge(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 	switch len(candidates) {
 	case 0:
-		return nil, fmt.Errorf("pim: max with no candidates")
+		return dbc.Row{}, fmt.Errorf("pim: max with no candidates")
 	case 1:
 		return copyRow(candidates[0]), nil
 	}
@@ -26,7 +26,7 @@ func (u *Unit) MaxLarge(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 		var err error
 		acc, err = u.MaxTR(group, blocksize)
 		if err != nil {
-			return nil, err
+			return dbc.Row{}, err
 		}
 		rest = rest[take:]
 	}

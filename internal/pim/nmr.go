@@ -23,12 +23,12 @@ func (u *Unit) ValidNMR(n int) bool {
 func (u *Unit) Vote(replicas []dbc.Row) (dbc.Row, error) {
 	n := len(replicas)
 	if !u.ValidNMR(n) {
-		return nil, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
 	}
 	width := u.D.Width()
 	for _, r := range replicas {
-		if len(r) != width {
-			return nil, fmt.Errorf("pim: replica width %d, want %d", len(r), width)
+		if r.N != width {
+			return dbc.Row{}, fmt.Errorf("pim: replica width %d, want %d", r.N, width)
 		}
 	}
 	pad := (int(u.cfg.TRD) - n) / 2
@@ -40,16 +40,11 @@ func (u *Unit) Vote(replicas []dbc.Row) (dbc.Row, error) {
 		rows = append(rows, constRow(width, 1))
 	}
 	if err := u.placeWindow(rows, 0, true); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
-	levels := u.D.TRAll()
-	out := make(dbc.Row, width)
-	threshold := (int(u.cfg.TRD) + 1) / 2
-	for w, l := range levels {
-		if l >= threshold {
-			out[w] = 1
-		}
-	}
+	// The C' threshold is the majority output (§III-F); evaluate it
+	// word-parallel over the bit-sliced level planes.
+	out := dbc.EvalPlanes(dbc.OpMAJ, u.trAll(), u.cfg.TRD)
 	u.D.WritePort(dbcLeft, out)
 	return out, nil
 }
@@ -63,31 +58,31 @@ func (u *Unit) Vote(replicas []dbc.Row) (dbc.Row, error) {
 // errors accumulate ("nearly two orders of magnitude" apart, §V-F).
 func (u *Unit) AddMultiNMR(n int, operands []dbc.Row, blocksize int) (dbc.Row, error) {
 	if !u.ValidNMR(n) {
-		return nil, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
 	}
 	k := len(operands)
 	if k < 2 {
-		return nil, fmt.Errorf("pim: add needs at least 2 operands, got %d", k)
+		return dbc.Row{}, fmt.Errorf("pim: add needs at least 2 operands, got %d", k)
 	}
 	if max := u.maxAddOperands(); k > max {
-		return nil, fmt.Errorf("pim: add with %d operands exceeds limit %d for %v", k, max, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: add with %d operands exceeds limit %d for %v", k, max, u.cfg.TRD)
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
 	for _, r := range operands {
-		if len(r) != width {
-			return nil, fmt.Errorf("pim: operand width %d, want %d", len(r), width)
+		if r.N != width {
+			return dbc.Row{}, fmt.Errorf("pim: operand width %d, want %d", r.N, width)
 		}
 	}
 	hasCp := u.cfg.TRD.HasSuperCarry()
 	if err := u.placeWindow(operands, 0, hasCp); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 
 	b := blocksize
-	sum := make(dbc.Row, width)
+	sum := dbc.NewRow(width)
 	wires := make([]int, 0, width/b)
 	for j := 0; j < b; j++ {
 		wires = wires[:0]
@@ -99,7 +94,10 @@ func (u *Unit) AddMultiNMR(n int, operands []dbc.Row, blocksize int) (dbc.Row, e
 		votesC := make([]int, width)
 		votesCp := make([]int, width)
 		for rep := 0; rep < n; rep++ {
-			levels := u.D.TRWires(wires)
+			levels, err := u.D.TRWires(wires)
+			if err != nil {
+				return dbc.Row{}, err
+			}
 			for _, t := range wires {
 				o := dbc.Sense(levels[t], u.cfg.TRD)
 				votesS[t] += int(o.S)
@@ -111,7 +109,7 @@ func (u *Unit) AddMultiNMR(n int, operands []dbc.Row, blocksize int) (dbc.Row, e
 		writes := make([]dbc.PortBit, 0, 3*len(wires))
 		for _, t := range wires {
 			s := majBit(votesS[t], n)
-			sum[t] = s
+			sum.Set(t, s)
 			writes = append(writes, dbc.PortBit{Wire: t, Side: dbcLeft, Bit: s})
 			if j+1 < b {
 				writes = append(writes, dbc.PortBit{Wire: t + 1, Side: dbcRight, Bit: majBit(votesC[t], n)})
@@ -137,13 +135,13 @@ func majBit(votes, n int) uint8 {
 // runs once per replica so injected faults differ between replicas.
 func (u *Unit) RunNMR(n int, op func() (dbc.Row, error)) (dbc.Row, error) {
 	if !u.ValidNMR(n) {
-		return nil, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
 	}
 	replicas := make([]dbc.Row, n)
 	for i := range replicas {
 		r, err := op()
 		if err != nil {
-			return nil, fmt.Errorf("pim: replica %d: %w", i, err)
+			return dbc.Row{}, fmt.Errorf("pim: replica %d: %w", i, err)
 		}
 		replicas[i] = r
 	}

@@ -90,9 +90,9 @@ func TestMultiplyCycleNearAnchor(t *testing.T) {
 
 func TestMultiplyRejectsOversizedValues(t *testing.T) {
 	u := unitFor(t, params.TRD7, 32)
-	a := make(dbc.Row, 32)
-	b := make(dbc.Row, 32)
-	a[12] = 1 // bit 12 of lane 0 is in the high half for bw=8
+	a := dbc.NewRow(32)
+	b := dbc.NewRow(32)
+	a.Set(12, 1) // bit 12 of lane 0 is in the high half for bw=8
 	if _, err := u.Multiply(a, b, 8); err == nil {
 		t.Error("operand with high-half bits accepted")
 	}
@@ -103,7 +103,7 @@ func TestMultiplyErrors(t *testing.T) {
 	if _, err := u.MultiplyValues([]uint64{1}, []uint64{1, 2}, 8); err == nil {
 		t.Error("mismatched operand counts accepted")
 	}
-	if _, err := u.Multiply(make(dbc.Row, 8), make(dbc.Row, 8), 8); err == nil {
+	if _, err := u.Multiply(dbc.NewRow(8), dbc.NewRow(8), 8); err == nil {
 		t.Error("wrong-width rows accepted")
 	}
 	if _, err := u.MultiplyValues([]uint64{1}, []uint64{1}, 32); err == nil {
@@ -260,15 +260,13 @@ func TestMaxTRTies(t *testing.T) {
 
 func TestMaxTRAllZero(t *testing.T) {
 	u := unitFor(t, params.TRD7, 16)
-	cands := []dbc.Row{make(dbc.Row, 16), make(dbc.Row, 16)}
+	cands := []dbc.Row{dbc.NewRow(16), dbc.NewRow(16)}
 	got, err := u.MaxTR(cands, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w, b := range got {
-		if b != 0 {
-			t.Fatalf("all-zero max has bit %d set", w)
-		}
+	if got.OnesCount() != 0 {
+		t.Fatalf("all-zero max has bits set: %v", got)
 	}
 }
 
@@ -361,11 +359,11 @@ func TestVoteMajority(t *testing.T) {
 		for w := 0; w < 32; w++ {
 			ones := 0
 			for _, r := range replicas {
-				ones += int(r[w])
+				ones += int(r.Get(w))
 			}
 			want := b2u(2*ones > tc.n)
-			if got[w] != want {
-				t.Fatalf("%v N=%d wire %d vote = %d, want %d", tc.trd, tc.n, w, got[w], want)
+			if got.Get(w) != want {
+				t.Fatalf("%v N=%d wire %d vote = %d, want %d", tc.trd, tc.n, w, got.Get(w), want)
 			}
 		}
 	}
@@ -375,7 +373,7 @@ func TestVoteRejectsInvalidN(t *testing.T) {
 	u := unitFor(t, params.TRD5, 16)
 	seven := make([]dbc.Row, 7)
 	for i := range seven {
-		seven[i] = make(dbc.Row, 16)
+		seven[i] = dbc.NewRow(16)
 	}
 	if _, err := u.Vote(seven); err == nil {
 		t.Error("N=7 on TRD=5 accepted")
@@ -401,10 +399,8 @@ func TestRunNMRCorrectsSingleFault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range correct {
-		if got[w] != correct[w] {
-			t.Fatalf("TMR failed to mask single fault at wire %d", w)
-		}
+	if !got.Equal(correct) {
+		t.Fatal("TMR failed to mask single fault")
 	}
 }
 
@@ -423,10 +419,8 @@ func TestRunNMR5CorrectsTwoFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range correct {
-		if got[w] != correct[w] {
-			t.Fatalf("5MR failed to mask two faults at wire %d", w)
-		}
+	if !got.Equal(correct) {
+		t.Fatal("5MR failed to mask two faults")
 	}
 }
 
@@ -453,8 +447,8 @@ func TestNMRWithInjectedTRFaults(t *testing.T) {
 			if err != nil {
 				panic(err)
 			}
-			for w := range got {
-				if got[w] != a[w]^b[w] {
+			for w := 0; w < width; w++ {
+				if got.Get(w) != a.Get(w)^b.Get(w) {
 					wrong++
 					break
 				}

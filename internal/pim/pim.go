@@ -27,6 +27,10 @@ type Unit struct {
 	D   *dbc.DBC
 	cfg params.Config
 	tr  *trace.Tracer
+
+	// lp is the scratch destination for transverse reads: valid only
+	// until the next TR, so every consumer copies what it keeps.
+	lp dbc.LevelPlanes
 }
 
 // NewUnit builds a PIM unit for the given configuration.
@@ -38,7 +42,7 @@ func NewUnit(cfg params.Config) (*Unit, error) {
 	if err != nil {
 		return nil, err
 	}
-	u := &Unit{D: d, cfg: cfg, tr: &trace.Tracer{}}
+	u := &Unit{D: d, cfg: cfg, tr: &trace.Tracer{}, lp: dbc.NewLevelPlanes(cfg.Geometry.TrackWidth)}
 	d.SetTracer(u.tr)
 	return u, nil
 }
@@ -137,4 +141,13 @@ func (u *Unit) placeWindow(rows []dbc.Row, pad uint8, finalShift bool) error {
 		u.D.PokeWindowConst(0, pad)
 	}
 	return nil
+}
+
+// trAll performs a traced whole-DBC transverse read into the unit's
+// scratch planes. The returned planes alias the scratch buffer and are
+// valid only until the next transverse read; consumers copy what they
+// keep.
+func (u *Unit) trAll() dbc.LevelPlanes {
+	u.D.TRAllPlanesInto(&u.lp)
+	return u.lp
 }

@@ -89,10 +89,10 @@ func TestLaneShiftLeft(t *testing.T) {
 
 // --- Bulk-bitwise -----------------------------------------------------
 
-func refBulk(op dbc.Op, ops [][]uint8, w int) uint8 {
+func refBulk(op dbc.Op, ops []dbc.Row, w int) uint8 {
 	ones := 0
 	for _, r := range ops {
-		ones += int(r[w])
+		ones += int(r.Get(w))
 	}
 	k := len(ops)
 	switch op {
@@ -134,9 +134,9 @@ func TestBulkBitwiseAllOpsAllCardinalities(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v %v k=%d: %v", trd, op, k, err)
 				}
-				for w := range got {
-					if want := refBulk(op, operands, w); got[w] != want {
-						t.Fatalf("%v %v k=%d wire %d = %d, want %d", trd, op, k, w, got[w], want)
+				for w := 0; w < got.Len(); w++ {
+					if want := refBulk(op, operands, w); got.Get(w) != want {
+						t.Fatalf("%v %v k=%d wire %d = %d, want %d", trd, op, k, w, got.Get(w), want)
 					}
 				}
 			}
@@ -152,9 +152,9 @@ func TestBulkBitwiseNOT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range got {
-		if got[w] != 1-in[w] {
-			t.Fatalf("NOT wire %d = %d", w, got[w])
+	for w := 0; w < got.Len(); w++ {
+		if got.Get(w) != 1-in.Get(w) {
+			t.Fatalf("NOT wire %d = %d", w, got.Get(w))
 		}
 	}
 	if _, err := u.BulkBitwise(dbc.OpNOT, []dbc.Row{in, in}); err == nil {
@@ -166,7 +166,7 @@ func TestBulkBitwiseErrors(t *testing.T) {
 	u := unitFor(t, params.TRD3, 16)
 	rows := make([]dbc.Row, 4)
 	for i := range rows {
-		rows[i] = make(dbc.Row, 16)
+		rows[i] = dbc.NewRow(16)
 	}
 	if _, err := u.BulkBitwise(dbc.OpOR, rows); err == nil {
 		t.Error("4 operands on TRD=3 accepted")
@@ -174,7 +174,7 @@ func TestBulkBitwiseErrors(t *testing.T) {
 	if _, err := u.BulkBitwise(dbc.OpOR, nil); err == nil {
 		t.Error("0 operands accepted")
 	}
-	if _, err := u.BulkBitwise(dbc.OpOR, []dbc.Row{make(dbc.Row, 3)}); err == nil {
+	if _, err := u.BulkBitwise(dbc.OpOR, []dbc.Row{dbc.NewRow(3)}); err == nil {
 		t.Error("wrong-width operand accepted")
 	}
 }
@@ -193,9 +193,9 @@ func TestBulkBitwiseCycleCost(t *testing.T) {
 }
 
 func randBits(width int, rng *rand.Rand) dbc.Row {
-	r := make(dbc.Row, width)
-	for i := range r {
-		r[i] = uint8(rng.Intn(2))
+	r := dbc.NewRow(width)
+	for i := 0; i < width; i++ {
+		r.Set(i, uint8(rng.Intn(2)))
 	}
 	return r
 }
@@ -336,22 +336,20 @@ func TestAddMultiResultStoredAtPort(t *testing.T) {
 		t.Fatal(err)
 	}
 	stored := u.D.PeekWindow(0)
-	for w := range sum {
-		if stored[w] != sum[w] {
-			t.Fatalf("stored bit %d = %d, want %d", w, stored[w], sum[w])
-		}
+	if !stored.Equal(sum) {
+		t.Fatalf("stored row %v, want %v", stored, sum)
 	}
 }
 
 func TestAddMultiErrors(t *testing.T) {
 	u := unitFor(t, params.TRD7, 32)
-	row := make(dbc.Row, 32)
+	row := dbc.NewRow(32)
 	if _, err := u.AddMulti([]dbc.Row{row}, 8); err == nil {
 		t.Error("1 operand accepted")
 	}
 	six := make([]dbc.Row, 6)
 	for i := range six {
-		six[i] = make(dbc.Row, 32)
+		six[i] = dbc.NewRow(32)
 	}
 	if _, err := u.AddMulti(six, 8); err == nil {
 		t.Error("6 operands accepted for TRD=7")
@@ -362,7 +360,7 @@ func TestAddMultiErrors(t *testing.T) {
 	if _, err := u.AddMulti([]dbc.Row{row, row}, 64); err == nil {
 		t.Error("blocksize beyond track width accepted")
 	}
-	if _, err := u.AddMulti([]dbc.Row{row, make(dbc.Row, 8)}, 8); err == nil {
+	if _, err := u.AddMulti([]dbc.Row{row, dbc.NewRow(8)}, 8); err == nil {
 		t.Error("mismatched operand width accepted")
 	}
 }
@@ -409,7 +407,7 @@ func TestReduceInvariant(t *testing.T) {
 			s := UnpackLanes(red.S, 8)
 			c := UnpackLanes(red.C, 8)
 			cp := make([]uint64, 8)
-			if red.Cp != nil {
+			if !red.Cp.IsEmpty() {
 				cp = UnpackLanes(red.Cp, 8)
 			}
 			for l := 0; l < 8; l++ {
@@ -459,10 +457,8 @@ func TestReduceFunctionalMatchesDBC(t *testing.T) {
 			t.Fatal(err)
 		}
 		funRed := reduceRowsFunctional(operands, 8, true)
-		for w := 0; w < 32; w++ {
-			if dbcRed.S[w] != funRed.S[w] || dbcRed.C[w] != funRed.C[w] || dbcRed.Cp[w] != funRed.Cp[w] {
-				t.Fatalf("trial %d wire %d: DBC and functional reductions differ", trial, w)
-			}
+		if !dbcRed.S.Equal(funRed.S) || !dbcRed.C.Equal(funRed.C) || !dbcRed.Cp.Equal(funRed.Cp) {
+			t.Fatalf("trial %d: DBC and functional reductions differ", trial)
 		}
 	}
 }
@@ -479,15 +475,13 @@ func TestReduceWindowStateAfter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := 0; w < 32; w++ {
-		if got := u.D.PeekWindow(0)[w]; got != red.Cp[w] {
-			t.Fatalf("window 0 wire %d = %d, want C'=%d", w, got, red.Cp[w])
-		}
-		if got := u.D.PeekWindow(1)[w]; got != red.C[w] {
-			t.Fatalf("window 1 wire %d = %d, want C=%d", w, got, red.C[w])
-		}
-		if got := u.D.PeekWindow(2)[w]; got != red.S[w] {
-			t.Fatalf("window 2 wire %d = %d, want S=%d", w, got, red.S[w])
-		}
+	if got := u.D.PeekWindow(0); !got.Equal(red.Cp) {
+		t.Fatalf("window 0 = %v, want C'=%v", got, red.Cp)
+	}
+	if got := u.D.PeekWindow(1); !got.Equal(red.C) {
+		t.Fatalf("window 1 = %v, want C=%v", got, red.C)
+	}
+	if got := u.D.PeekWindow(2); !got.Equal(red.S) {
+		t.Fatalf("window 2 = %v, want S=%v", got, red.S)
 	}
 }

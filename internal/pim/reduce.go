@@ -8,17 +8,17 @@ import (
 
 // Reduction is the output of a carry-save reduction step (§III-D3): three
 // rows whose lane-wise sum equals the lane-wise sum of the inputs modulo
-// 2^blocksize. For TRD=3 there is no super-carry and Cp is nil (a 3→2
-// reduction).
+// 2^blocksize. For TRD=3 there is no super-carry and Cp is the empty row
+// (a 3→2 reduction).
 type Reduction struct {
 	S  dbc.Row // level bit 0, at the original bit positions
 	C  dbc.Row // level bit 1, already routed one bit position up
-	Cp dbc.Row // level bit 2, already routed two bit positions up (nil for TRD=3)
+	Cp dbc.Row // level bit 2, already routed two bit positions up (empty for TRD=3)
 }
 
-// Rows returns the non-nil rows of the reduction.
+// Rows returns the non-empty rows of the reduction.
 func (r Reduction) Rows() []dbc.Row {
-	if r.Cp == nil {
+	if r.Cp.IsEmpty() {
 		return []dbc.Row{r.S, r.C}
 	}
 	return []dbc.Row{r.S, r.C, r.Cp}
@@ -48,8 +48,8 @@ func (u *Unit) Reduce(operands []dbc.Row, blocksize int) (Reduction, error) {
 	}
 	width := u.D.Width()
 	for _, r := range operands {
-		if len(r) != width {
-			return Reduction{}, fmt.Errorf("pim: operand width %d, want %d", len(r), width)
+		if r.N != width {
+			return Reduction{}, fmt.Errorf("pim: operand width %d, want %d", r.N, width)
 		}
 	}
 	if err := u.placeWindow(operands, 0, false); err != nil {
@@ -63,38 +63,58 @@ func (u *Unit) Reduce(operands []dbc.Row, blocksize int) (Reduction, error) {
 // the transverse writes rotate it inward (positions 0..2 hold C', C, S
 // for TRD≥5; positions 0..1 hold C, S for TRD=3).
 func (u *Unit) reducePlaced(blocksize int) (Reduction, error) {
-	levels := u.D.TRAll()
-	red := reductionOfLevels(levels, blocksize, u.cfg.TRD.HasSuperCarry())
+	lp := u.trAll()
+	red := reductionOfPlanes(lp, blocksize, u.cfg.TRD.HasSuperCarry())
 	// Write-back: S through the left port, then rotate C (and C') in by
 	// transverse writes so all outputs occupy window rows (§IV-B notes TW
 	// also accelerates padding and multi-step operations).
 	u.D.WritePort(dbcLeft, red.S)
 	u.D.TW(red.C)
-	if red.Cp != nil {
+	if !red.Cp.IsEmpty() {
 		u.D.TW(red.Cp)
 	}
 	return red, nil
 }
 
+// reductionOfPlanes converts bit-sliced TR level planes into the S/C/C'
+// rows word-parallel: S is the level's bit 0 in place, C the level's bit
+// 1 routed one position up, C' bit 2 routed two positions up, with
+// carries masked at lane boundaries — exactly the lane shift used by the
+// multiplication forwarding path.
+func reductionOfPlanes(lp dbc.LevelPlanes, blocksize int, hasCp bool) Reduction {
+	s := dbc.Row{Words: append([]uint64(nil), lp.C0...), N: lp.N}
+	s.MaskTail()
+	c := dbc.Row{Words: append([]uint64(nil), lp.C1...), N: lp.N}
+	c.MaskTail()
+	red := Reduction{S: s, C: laneShiftLeft(c, blocksize)}
+	if hasCp {
+		cp := dbc.Row{Words: append([]uint64(nil), lp.C2...), N: lp.N}
+		cp.MaskTail()
+		red.Cp = laneShiftLeftK(cp, blocksize, 2)
+	}
+	return red
+}
+
 // reductionOfLevels converts per-wire TR levels into the S/C/C' rows,
-// masking carries at lane boundaries.
+// masking carries at lane boundaries. It tolerates -1 (masked) entries
+// and is the scalar reference for reductionOfPlanes.
 func reductionOfLevels(levels []int, blocksize int, hasCp bool) Reduction {
 	width := len(levels)
-	red := Reduction{S: make(dbc.Row, width), C: make(dbc.Row, width)}
+	red := Reduction{S: dbc.NewRow(width), C: dbc.NewRow(width)}
 	if hasCp {
-		red.Cp = make(dbc.Row, width)
+		red.Cp = dbc.NewRow(width)
 	}
 	for t, l := range levels {
 		if l < 0 {
 			continue
 		}
 		j := t % blocksize
-		red.S[t] = uint8(l & 1)
+		red.S.Set(t, uint8(l&1))
 		if j+1 < blocksize {
-			red.C[t+1] = uint8((l >> 1) & 1)
+			red.C.Set(t+1, uint8(l>>1&1))
 		}
 		if hasCp && j+2 < blocksize {
-			red.Cp[t+2] = uint8((l >> 2) & 1)
+			red.Cp.Set(t+2, uint8(l>>2&1))
 		}
 	}
 	return red
@@ -102,14 +122,23 @@ func reductionOfLevels(levels []int, blocksize int, hasCp bool) Reduction {
 
 // reduceRowsFunctional is the dataflow of Reduce without touching the
 // DBC: used by Multiply, which charges its cost explicitly, and by tests
-// that check equivalence with the DBC-executed path.
+// that check equivalence with the DBC-executed path. The operand bits
+// are counted with the same word-parallel carry-save pass the plane
+// engine uses for transverse reads.
 func reduceRowsFunctional(rows []dbc.Row, blocksize int, hasCp bool) Reduction {
-	width := len(rows[0])
-	levels := make([]int, width)
+	words := len(rows[0].Words)
+	c0 := make([]uint64, words)
+	c1 := make([]uint64, words)
+	c2 := make([]uint64, words)
 	for _, r := range rows {
-		for t, b := range r {
-			levels[t] += int(b)
+		for i, w := range r.Words {
+			t0 := c0[i] & w
+			c0[i] ^= w
+			t1 := c1[i] & t0
+			c1[i] ^= t0
+			c2[i] |= t1
 		}
 	}
-	return reductionOfLevels(levels, blocksize, hasCp)
+	lp := dbc.LevelPlanes{C0: c0, C1: c1, C2: c2, N: rows[0].N}
+	return reductionOfPlanes(lp, blocksize, hasCp)
 }

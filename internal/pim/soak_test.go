@@ -63,8 +63,8 @@ func TestSoakRandomOpSequence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v step %d bulk %v: %v", trd, step, op, err)
 				}
-				for w := range res {
-					if res[w] != refBulk(op, rows, w) {
+				for w := 0; w < res.Len(); w++ {
+					if res.Get(w) != refBulk(op, rows, w) {
 						t.Fatalf("%v step %d bulk %v wire %d wrong", trd, step, op, w)
 					}
 				}
@@ -111,10 +111,8 @@ func TestSoakRandomOpSequence(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%v step %d vote: %v", trd, step, err)
 				}
-				for w := range res {
-					if res[w] != good[w] {
-						t.Fatalf("%v step %d vote wire %d wrong", trd, step, w)
-					}
+				if !res.Equal(good) {
+					t.Fatalf("%v step %d vote wrong", trd, step)
 				}
 			}
 		}

@@ -15,16 +15,16 @@ import (
 // have the lane MSB set; ReLU interprets them as negative).
 func (u *Unit) Sub(a, b dbc.Row, blocksize int) (dbc.Row, error) {
 	if err := u.checkBlocksize(blocksize); err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	width := u.D.Width()
-	if len(a) != width || len(b) != width {
-		return nil, fmt.Errorf("pim: operand widths %d,%d, want %d", len(a), len(b), width)
+	if a.N != width || b.N != width {
+		return dbc.Row{}, fmt.Errorf("pim: operand widths %d,%d, want %d", a.N, b.N, width)
 	}
 	// Complement the subtrahend through the NOT gate (one bulk pass).
 	nb, err := u.BulkBitwise(dbc.OpNOT, []dbc.Row{b})
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	lanes := width / blocksize
 	ones := make([]uint64, lanes)
@@ -33,7 +33,7 @@ func (u *Unit) Sub(a, b dbc.Row, blocksize int) (dbc.Row, error) {
 	}
 	oneRow, err := PackLanes(ones, blocksize, width)
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	if u.maxAddOperands() >= 3 {
 		return u.AddMulti([]dbc.Row{a, nb, oneRow}, blocksize)
@@ -41,7 +41,7 @@ func (u *Unit) Sub(a, b dbc.Row, blocksize int) (dbc.Row, error) {
 	// TRD=3: two-operand adder needs two steps.
 	t, err := u.AddMulti([]dbc.Row{a, nb}, blocksize)
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	return u.AddMulti([]dbc.Row{t, oneRow}, blocksize)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/dbc"
 	"repro/internal/params"
 )
 
@@ -82,7 +83,7 @@ func TestSubErrors(t *testing.T) {
 	if _, err := u.SubValues([]uint64{1}, []uint64{1, 2}, 8); err == nil {
 		t.Error("mismatched counts accepted")
 	}
-	if _, err := u.Sub(make([]uint8, 4), make([]uint8, 4), 8); err == nil {
+	if _, err := u.Sub(dbc.NewRow(4), dbc.NewRow(4), 8); err == nil {
 		t.Error("wrong widths accepted")
 	}
 }

@@ -52,11 +52,12 @@ func (m MonteCarlo) RunXOR() (MCResult, error) {
 		if err != nil {
 			return res, err
 		}
-		for i := range got {
-			if got[i] != a[i]^b[i] {
-				res.Failures++
-				break
-			}
+		want := dbc.Row{Words: make([]uint64, len(a.Words)), N: a.N}
+		for i := range want.Words {
+			want.Words[i] = a.Words[i] ^ b.Words[i]
+		}
+		if !got.Equal(want) {
+			res.Failures++
 		}
 	}
 	return res, nil
@@ -124,9 +125,9 @@ func MeasureMultTREvents() map[params.TRD]int {
 }
 
 func randRow(width int, rng *rand.Rand) dbc.Row {
-	r := make(dbc.Row, width)
-	for i := range r {
-		r[i] = uint8(rng.Intn(2))
+	r := dbc.NewRow(width)
+	for i := 0; i < width; i++ {
+		r.Set(i, uint8(rng.Intn(2)))
 	}
 	return r
 }

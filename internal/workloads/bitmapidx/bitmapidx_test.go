@@ -98,7 +98,7 @@ func TestQueryOnPIMUnit(t *testing.T) {
 	}
 	rows := make([]dbc.Row, len(ops))
 	for i, o := range ops {
-		rows[i] = unpack(o, s.Users)
+		rows[i] = dbc.FromBits(unpack(o, s.Users)...)
 	}
 	res, err := u.BulkBitwise(dbc.OpAND, rows)
 	if err != nil {
@@ -108,7 +108,7 @@ func TestQueryOnPIMUnit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := countRow(res); got != ref {
+	if got := res.OnesCount(); got != ref {
 		t.Errorf("PIM-unit count = %d, want %d", got, ref)
 	}
 }

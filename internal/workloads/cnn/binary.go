@@ -67,11 +67,11 @@ func (b *BinaryConv) InferPIM(u *pim.Unit, img [][]uint8) ([][]uint8, error) {
 		tapRows := make([]dbc.Row, 0, 9)
 		for ky := 0; ky < 3; ky++ {
 			for kx := 0; kx < 3; kx++ {
-				acts := make(dbc.Row, u.Width())
-				wgts := make(dbc.Row, u.Width())
+				acts := dbc.NewRow(u.Width())
+				wgts := dbc.NewRow(u.Width())
 				for i, p := range batch {
-					acts[i*lane] = img[p[0]+ky][p[1]+kx]
-					wgts[i*lane] = b.Kernel[ky][kx]
+					acts.Set(i*lane, img[p[0]+ky][p[1]+kx])
+					wgts.Set(i*lane, b.Kernel[ky][kx])
 				}
 				xnor, err := u.BulkBitwise(dbc.OpXNOR, []dbc.Row{acts, wgts})
 				if err != nil {
@@ -79,9 +79,9 @@ func (b *BinaryConv) InferPIM(u *pim.Unit, img [][]uint8) ([][]uint8, error) {
 				}
 				// Mask to the lanes' bit 0 (the XNOR of the padding
 				// positions is 1 and must not pollute the popcount).
-				row := make(dbc.Row, u.Width())
+				row := dbc.NewRow(u.Width())
 				for i := range batch {
-					row[i*lane] = xnor[i*lane]
+					row.Set(i*lane, xnor.Get(i*lane))
 				}
 				tapRows = append(tapRows, row)
 			}

@@ -118,7 +118,7 @@ func (t *TinyCNN) InferPIM(u *pim.Unit, img [][]int) ([][]int, error) {
 		}
 		// acc = pos − neg via two's complement: pos + ~neg + 1.
 		acc := pos
-		if neg != nil {
+		if !neg.IsEmpty() {
 			ones := make([]uint64, len(batch))
 			for i := range ones {
 				ones[i] = 1
@@ -128,7 +128,7 @@ func (t *TinyCNN) InferPIM(u *pim.Unit, img [][]int) ([][]int, error) {
 				return nil, err
 			}
 			operands := []dbc.Row{complementRow(neg), oneRow}
-			if acc != nil {
+			if !acc.IsEmpty() {
 				operands = append([]dbc.Row{acc}, operands...)
 			}
 			acc, err = sumRows(u, operands)
@@ -136,8 +136,8 @@ func (t *TinyCNN) InferPIM(u *pim.Unit, img [][]int) ([][]int, error) {
 				return nil, err
 			}
 		}
-		if acc == nil {
-			acc = make(dbc.Row, u.Width())
+		if acc.IsEmpty() {
+			acc = dbc.NewRow(u.Width())
 		}
 		relued, err := u.ReLU(acc, laneW)
 		if err != nil {
@@ -188,11 +188,11 @@ func (t *TinyCNN) InferPIM(u *pim.Unit, img [][]int) ([][]int, error) {
 }
 
 // sumRows adds rows lane-wise in chunks of the unit's operand limit.
-// nil input yields nil.
+// Empty input yields the empty Row sentinel.
 func sumRows(u *pim.Unit, rows []dbc.Row) (dbc.Row, error) {
 	switch len(rows) {
 	case 0:
-		return nil, nil
+		return dbc.Row{}, nil
 	case 1:
 		return rows[0], nil
 	}
@@ -205,7 +205,7 @@ func sumRows(u *pim.Unit, rows []dbc.Row) (dbc.Row, error) {
 		var err error
 		acc, err = u.AddMulti(operands, laneW)
 		if err != nil {
-			return nil, err
+			return dbc.Row{}, err
 		}
 		rest = rest[k:]
 	}
@@ -213,10 +213,11 @@ func sumRows(u *pim.Unit, rows []dbc.Row) (dbc.Row, error) {
 }
 
 func complementRow(r dbc.Row) dbc.Row {
-	out := make(dbc.Row, len(r))
-	for i, b := range r {
-		out[i] = 1 - b&1
+	out := dbc.NewRow(r.N)
+	for i, w := range r.Words {
+		out.Words[i] = ^w
 	}
+	out.MaskTail()
 	return out
 }
 

@@ -174,17 +174,17 @@ func (l *ConvLayer) Forward(u *pim.Unit, x Tensor3) (Tensor3, error) {
 func signedSum(u *pim.Unit, posRows, negRows []dbc.Row, batch int) (dbc.Row, error) {
 	pos, err := sumRows(u, posRows)
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	if len(negRows) == 0 {
-		if pos == nil {
-			return make(dbc.Row, u.Width()), nil
+		if pos.IsEmpty() {
+			return dbc.NewRow(u.Width()), nil
 		}
 		return pos, nil
 	}
 	neg, err := sumRows(u, negRows)
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	ones := make([]uint64, batch)
 	for i := range ones {
@@ -192,10 +192,10 @@ func signedSum(u *pim.Unit, posRows, negRows []dbc.Row, batch int) (dbc.Row, err
 	}
 	oneRow, err := pim.PackLanes(ones, laneW, u.Width())
 	if err != nil {
-		return nil, err
+		return dbc.Row{}, err
 	}
 	operands := []dbc.Row{complementRow(neg), oneRow}
-	if pos != nil {
+	if !pos.IsEmpty() {
 		operands = append([]dbc.Row{pos}, operands...)
 	}
 	return u.AddLarge(operands, laneW)

@@ -68,9 +68,9 @@ func (t *TernaryConv) InferPIM(u *pim.Unit, img [][]uint8) ([][]uint8, error) {
 				if wgt == 0 {
 					continue
 				}
-				row := make(dbc.Row, u.Width())
+				row := dbc.NewRow(u.Width())
 				for i, p := range batch {
-					row[i*lane] = img[p[0]+ky][p[1]+kx]
+					row.Set(i*lane, img[p[0]+ky][p[1]+kx])
 				}
 				if wgt > 0 {
 					posRows = append(posRows, row)
@@ -117,10 +117,10 @@ func (t *TernaryConv) InferPIM(u *pim.Unit, img [][]uint8) ([][]uint8, error) {
 	return out, nil
 }
 
-// popcount sums single-bit tap rows lane-wise; nil rows give a zero row.
+// popcount sums single-bit tap rows lane-wise; no rows give a zero row.
 func popcount(u *pim.Unit, rows []dbc.Row, lane int) (dbc.Row, error) {
 	if len(rows) == 0 {
-		return make(dbc.Row, u.Width()), nil
+		return dbc.NewRow(u.Width()), nil
 	}
 	if len(rows) == 1 {
 		return rows[0], nil
