@@ -91,7 +91,11 @@ func BenchmarkTable5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := reliability.DefaultTRFaultProb
 		q := reliability.AddErrorRate(8, p) / 8
-		tmrAdd = reliability.NModular(3, q, p, params.TRD7, 8)
+		var err error
+		tmrAdd, err = reliability.NModular(3, q, p, params.TRD7, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(tmrAdd*1e12, "tmr-add-1e-12")
 }

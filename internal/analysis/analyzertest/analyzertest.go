@@ -1,0 +1,319 @@
+// Package analyzertest is a self-contained replacement for
+// golang.org/x/tools/go/analysis/analysistest. The real analysistest
+// loads packages through go/packages, which is not part of the analysis
+// subset vendored under third_party/ (it would drag in go/gcexportdata,
+// x/mod and an external driver); this harness instead parses and
+// type-checks the fixture packages directly, resolving standard-library
+// imports with the source importer and sibling fixtures by their
+// testdata path.
+//
+// Semantics follow analysistest where it matters:
+//
+//   - fixtures live under <analyzer>/testdata/src/<importpath>/*.go;
+//   - a `// want "regexp" ["regexp" ...]` comment asserts the
+//     diagnostics reported on its line, one regexp per diagnostic;
+//   - analyzers listed in Requires run first and their results are
+//     available through pass.ResultOf;
+//   - object/package facts exported while analyzing an imported fixture
+//     package are visible when the importing fixture is analyzed, so
+//     fact-based analyzers (facadeerr) are testable cross-package.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the fixture packages named by their import paths under
+// testdata/src and reports any mismatch against the // want annotations
+// via t. testdata is the path of the testdata directory, typically
+// "testdata" relative to the analyzer's own test.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	r := &runner{
+		fset:     token.NewFileSet(),
+		srcdir:   filepath.Join(testdata, "src"),
+		pkgs:     map[string]*fixturePkg{},
+		results:  map[resultKey]*action{},
+		objFacts: map[types.Object][]analysis.Fact{},
+		pkgFacts: map[*types.Package][]analysis.Fact{},
+	}
+	r.std = importer.ForCompiler(r.fset, "source", nil)
+	for _, path := range paths {
+		fp, err := r.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		act, err := r.analyze(a, fp)
+		if err != nil {
+			t.Fatalf("running %s on %q: %v", a.Name, path, err)
+		}
+		r.check(t, fp, act.diags)
+	}
+}
+
+type resultKey struct {
+	pkg string
+	a   *analysis.Analyzer
+}
+
+// action is the memoized outcome of one (package, analyzer) run.
+type action struct {
+	result interface{}
+	diags  []analysis.Diagnostic
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type runner struct {
+	fset     *token.FileSet
+	srcdir   string
+	std      types.Importer
+	pkgs     map[string]*fixturePkg
+	results  map[resultKey]*action
+	objFacts map[types.Object][]analysis.Fact
+	pkgFacts map[*types.Package][]analysis.Fact
+}
+
+// Import implements types.Importer: fixture packages shadow the
+// standard library so fixtures can import each other by testdata path.
+func (r *runner) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(r.srcdir, path)); err == nil {
+		fp, err := r.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return r.std.Import(path)
+}
+
+func (r *runner) load(path string) (*fixturePkg, error) {
+	if fp, ok := r.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(r.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: r}
+	pkg, err := conf.Check(path, r.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	r.pkgs[path] = fp
+	return fp, nil
+}
+
+// analyze runs a (and transitively its Requires) on fp, after first
+// running a on any imported fixture packages so facts flow in
+// dependency order as they would under unitchecker.
+func (r *runner) analyze(a *analysis.Analyzer, fp *fixturePkg) (*action, error) {
+	key := resultKey{fp.path, a}
+	if act, done := r.results[key]; done {
+		return act, nil
+	}
+	for _, imp := range fp.pkg.Imports() {
+		if dep, ok := r.pkgs[imp.Path()]; ok {
+			if _, err := r.analyze(a, dep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	deps := map[*analysis.Analyzer]interface{}{}
+	for _, req := range a.Requires {
+		act, err := r.analyze(req, fp)
+		if err != nil {
+			return nil, err
+		}
+		deps[req] = act.result
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       r.fset,
+		Files:      fp.files,
+		Pkg:        fp.pkg,
+		TypesInfo:  fp.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   deps,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return lookupFact(r.objFacts[obj], fact)
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return lookupFact(r.pkgFacts[pkg], fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			r.objFacts[obj] = append(r.objFacts[obj], fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			r.pkgFacts[fp.pkg] = append(r.pkgFacts[fp.pkg], fact)
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for obj, facts := range r.objFacts {
+				for _, f := range facts {
+					out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+				}
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for pkg, facts := range r.pkgFacts {
+				for _, f := range facts {
+					out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+				}
+			}
+			return out
+		},
+		ReadFile: os.ReadFile,
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	act := &action{result: res, diags: diags}
+	r.results[key] = act
+	return act, nil
+}
+
+// lookupFact copies the stored fact with the same concrete type as the
+// query into it, reporting whether one was found.
+func lookupFact(stored []analysis.Fact, query analysis.Fact) bool {
+	qt := reflect.TypeOf(query)
+	for _, f := range stored {
+		if reflect.TypeOf(f) == qt {
+			reflect.ValueOf(query).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// expectation is one // want regexp with its file/line anchor.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func (r *runner) check(t *testing.T, fp *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := r.fset.Position(c.Pos())
+				for _, pat := range parseWants(t, pos, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := r.fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants splits `"re1" "re2"` into its quoted regexps.
+func parseWants(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s: malformed want comment near %q", pos, s)
+		}
+		quote := s[0]
+		end := 1
+		for end < len(s) {
+			if s[end] == quote && (quote == '`' || s[end-1] != '\\') {
+				break
+			}
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want regexp in %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+// Package facadeerr defines an analyzer enforcing the error-surface
+// contract of the public façade: the root coruscant package and the
+// cmd/ binaries report failures as errors (or usage messages), never as
+// panics. Internal packages may panic on programmer error — that is
+// their documented style — but the boundary must convert.
+//
+// The analyzer works in two stages. In every package it computes, by a
+// same-package fixpoint, which exported functions can panic: a direct
+// call to the panic builtin, or a call to an unexported same-package
+// helper that panics. Those functions are tagged with a MayPanicFact,
+// which the go/analysis driver serializes across package boundaries.
+// Propagation through *exported* callees is deliberately off: an
+// exported function is its own contract point, and chaining would tag
+// half the tree for one deep panic.
+//
+// In façade packages — those whose import path matches the -facades
+// regexp, default `^repro$|^repro/cmd/` — every panic call and every
+// call to a fact-tagged function is reported.
+package facadeerr
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/vetutil"
+)
+
+// Name is the analyzer's name, as used in ignore directives.
+const Name = "facadeerr"
+
+// MayPanicFact marks an exported function that can reach a panic
+// without an intervening recover.
+type MayPanicFact struct{}
+
+func (*MayPanicFact) AFact()         {}
+func (*MayPanicFact) String() string { return "mayPanic" }
+
+var Analyzer = &analysis.Analyzer{
+	Name:      Name,
+	Doc:       "the public façade (root package and cmd/) must surface errors, not panics",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{new(MayPanicFact)},
+	Run:       run,
+}
+
+var facadeRE = regexp.MustCompile(`^repro$|^repro/cmd/`)
+
+func init() {
+	Analyzer.Flags.Func("facades",
+		"regexp matching import paths that must not panic (default `^repro$|^repro/cmd/`)",
+		func(s string) error {
+			re, err := regexp.Compile(s)
+			if err != nil {
+				return err
+			}
+			facadeRE = re
+			return nil
+		})
+}
+
+// funcInfo is the per-function panic summary used by the fixpoint.
+type funcInfo struct {
+	decl        *ast.FuncDecl
+	directPanic bool
+	callees     []*types.Func // same-package callees
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Summarize every function in the package.
+	infos := map[*types.Func]*funcInfo{}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok || fd.Body == nil {
+			return
+		}
+		info := &funcInfo{decl: fd}
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // a panic inside a closure fires on the closure's call path
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPanicBuiltin(pass, call) {
+				info.directPanic = true
+				return true
+			}
+			if callee := calleeFunc(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+				info.callees = append(info.callees, callee)
+			}
+			return true
+		})
+		infos[fn] = info
+	})
+
+	// Same-package fixpoint: panics propagate through unexported
+	// helpers only.
+	mayPanic := map[*types.Func]bool{}
+	for fn, info := range infos {
+		mayPanic[fn] = info.directPanic
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, info := range infos {
+			if mayPanic[fn] {
+				continue
+			}
+			for _, callee := range info.callees {
+				if !callee.Exported() && mayPanic[callee] {
+					mayPanic[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for fn := range infos {
+		if mayPanic[fn] && fn.Exported() {
+			pass.ExportObjectFact(fn, new(MayPanicFact))
+		}
+	}
+
+	if !facadeRE.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	// Façade package: flag every panic and every call into a tagged
+	// entry point, in exported and unexported functions alike (main and
+	// its helpers are the whole point of cmd/).
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if isPanicBuiltin(pass, call) {
+			vetutil.Report(pass, Name, call.Pos(),
+				"panic in façade package %s; public entry points must return errors", pass.Pkg.Name())
+			return
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == pass.Pkg || callee.Pkg() == nil {
+			return
+		}
+		// Only in-module entry points are held to the façade contract:
+		// under go vet, facts are computed for the standard library too,
+		// and fmt/os would otherwise drown the signal.
+		if rootSegment(callee.Pkg().Path()) != rootSegment(pass.Pkg.Path()) {
+			return
+		}
+		if pass.ImportObjectFact(callee, new(MayPanicFact)) {
+			vetutil.Report(pass, Name, call.Pos(),
+				"call to %s.%s, which may panic; wrap or use an error-returning entry point at the façade",
+				callee.Pkg().Name(), callee.Name())
+		}
+	})
+	return nil, nil
+}
+
+// rootSegment returns an import path's first segment — the module name
+// for in-module packages ("repro/cmd/app" -> "repro").
+func rootSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func isPanicBuiltin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// calleeFunc resolves the static callee of a call, if it is a declared
+// function or method (not a builtin, conversion, or func value).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

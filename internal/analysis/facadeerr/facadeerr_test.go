@@ -1,0 +1,13 @@
+package facadeerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/facadeerr"
+)
+
+func TestFacadeErr(t *testing.T) {
+	analyzertest.Run(t, "testdata", facadeerr.Analyzer,
+		"repro/internal/engine", "repro", "repro/cmd/app")
+}

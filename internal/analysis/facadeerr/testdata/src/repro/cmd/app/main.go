@@ -1,0 +1,27 @@
+// Command app mirrors a cmd/ binary: unexported main is still part of
+// the façade surface.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+)
+
+func main() {
+	u := engine.NewUnit(8) // want `call to engine\.NewUnit, which may panic`
+	fmt.Println(u)
+}
+
+// run is the error-returning shape the façade should use.
+func run() error {
+	n, err := engine.Safe(8)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "empty")
+	}
+	return nil
+}

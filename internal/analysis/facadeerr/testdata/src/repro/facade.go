@@ -1,0 +1,41 @@
+// Package coruscant mirrors the real root façade: import path "repro",
+// matched by the default -facades regexp.
+package coruscant
+
+import "repro/internal/engine"
+
+// BadNew forwards to a constructor that panics via an unexported
+// helper.
+func BadNew(n int) *engine.Unit {
+	return engine.NewUnit(n) // want `call to engine\.NewUnit, which may panic`
+}
+
+// BadPower forwards to a directly panicking entry point.
+func BadPower(n int) int {
+	return engine.MustPower(n) // want `call to engine\.MustPower, which may panic`
+}
+
+// BadPanic panics in the façade itself.
+func BadPanic(n int) int {
+	if n < 0 {
+		panic("coruscant: negative") // want `panic in façade package coruscant`
+	}
+	return n
+}
+
+// GoodSafe surfaces the error.
+func GoodSafe(n int) (int, error) {
+	return engine.Safe(n)
+}
+
+// GoodHelper calls an exported function that itself calls a panicking
+// exported function: no fact chains through exported callees.
+func GoodHelper(n int) int {
+	return engine.Helper(n)
+}
+
+// SuppressedMust documents a deliberate panic passthrough.
+func SuppressedMust(n int) int {
+	//coruscantvet:ignore facadeerr -- Must-style constructor, documented to panic
+	return engine.MustPower(n)
+}

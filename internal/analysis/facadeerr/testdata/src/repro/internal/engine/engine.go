@@ -1,0 +1,45 @@
+package engine
+
+import "errors"
+
+// Unit is a stand-in for an engine object constructed by a panicking
+// entry point.
+type Unit struct {
+	n int
+}
+
+// MustPower panics on invalid input: legal in an internal package,
+// tagged with a MayPanicFact for callers.
+func MustPower(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("engine: n must be a power of two")
+	}
+	return n
+}
+
+// NewUnit reaches a panic through an unexported helper; the fixpoint
+// must tag it too.
+func NewUnit(n int) *Unit {
+	validate(n)
+	return &Unit{n: n}
+}
+
+func validate(n int) {
+	if n < 0 {
+		panic("engine: negative size")
+	}
+}
+
+// Safe is the error-returning twin: no fact.
+func Safe(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("engine: negative size")
+	}
+	return n, nil
+}
+
+// Helper calls an exported panicking function. Exported-to-exported
+// propagation is deliberately off, so Helper itself carries no fact.
+func Helper(n int) int {
+	return MustPower(n)
+}

@@ -1,0 +1,370 @@
+// Package masktail defines an analyzer enforcing the Row tail
+// invariant: bits beyond N in the last word of a Row must be zero, so
+// any function that writes Row.Words at word granularity must call
+// MaskTail before it can return (row.go: "word-level writers should
+// finish with MaskTail").
+//
+// The check is flow-sensitive: a control-flow graph of the function is
+// walked and a word-granular store is reported only if some path from
+// the store reaches an exit without passing a MaskTail call on the same
+// row. Bit-granularity operations cannot dirty the tail and are exempt:
+// clearing ops (&=, &^=), stores of literal zero, and single-bit
+// "1 << k" set/clear patterns (the Row.Set idiom, which is always
+// bounds-checked). Rows constructed by a composite literal adopting an
+// existing word slice (Row{Words: s}) are treated as dirty unless the
+// slice comes fresh from make.
+//
+// Known limitations, by design (a linter, not a verifier): stores
+// through a separately-bound alias of the Words slice are not tracked,
+// and a helper that masks on the caller's behalf is invisible — use a
+// //coruscantvet:ignore masktail directive with a reason for those.
+package masktail
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"repro/internal/analysis/vetutil"
+)
+
+// Name is the analyzer's name, as used in ignore directives.
+const Name = "masktail"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     Name,
+	Doc:      "word-granularity writes to Row.Words must be followed by MaskTail on every path to return",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body == nil {
+			return
+		}
+		checkFunc(pass, body)
+	})
+	return nil, nil
+}
+
+// event is one tail-relevant action inside a basic block, in source
+// order: a dirtying store, or a cleaning MaskTail / whole-row rebind.
+type event struct {
+	base  string
+	pos   token.Pos
+	clean bool
+}
+
+// store identifies one dirtying write for reporting.
+type store struct {
+	base string
+	pos  token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Rows covered by a deferred MaskTail are clean at every exit.
+	deferred := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if base, ok := maskTailCall(pass, d.Call); ok {
+				deferred[base] = true
+			}
+		}
+		return true
+	})
+
+	g := cfg.New(body, func(call *ast.CallExpr) bool { return !isPanic(pass, call) })
+
+	events := make(map[*cfg.Block][]event)
+	any := false
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			evs := nodeEvents(pass, n)
+			if len(evs) > 0 {
+				events[b] = append(events[b], evs...)
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+
+	// Forward dataflow: the set of unmasked stores live at block entry.
+	in := make(map[*cfg.Block]map[store]bool)
+	for _, b := range g.Blocks {
+		in[b] = map[store]bool{}
+	}
+	reported := map[store]struct{}{}
+	var work []*cfg.Block
+	for _, b := range g.Blocks {
+		if b.Live {
+			work = append(work, b)
+		}
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := map[store]bool{}
+		for s := range in[b] {
+			out[s] = true
+		}
+		for _, ev := range events[b] {
+			if ev.clean {
+				for s := range out {
+					if s.base == ev.base {
+						delete(out, s)
+					}
+				}
+			} else if !deferred[ev.base] {
+				out[store{ev.base, ev.pos}] = true
+			}
+		}
+		for _, succ := range b.Succs {
+			changed := false
+			for s := range out {
+				if !in[succ][s] {
+					in[succ][s] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+		if len(b.Succs) == 0 && reportingExit(pass, b) {
+			for s := range out {
+				reported[s] = struct{}{}
+			}
+		}
+	}
+	for s := range reported {
+		vetutil.Report(pass, Name, s.pos,
+			"word-granularity write to %s.Words can reach return without %s.MaskTail(); tail bits beyond N must be zero",
+			s.base, s.base)
+	}
+}
+
+// reportingExit reports whether dirty rows escaping through b matter: a
+// return statement or the fall-off-the-end of the body, but not a panic
+// (the row does not outlive the crash).
+func reportingExit(pass *analysis.Pass, b *cfg.Block) bool {
+	if b.Return() != nil {
+		return true
+	}
+	if len(b.Nodes) > 0 {
+		if call, ok := callOf(b.Nodes[len(b.Nodes)-1]); ok && isPanic(pass, call) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+func callOf(n ast.Node) (*ast.CallExpr, bool) {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		c, ok := n.X.(*ast.CallExpr)
+		return c, ok
+	case *ast.CallExpr:
+		return n, true
+	}
+	return nil, false
+}
+
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic" && pass.TypesInfo.Uses[id] != nil
+}
+
+// nodeEvents extracts the tail-relevant actions of one CFG node.
+func nodeEvents(pass *analysis.Pass, n ast.Node) []event {
+	var evs []event
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				var rhs ast.Expr
+				if len(m.Rhs) == len(m.Lhs) {
+					rhs = m.Rhs[i]
+				}
+				evs = append(evs, bindEvents(pass, m.Tok, lhs, rhs)...)
+			}
+		case *ast.ValueSpec:
+			for i, name := range m.Names {
+				var rhs ast.Expr
+				if i < len(m.Values) {
+					rhs = m.Values[i]
+				}
+				evs = append(evs, bindEvents(pass, token.ASSIGN, name, rhs)...)
+			}
+		case *ast.ReturnStmt:
+			// Returning a composite that adopts a foreign slice hands the
+			// caller a possibly-dirty row with no chance to mask it.
+			for _, res := range m.Results {
+				if dirtyComposite(pass, res) {
+					evs = append(evs, event{base: "returned row", pos: res.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if base, ok := maskTailCall(pass, m); ok {
+				evs = append(evs, event{base: base, pos: m.Pos(), clean: true})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// bindEvents classifies one assignment (or declaration) target.
+func bindEvents(pass *analysis.Pass, tok token.Token, lhs, rhs ast.Expr) []event {
+	// B.Words[i] <op>= rhs — a word store into a row.
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if base, ok := rowWordsBase(pass, ix.X); ok {
+			if exemptStore(pass, tok, rhs) {
+				return nil
+			}
+			return []event{{base: base, pos: lhs.Pos()}}
+		}
+		return nil
+	}
+	// B.Words = rhs — adopting a slice wholesale: clean only if fresh.
+	if base, ok := rowWordsBase(pass, lhs); ok {
+		if rhs != nil && !freshSlice(rhs) {
+			return []event{{base: base, pos: rhs.Pos()}}
+		}
+		return []event{{base: base, pos: lhs.Pos(), clean: true}}
+	}
+	// B = rhs — rebinding the whole row supersedes earlier stores; a
+	// composite adopting a non-fresh slice is itself dirtying.
+	if vetutil.IsRowType(pass.TypesInfo.TypeOf(lhs)) {
+		switch lhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			base := exprString(lhs)
+			if rhs != nil && dirtyComposite(pass, rhs) {
+				return []event{{base: base, pos: rhs.Pos()}}
+			}
+			return []event{{base: base, pos: lhs.Pos(), clean: true}}
+		}
+	}
+	return nil
+}
+
+// freshSlice reports whether e is a make(...) call, i.e. all-zero.
+func freshSlice(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "make"
+}
+
+// rowWordsBase returns the printed base row expression of a
+// `<base>.Words` selector, if that is what e is.
+func rowWordsBase(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Words" {
+		return "", false
+	}
+	if !vetutil.IsRowType(pass.TypesInfo.TypeOf(sel.X)) {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+// maskTailCall matches `<base>.MaskTail()` on a row-typed base.
+func maskTailCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "MaskTail" {
+		return "", false
+	}
+	if !vetutil.IsRowType(pass.TypesInfo.TypeOf(sel.X)) {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+// exemptStore reports whether a store cannot set bits beyond N: ops
+// that only clear (&=, &^=), literal zero, and the bounds-checked
+// single-bit Set idiom (`|= 1 << k`).
+func exemptStore(pass *analysis.Pass, tok token.Token, rhs ast.Expr) bool {
+	switch tok {
+	case token.AND_ASSIGN, token.AND_NOT_ASSIGN:
+		return true
+	}
+	if rhs == nil {
+		return false
+	}
+	rhs = ast.Unparen(rhs)
+	if lit, ok := rhs.(*ast.BasicLit); ok && lit.Value == "0" {
+		return true
+	}
+	return singleBit(rhs)
+}
+
+// singleBit matches `1 << k` and conversions/parenthesizations of it.
+func singleBit(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		return singleBit(call.Args[0]) // uint64(1) << k handled below; T(1<<k)
+	}
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.SHL {
+		return false
+	}
+	x := ast.Unparen(bin.X)
+	if lit, ok := x.(*ast.BasicLit); ok && lit.Value == "1" {
+		return true
+	}
+	if call, ok := x.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Value == "1" {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtyComposite reports whether rhs builds a row whose Words adopt a
+// possibly-dirty existing slice: Row{Words: e} with e not a fresh make.
+func dirtyComposite(pass *analysis.Pass, rhs ast.Expr) bool {
+	cl, ok := ast.Unparen(rhs).(*ast.CompositeLit)
+	if !ok || !vetutil.IsRowType(pass.TypesInfo.TypeOf(cl)) {
+		return false
+	}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Words" {
+			if call, ok := ast.Unparen(kv.Value).(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package masktail_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/masktail"
+)
+
+func TestMaskTail(t *testing.T) {
+	analyzertest.Run(t, "testdata", masktail.Analyzer, "a")
+}

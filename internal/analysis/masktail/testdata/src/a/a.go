@@ -1,0 +1,108 @@
+package a
+
+// badComplement writes whole words and returns without masking.
+func badComplement(r Row) Row {
+	out := NewRow(r.N)
+	for i, w := range r.Words {
+		out.Words[i] = ^w // want `write to out\.Words can reach return without out\.MaskTail`
+	}
+	return out
+}
+
+// badOr accumulates into a result row and forgets the tail.
+func badOr(sum Row, planes []uint64) Row {
+	for i := range sum.Words {
+		sum.Words[i] |= planes[i] // want `write to sum\.Words can reach return without sum\.MaskTail`
+	}
+	return sum
+}
+
+// badBranch masks on one path but not the other.
+func badBranch(r Row, fix bool) Row {
+	out := NewRow(r.N)
+	for i, w := range r.Words {
+		out.Words[i] = w << 1 // want `write to out\.Words can reach return without out\.MaskTail`
+	}
+	if fix {
+		out.MaskTail()
+	}
+	return out
+}
+
+// badAdopt hands the caller a row wrapped around a foreign slice.
+func badAdopt(words []uint64, n int) Row {
+	return Row{Words: words, N: n} // want `write to returned row\.Words can reach return`
+}
+
+// goodComplement masks before returning.
+func goodComplement(r Row) Row {
+	out := NewRow(r.N)
+	for i, w := range r.Words {
+		out.Words[i] = ^w
+	}
+	out.MaskTail()
+	return out
+}
+
+// goodDefer masks via defer, covering every exit.
+func goodDefer(r Row, early bool) Row {
+	out := NewRow(r.N)
+	defer out.MaskTail()
+	for i, w := range r.Words {
+		out.Words[i] = ^w
+	}
+	if early {
+		return out
+	}
+	out.Words[0] = ^uint64(0)
+	return out
+}
+
+// goodClearing only clears bits; the tail cannot become dirty.
+func goodClearing(r Row, mask uint64) Row {
+	for i := range r.Words {
+		r.Words[i] &= mask
+		r.Words[i] &^= 1 << 3
+		r.Words[i+1] = 0
+	}
+	return r
+}
+
+// goodSingleBit uses the bounds-checked Set idiom.
+func goodSingleBit(r Row) Row {
+	r.Words[0] |= 1 << 7
+	r.Set(3, 1)
+	return r
+}
+
+// goodPanicPath: dirty words cannot escape through a panic.
+func goodPanicPath(r Row) Row {
+	for i, w := range r.Words {
+		r.Words[i] = w << 2
+	}
+	if r.N == 0 {
+		panic("a: empty row")
+	}
+	r.MaskTail()
+	return r
+}
+
+// goodFreshComposite adopts a make-fresh slice: all zero, clean.
+func goodFreshComposite(n int) Row {
+	return Row{Words: make([]uint64, (n+63)/64), N: n}
+}
+
+// goodMaskEachStep masks inside the loop after the store.
+func goodMaskEachStep(r Row) Row {
+	for i, w := range r.Words {
+		r.Words[i] = ^w
+		r.MaskTail()
+	}
+	return r
+}
+
+// suppressedAdopt documents why adoption is safe here.
+func suppressedAdopt(words []uint64, n int) Row {
+	//coruscantvet:ignore masktail -- words come from a plane already tail-masked
+	return Row{Words: words, N: n}
+}

@@ -1,0 +1,38 @@
+package a
+
+// Row mirrors the engine's word-packed row: the analyzers detect it
+// structurally (Words []uint64 + MaskTail method), so the fixture is
+// self-contained.
+type Row struct {
+	Words []uint64
+	N     int
+}
+
+func NewRow(n int) Row {
+	return Row{Words: make([]uint64, (n+63)/64), N: n}
+}
+
+func TailMask(n int) uint64 {
+	if rem := n % 64; rem != 0 {
+		return 1<<uint(rem) - 1
+	}
+	return ^uint64(0)
+}
+
+func (r Row) MaskTail() {
+	if len(r.Words) > 0 {
+		r.Words[len(r.Words)-1] &= TailMask(r.N)
+	}
+}
+
+// Set is the bounds-checked single-bit idiom: exempt.
+func (r Row) Set(i int, b uint8) {
+	if i < 0 || i >= r.N {
+		panic("a: out of range")
+	}
+	if b&1 != 0 {
+		r.Words[i>>6] |= 1 << uint(i&63)
+	} else {
+		r.Words[i>>6] &^= 1 << uint(i&63)
+	}
+}

@@ -1,0 +1,111 @@
+// Package panicmsg defines an analyzer enforcing the engine's panic
+// message style: a panic raised in an internal package must identify
+// its package with a "pkg: " prefix, matching the established
+// "dbc: ..." / "device: ..." sites.
+//
+// Internal panics are the engine's contract for programmer errors
+// (out-of-range wires, impossible levels); the prefix is what lets a
+// differential-harness failure or a user stack trace be attributed to
+// the right layer at a glance. Panics rethrowing an error value
+// (panic(err)) are exempt — the error carries its own prefix from the
+// fmt.Errorf site that built it.
+package panicmsg
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/vetutil"
+)
+
+// Name is the analyzer's name, as used in ignore directives.
+const Name = "panicmsg"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     Name,
+	Doc:      `panic messages in internal packages must carry the "pkg: " prefix`,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !internalPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	prefix := pass.Pkg.Name() + ": "
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || id.Name != "panic" {
+			return
+		}
+		msg, ok := messageLiteral(pass, call.Args[0])
+		if !ok {
+			return // non-constant value (e.g. panic(err)): not checkable
+		}
+		if !strings.HasPrefix(msg, prefix) {
+			vetutil.Report(pass, Name, call.Args[0].Pos(),
+				"panic message %q lacks the %q package prefix", truncate(msg), prefix)
+		}
+	})
+	return nil, nil
+}
+
+// internalPackage reports whether path has an "internal" segment.
+func internalPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// messageLiteral extracts the statically known leading text of a panic
+// argument: a string literal, a fmt.Sprintf/Errorf with a literal
+// format, or a concatenation whose leftmost operand is a literal.
+func messageLiteral(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return messageLiteral(pass, e.X)
+	case *ast.BinaryExpr:
+		return messageLiteral(pass, e.X)
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || len(e.Args) == 0 {
+			return "", false
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+			return "", false
+		}
+		switch fn.Name() {
+		case "Sprintf", "Errorf", "Sprint", "Sprintln":
+			return messageLiteral(pass, e.Args[0])
+		}
+		return "", false
+	default:
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return "", false
+		}
+		return constant.StringVal(tv.Value), true
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package panicmsg_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/panicmsg"
+)
+
+func TestPanicMsg(t *testing.T) {
+	analyzertest.Run(t, "testdata", panicmsg.Analyzer, "x/internal/eng", "pub")
+}

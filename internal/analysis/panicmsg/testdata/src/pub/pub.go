@@ -1,0 +1,6 @@
+// Package pub is not under internal/, so panicmsg does not apply.
+package pub
+
+func anyStyle() {
+	panic("whatever style it likes")
+}

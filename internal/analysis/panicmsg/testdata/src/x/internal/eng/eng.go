@@ -1,0 +1,40 @@
+package eng
+
+import (
+	"errors"
+	"fmt"
+)
+
+func good(i int) {
+	panic(fmt.Sprintf("eng: wire %d out of range", i))
+}
+
+func goodLiteral() {
+	panic("eng: segment length must be positive")
+}
+
+func goodConcat(what string) {
+	panic("eng: bad " + what)
+}
+
+func goodErr() error {
+	err := errors.New("eng: broken")
+	panic(err) // non-constant: exempt
+}
+
+func badLiteral() {
+	panic("segment length must be positive") // want `lacks the "eng: " package prefix`
+}
+
+func badSprintf(i int) {
+	panic(fmt.Sprintf("wire %d out of range", i)) // want `lacks the "eng: " package prefix`
+}
+
+func badOtherPrefix() {
+	panic("device: wrong layer") // want `lacks the "eng: " package prefix`
+}
+
+func suppressed() {
+	//coruscantvet:ignore panicmsg -- message format mandated by external harness
+	panic("EXTERNAL-HARNESS-MARKER")
+}

@@ -1,0 +1,312 @@
+// Package rowalias defines an analyzer enforcing the Row ownership
+// contract of internal/dbc/row.go: every Row (or plane slice) that an
+// exported accessor hands to a caller is an owned copy, and every Row
+// a caller passes in is copied on entry. Mutating a returned value must
+// never alias engine state, and engine state must never retain a
+// caller's backing array.
+//
+// Two directions are checked in exported functions and methods:
+//
+//   - leak: returning a []uint64 (or a Row wrapping one) that derives
+//     from the fields of a pointer receiver or pointer parameter —
+//     directly, through a local, through an element of a [][]uint64
+//     plane buffer, or through an unexported same-package accessor that
+//     itself returns such storage (device.(*PlaneArray).plane is the
+//     canonical case);
+//   - capture: storing a caller-provided slice (a []uint64 parameter or
+//     a value-Row parameter's Words) into storage rooted at a pointer
+//     receiver.
+//
+// Copies sanitize: make/append/copy results, Clone() calls, and any
+// other call not known to alias carry no taint. The tracking is a
+// single forward pass over idiomatic code, not an escape analysis; use
+// a //coruscantvet:ignore rowalias directive with a reason where a
+// deliberate alias is intended.
+package rowalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/vetutil"
+)
+
+// Name is the analyzer's name, as used in ignore directives.
+const Name = "rowalias"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     Name,
+	Doc:      "exported accessors must return owned copies of engine state and copy caller rows on entry",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// color classifies where a slice value's backing array lives.
+type color int
+
+const (
+	clean    color = iota
+	internal       // derives from pointer-receiver / pointer-param fields
+	external       // derives from a caller-supplied parameter
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: summarize unexported functions/methods that return
+	// receiver-internal storage, so calls to them propagate taint
+	// (e.g. device.(*PlaneArray).plane).
+	aliasing := map[*types.Func]bool{}
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Name.IsExported() || fd.Body == nil {
+			return
+		}
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		a := &checker{pass: pass, aliasing: aliasing}
+		a.analyze(fd, func(ret *ast.ReturnStmt, c color) {
+			if c == internal {
+				aliasing[fn] = true
+			}
+		}, nil)
+	})
+
+	// Pass 2: report leaks and captures in exported functions/methods.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !fd.Name.IsExported() || fd.Body == nil {
+			return
+		}
+		a := &checker{pass: pass, aliasing: aliasing}
+		a.analyze(fd,
+			func(ret *ast.ReturnStmt, c color) {
+				if c == internal {
+					vetutil.Report(pass, Name, ret.Pos(),
+						"%s returns an alias of receiver-internal plane storage; return an owned copy (Clone / make+copy)",
+						fd.Name.Name)
+				}
+			},
+			func(as *ast.AssignStmt, c color) {
+				if c == external {
+					vetutil.Report(pass, Name, as.Pos(),
+						"%s stores a caller-provided slice into receiver state; copy on entry instead (rows passed into a DBC are copied)",
+						fd.Name.Name)
+				}
+			})
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	aliasing map[*types.Func]bool
+
+	roots map[*types.Var]color // receiver/params
+	env   map[*types.Var]color // locals
+}
+
+// analyze walks fd's body in source order, calling onReturn for each
+// return-expression color and onCapture for each assignment whose LHS
+// is rooted in the receiver.
+func (a *checker) analyze(fd *ast.FuncDecl, onReturn func(*ast.ReturnStmt, color), onCapture func(*ast.AssignStmt, color)) {
+	a.roots = map[*types.Var]color{}
+	a.env = map[*types.Var]color{}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if v, ok := a.pass.TypesInfo.Defs[name].(*types.Var); ok {
+					if _, isPtr := types.Unalias(v.Type()).(*types.Pointer); isPtr {
+						a.roots[v] = internal
+					}
+				}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				v, ok := a.pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if _, isPtr := types.Unalias(v.Type()).(*types.Pointer); isPtr {
+					a.roots[v] = internal
+				} else if vetutil.IsSliceOfUint64(v.Type()) || vetutil.IsRowType(v.Type()) {
+					a.roots[v] = external
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			a.assign(n, onCapture)
+		case *ast.ReturnStmt:
+			if onReturn != nil {
+				for _, res := range n.Results {
+					if c := a.colorOf(res); c != clean {
+						onReturn(n, c)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *checker) assign(as *ast.AssignStmt, onCapture func(*ast.AssignStmt, color)) {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		if rhs == nil {
+			continue
+		}
+		c := a.colorOf(rhs)
+		if id, ok := lhs.(*ast.Ident); ok {
+			if v, ok := a.pass.TypesInfo.Defs[id].(*types.Var); ok {
+				a.env[v] = c
+				continue
+			}
+			if v, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok && a.isLocal(v) {
+				a.env[v] = c
+				continue
+			}
+		}
+		// Assignment into receiver-rooted storage captures the RHS.
+		if onCapture != nil && a.receiverRooted(lhs) && c == external {
+			onCapture(as, c)
+		}
+	}
+}
+
+// isLocal reports whether v is neither a root param nor package-level.
+func (a *checker) isLocal(v *types.Var) bool {
+	if _, isRoot := a.roots[v]; isRoot {
+		return false
+	}
+	return v.Parent() != v.Pkg().Scope()
+}
+
+// receiverRooted reports whether the selector/index chain of lhs is
+// anchored at the (internal) receiver or at internal-tainted storage.
+func (a *checker) receiverRooted(lhs ast.Expr) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.Ident:
+			if v, ok := a.pass.TypesInfo.Uses[x].(*types.Var); ok {
+				return a.roots[v] == internal || a.env[v] == internal
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// colorOf computes the taint of an expression's backing array.
+func (a *checker) colorOf(e ast.Expr) color {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return a.colorOf(e.X)
+	case *ast.UnaryExpr:
+		return a.colorOf(e.X)
+	case *ast.StarExpr:
+		return a.colorOf(e.X)
+	case *ast.Ident:
+		v, ok := a.pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return clean
+		}
+		if c, ok := a.env[v]; ok {
+			return c
+		}
+		// A caller-supplied slice/Row parameter is external as a value.
+		if a.roots[v] == external {
+			return external
+		}
+		return clean
+	case *ast.SelectorExpr:
+		// X.f: field access keeps/acquires the taint of its root when
+		// the result is slice-backed storage.
+		if !vetutil.IsSliceOfUint64(a.pass.TypesInfo.TypeOf(e)) {
+			return clean
+		}
+		return a.rootColor(e.X)
+	case *ast.IndexExpr:
+		if !vetutil.IsSliceOfUint64(a.pass.TypesInfo.TypeOf(e)) {
+			return clean
+		}
+		return a.colorOf(e.X)
+	case *ast.SliceExpr:
+		return a.colorOf(e.X)
+	case *ast.CompositeLit:
+		// Row{Words: tainted} carries the taint of the adopted slice.
+		if vetutil.IsRowType(a.pass.TypesInfo.TypeOf(e)) {
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Words" {
+						return a.colorOf(kv.Value)
+					}
+				}
+			}
+		}
+		return clean
+	case *ast.CallExpr:
+		// Calls sanitize unless the callee is a known aliasing accessor.
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && a.aliasing[fn] {
+				return a.rootColor(sel.X)
+			}
+		}
+		return clean
+	default:
+		return clean
+	}
+}
+
+// rootColor resolves the taint of the object anchoring a selector: the
+// pointer receiver/param (internal), an external param, or a tainted
+// local.
+func (a *checker) rootColor(x ast.Expr) color {
+	for {
+		switch t := x.(type) {
+		case *ast.ParenExpr:
+			x = t.X
+		case *ast.StarExpr:
+			x = t.X
+		case *ast.SelectorExpr:
+			x = t.X
+		case *ast.IndexExpr:
+			x = t.X
+		case *ast.Ident:
+			if v, ok := a.pass.TypesInfo.Uses[t].(*types.Var); ok {
+				if c, ok := a.roots[v]; ok {
+					return c
+				}
+				return a.env[v]
+			}
+			return clean
+		default:
+			return clean
+		}
+	}
+}

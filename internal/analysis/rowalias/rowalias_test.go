@@ -1,0 +1,12 @@
+package rowalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/rowalias"
+)
+
+func TestRowAlias(t *testing.T) {
+	analyzertest.Run(t, "testdata", rowalias.Analyzer, "a")
+}

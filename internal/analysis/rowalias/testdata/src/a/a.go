@@ -1,0 +1,100 @@
+package a
+
+// PlaneArray mirrors device.PlaneArray: a flat buffer sliced into
+// per-plane windows plus a scratch row.
+type PlaneArray struct {
+	buf     [][]uint64
+	scratch []uint64
+	rows    []Row
+}
+
+// plane is an unexported aliasing accessor: fine on its own, but taint
+// must flow through calls to it.
+func (pa *PlaneArray) plane(i int) []uint64 {
+	return pa.buf[i]
+}
+
+// BadPeek hands the caller the live scratch slice.
+func (pa *PlaneArray) BadPeek() []uint64 {
+	return pa.scratch // want `BadPeek returns an alias of receiver-internal plane storage`
+}
+
+// BadPlane leaks a plane window via direct indexing.
+func (pa *PlaneArray) BadPlane(i int) []uint64 {
+	return pa.buf[i] // want `BadPlane returns an alias of receiver-internal plane storage`
+}
+
+// BadViaAccessor leaks through the unexported accessor and a local.
+func (pa *PlaneArray) BadViaAccessor(i int) []uint64 {
+	w := pa.plane(i)
+	return w // want `BadViaAccessor returns an alias of receiver-internal plane storage`
+}
+
+// BadAsRow wraps internal storage in a caller-visible Row.
+func (pa *PlaneArray) BadAsRow(i, n int) Row {
+	return Row{Words: pa.buf[i], N: n} // want `BadAsRow returns an alias of receiver-internal plane storage`
+}
+
+// BadRowWords leaks the Words of a stored row.
+func (pa *PlaneArray) BadRowWords(i int) []uint64 {
+	return pa.rows[i].Words // want `BadRowWords returns an alias of receiver-internal plane storage`
+}
+
+// BadFree is a plain function; pointer params are internal roots too.
+func BadFree(pa *PlaneArray) []uint64 {
+	return pa.scratch // want `BadFree returns an alias of receiver-internal plane storage`
+}
+
+// GoodCopy returns an owned copy.
+func (pa *PlaneArray) GoodCopy(i int) []uint64 {
+	out := make([]uint64, len(pa.buf[i]))
+	copy(out, pa.buf[i])
+	return out
+}
+
+// GoodAppend copies via append.
+func (pa *PlaneArray) GoodAppend() []uint64 {
+	return append([]uint64(nil), pa.scratch...)
+}
+
+// GoodClone returns a cloned row: calls sanitize.
+func (pa *PlaneArray) GoodClone(i int) Row {
+	return pa.rows[i].Clone()
+}
+
+// GoodScalar returns a scalar element, not backing storage.
+func (pa *PlaneArray) GoodScalar(i int) uint64 {
+	return pa.scratch[i]
+}
+
+// BadCapture retains the caller's slice as engine state.
+func (pa *PlaneArray) BadCapture(src []uint64) {
+	pa.scratch = src // want `BadCapture stores a caller-provided slice into receiver state`
+}
+
+// BadCaptureRow retains a caller row's backing array in a plane window.
+func (pa *PlaneArray) BadCaptureRow(i int, r Row) {
+	pa.buf[i] = r.Words // want `BadCaptureRow stores a caller-provided slice into receiver state`
+}
+
+// BadCaptureViaLocal launders the caller slice through a local.
+func (pa *PlaneArray) BadCaptureViaLocal(src []uint64) {
+	tmp := src
+	pa.scratch = tmp // want `BadCaptureViaLocal stores a caller-provided slice into receiver state`
+}
+
+// GoodCaptureCopy copies on entry.
+func (pa *PlaneArray) GoodCaptureCopy(src []uint64) {
+	copy(pa.scratch, src)
+}
+
+// GoodCaptureClone adopts an owned copy.
+func (pa *PlaneArray) GoodCaptureClone(src []uint64) {
+	pa.scratch = append([]uint64(nil), src...)
+}
+
+// SuppressedView is a documented deliberate alias.
+func (pa *PlaneArray) SuppressedView() []uint64 {
+	//coruscantvet:ignore rowalias -- read-only view documented on the method
+	return pa.scratch
+}

@@ -1,0 +1,127 @@
+// Package seededrand defines an analyzer enforcing the bit-reproducibility
+// rule of the fault-injection engine: every random stream in non-test
+// code must flow from an explicit seed.
+//
+// The word-masked fault injection of the plane engine is differentially
+// tested against the scalar reference by replaying identical fault
+// masks, and EXPERIMENTS.md records Monte-Carlo rates that must
+// reproduce bit-exactly across runs. Both guarantees die silently the
+// moment a kernel draws from the global math/rand stream (whose state
+// is shared and, since Go 1.20, randomly seeded) or seeds a source from
+// the wall clock.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/vetutil"
+)
+
+// Name is the analyzer's name, as used in ignore directives.
+const Name = "seededrand"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     Name,
+	Doc:      "forbid global math/rand streams and time-derived seeds in non-test code (fault experiments must reproduce bit-exactly)",
+	URL:      "",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// randPkgs are the packages whose top-level draw functions are banned.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// constructors build explicitly-seeded values and are allowed (their
+// arguments are checked separately for time-derived seeds).
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Any mention of a package-level math/rand function outside the
+	// constructor allowlist — called or passed as a value — taps the
+	// shared global stream.
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+			return
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // method on an explicitly constructed *Rand/Source
+		}
+		if constructors[fn.Name()] {
+			return
+		}
+		vetutil.Report(pass, Name, sel.Pos(),
+			"%s.%s draws from the global seed-shared stream; use rand.New(rand.NewSource(seed)) with an explicit seed",
+			fn.Pkg().Name(), fn.Name())
+	})
+
+	// Constructor calls whose seed derives from the wall clock.
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] || !constructors[fn.Name()] {
+			return
+		}
+		for _, arg := range call.Args {
+			if tc := timeCall(pass, arg); tc != nil {
+				vetutil.Report(pass, Name, tc.Pos(),
+					"time-derived seed for %s.%s; fault experiments must use a fixed explicit seed",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}
+
+// timeCall returns the first time.Now call inside e, or nil. It does
+// not descend into nested rand constructor calls: those are visited as
+// calls in their own right, so the diagnostic lands on the innermost
+// constructor receiving the clock value.
+func timeCall(pass *analysis.Pass, e ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if s, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[s.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && randPkgs[fn.Pkg().Path()] && constructors[fn.Name()] {
+					return false
+				}
+			}
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			found = sel
+			return false
+		}
+		return true
+	})
+	return found
+}

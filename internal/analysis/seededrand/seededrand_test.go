@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analyzertest.Run(t, "testdata", seededrand.Analyzer, "a")
+}

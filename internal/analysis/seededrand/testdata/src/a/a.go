@@ -1,0 +1,37 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad draws from the global stream and seeds from the clock.
+func bad() int {
+	n := rand.Intn(10)                                   // want `rand\.Intn draws from the global seed-shared stream`
+	rand.Shuffle(n, func(i, j int) {})                   // want `rand\.Shuffle draws from the global seed-shared stream`
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-derived seed for rand\.NewSource`
+	return r.Intn(10)
+}
+
+// badValue passes a global draw function as a value.
+func badValue() func() float64 {
+	return rand.Float64 // want `rand\.Float64 draws from the global seed-shared stream`
+}
+
+// good uses an explicitly seeded source; methods on it are fine.
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) + rng.Perm(3)[0]
+}
+
+// suppressed documents why the global stream is acceptable here.
+func suppressed() int {
+	//coruscantvet:ignore seededrand -- demo output, reproducibility not required
+	return rand.Intn(10)
+}
+
+// voidDirective has no reason, so the directive does not apply.
+func voidDirective() int {
+	//coruscantvet:ignore seededrand
+	return rand.Intn(10) // want `rand\.Intn draws from the global seed-shared stream`
+}

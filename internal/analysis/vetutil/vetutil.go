@@ -1,0 +1,155 @@
+// Package vetutil holds the pieces shared by the coruscantvet analyzers:
+// the suppression-directive convention, test-file filtering, and the
+// structural detection of the word-packed Row type whose invariants the
+// suite enforces.
+//
+// # Suppression convention
+//
+// A diagnostic may be silenced by a directive comment on the reported
+// line or on the line immediately above it:
+//
+//	//coruscantvet:ignore masktail -- tail bits proven clear by caller
+//
+// The directive names one or more analyzers (comma-separated) and MUST
+// carry a reason after " -- "; a directive without a reason is ignored
+// and the diagnostic stands. See DESIGN.md "Invariants & static
+// analysis".
+package vetutil
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// directive is the comment prefix that suppresses a diagnostic.
+const directive = "coruscantvet:ignore"
+
+// IsTestFile reports whether pos lies in a _test.go file. The suite
+// checks production invariants; tests deliberately build dirty rows,
+// alias planes and reseed RNGs, so every analyzer skips test files.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f == nil || strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// FileOf returns the *ast.File of pass containing pos, or nil.
+func FileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// suppressed reports whether a well-formed ignore directive for the
+// named analyzer covers the line of pos or the line above it.
+func suppressed(pass *analysis.Pass, name string, pos token.Pos) bool {
+	file := FileOf(pass, pos)
+	if file == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, directive) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, directive))
+			names, reason, ok := strings.Cut(rest, "--")
+			if !ok || strings.TrimSpace(reason) == "" {
+				continue // no reason given: directive is void
+			}
+			match := false
+			for _, n := range strings.Split(names, ",") {
+				if strings.TrimSpace(n) == name {
+					match = true
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			cline := pass.Fset.Position(c.End()).Line
+			if cline == line || cline == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Report files a diagnostic for the named analyzer at pos unless pos is
+// in a test file or covered by an ignore directive. Every coruscantvet
+// analyzer reports exclusively through this funnel so the suppression
+// convention is uniform.
+func Report(pass *analysis.Pass, name string, pos token.Pos, format string, args ...interface{}) {
+	if IsTestFile(pass, pos) || suppressed(pass, name, pos) {
+		return
+	}
+	pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsRowType reports whether t is (or points to) a word-packed row type:
+// a named struct with a `Words []uint64` field and a MaskTail method.
+// Detection is structural rather than by import path so the analyzers
+// work on the dbc.Row production type, the coruscant.Row alias, and the
+// self-contained fixtures under testdata alike.
+func IsRowType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasWords := false
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Words" {
+			continue
+		}
+		if s, ok := f.Type().(*types.Slice); ok {
+			if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Uint64 {
+				hasWords = true
+			}
+		}
+	}
+	if !hasWords {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "MaskTail" {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSliceOfUint64 reports whether t is []uint64 or [][]uint64 — the
+// plane storage types whose aliasing the rowalias analyzer tracks.
+func IsSliceOfUint64(t types.Type) bool {
+	s, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Uint64 {
+		return true
+	}
+	return IsSliceOfUint64(s.Elem())
+}

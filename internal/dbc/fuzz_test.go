@@ -1,0 +1,62 @@
+package dbc
+
+import "testing"
+
+// FuzzRowRoundTrip drives the Row bit accessors with arbitrary widths
+// and bit patterns and checks the representation invariants: Bits/
+// FromBits round-trips, Get agrees with the bits written by Set, Clone
+// is equal but does not alias, and no word ever carries bits beyond N.
+func FuzzRowRoundTrip(f *testing.F) {
+	f.Add(8, []byte{0xAB})
+	f.Add(70, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(64, []byte{})
+	f.Add(1, []byte{0x01})
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		if n <= 0 || n > 4096 {
+			t.Skip()
+		}
+		r := NewRow(n)
+		for i := 0; i < n; i++ {
+			var bit uint8
+			if i/8 < len(data) {
+				bit = data[i/8] >> uint(i%8) & 1
+			}
+			r.Set(i, bit)
+		}
+		junk := ^TailMask(n)
+		if got := r.Words[len(r.Words)-1] & junk; got != 0 {
+			t.Fatalf("Set left tail bits %#x beyond N=%d", got, n)
+		}
+		for i := 0; i < n; i++ {
+			var want uint8
+			if i/8 < len(data) {
+				want = data[i/8] >> uint(i%8) & 1
+			}
+			if got := r.Get(i); got != want {
+				t.Fatalf("Get(%d) = %d, want %d", i, got, want)
+			}
+		}
+		rt := FromBits(r.Bits()...)
+		if !rt.Equal(r) {
+			t.Fatalf("FromBits(Bits()) != original for N=%d", n)
+		}
+		if got := rt.Words[len(rt.Words)-1] & junk; got != 0 {
+			t.Fatalf("FromBits left tail bits %#x beyond N=%d", got, n)
+		}
+		c := r.Clone()
+		if !c.Equal(r) {
+			t.Fatalf("Clone not equal for N=%d", n)
+		}
+		c.Set(0, 1-r.Get(0))
+		if c.Equal(r) {
+			t.Fatalf("Clone aliases original for N=%d", n)
+		}
+		ones := 0
+		for _, b := range r.Bits() {
+			ones += int(b)
+		}
+		if got := r.OnesCount(); got != ones {
+			t.Fatalf("OnesCount = %d, want %d", got, ones)
+		}
+	})
+}

@@ -122,7 +122,7 @@ func (r Row) OnesCount() int {
 // TailMask returns the valid-bit mask of the last word of an n-wire row.
 func TailMask(n int) uint64 {
 	if rem := n % 64; rem != 0 {
-		return 1<<uint(rem)-1
+		return 1<<uint(rem) - 1
 	}
 	return ^uint64(0)
 }

@@ -115,8 +115,6 @@ func Eval(op Op, level int, trd params.TRD) uint8 {
 // evaluated per handful of bitwise word operations.
 func EvalPlanes(op Op, lp LevelPlanes, trd params.TRD) Row {
 	out := Row{Words: make([]uint64, len(lp.C0)), N: lp.N}
-	tail := TailMask(lp.N)
-	last := len(out.Words) - 1
 	for i := range out.Words {
 		var v uint64
 		switch op {
@@ -137,11 +135,9 @@ func EvalPlanes(op Op, lp LevelPlanes, trd params.TRD) Row {
 		default:
 			panic(fmt.Sprintf("dbc: unknown op %v", op))
 		}
-		if i == last {
-			v &= tail
-		}
 		out.Words[i] = v
 	}
+	out.MaskTail()
 	return out
 }
 

@@ -1,0 +1,34 @@
+package dbc
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+// TestEvalPlanesMasksTail is the regression test for the EvalPlanes
+// refactor from in-loop tail masking to a final MaskTail: for a width
+// that does not fill the last word, inverting ops (NOR, NAND, XNOR)
+// would set every tail bit, and junk beyond N in the sensed planes
+// would leak through the non-inverting ones.
+func TestEvalPlanesMasksTail(t *testing.T) {
+	const n = 70 // 2 words, 6 valid bits in the last
+	words := (n + 63) / 64
+	lp := LevelPlanes{
+		C0: make([]uint64, words),
+		C1: make([]uint64, words),
+		C2: make([]uint64, words),
+		N:  n,
+	}
+	// A transverse read of a physical track can carry junk beyond N.
+	for _, p := range [][]uint64{lp.C0, lp.C1, lp.C2} {
+		p[words-1] = ^TailMask(n)
+	}
+	junk := ^TailMask(n)
+	for _, op := range []Op{OpOR, OpNOR, OpAND, OpNAND, OpXOR, OpXNOR, OpMAJ, OpNOT} {
+		out := EvalPlanes(op, lp, params.TRD3)
+		if got := out.Words[words-1] & junk; got != 0 {
+			t.Errorf("EvalPlanes(%v): tail bits %#x beyond N=%d are set", op, got, n)
+		}
+	}
+}

@@ -116,6 +116,7 @@ func (u *Unit) addPlaced(blocksize int, hasCp bool) (dbc.Row, error) {
 		}
 		u.D.WriteScatterPlanes(left, leftMask, rBits, rMask, count)
 	}
+	sum.MaskTail()
 	return sum, nil
 }
 

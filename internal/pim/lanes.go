@@ -29,11 +29,13 @@ func PackLanes(vals []uint64, lane, width int) (dbc.Row, error) {
 	if len(vals) > width/lane {
 		return dbc.Row{}, fmt.Errorf("pim: %d values exceed %d lanes", len(vals), width/lane)
 	}
-	row := dbc.NewRow(width)
-	for l, v := range vals {
+	for _, v := range vals {
 		if lane < 64 && v >= 1<<uint(lane) {
 			return dbc.Row{}, fmt.Errorf("pim: value %d does not fit in %d-bit lane", v, lane)
 		}
+	}
+	row := dbc.NewRow(width)
+	for l, v := range vals {
 		switch {
 		case 64%lane == 0:
 			per := 64 / lane
@@ -46,6 +48,7 @@ func PackLanes(vals []uint64, lane, width int) (dbc.Row, error) {
 			}
 		}
 	}
+	row.MaskTail()
 	return row, nil
 }
 

@@ -1,0 +1,62 @@
+package pim
+
+import (
+	"testing"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+)
+
+// tailJunk returns the bits of r's last word beyond its width.
+func tailJunk(r dbc.Row) uint64 {
+	if len(r.Words) == 0 {
+		return 0
+	}
+	return r.Words[len(r.Words)-1] & ^dbc.TailMask(r.N)
+}
+
+// TestPackLanesMasksTail pins the tail invariant on the packing path
+// for a width that does not fill the last word.
+func TestPackLanesMasksTail(t *testing.T) {
+	vals := make([]uint64, 9)
+	for i := range vals {
+		vals[i] = 0xFF
+	}
+	row, err := PackLanes(vals, 8, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailJunk(row); got != 0 {
+		t.Fatalf("PackLanes: tail bits %#x beyond N=72 are set", got)
+	}
+}
+
+// TestAddMultiMasksTail is the regression test for the missing
+// sum.MaskTail in addPlaced: on a 96-wire track the OR-accumulation of
+// the S plane must not leave bits beyond N in the result row.
+func TestAddMultiMasksTail(t *testing.T) {
+	u := unitFor(t, params.TRD3, 96)
+	lanes := 96 / 8
+	a := make([]uint64, lanes)
+	b := make([]uint64, lanes)
+	for l := 0; l < lanes; l++ {
+		a[l] = 0xAB
+		b[l] = 0xCD
+	}
+	sum, err := u.AddMulti([]dbc.Row{
+		MustPackLanes(a, 8, 96),
+		MustPackLanes(b, 8, 96),
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailJunk(sum); got != 0 {
+		t.Fatalf("AddMulti: tail bits %#x beyond N=96 are set", got)
+	}
+	got := UnpackLanes(sum, 8)
+	for l := 0; l < lanes; l++ {
+		if want := uint64((0xAB + 0xCD) & 0xFF); got[l] != want {
+			t.Fatalf("lane %d = %#x, want %#x", l, got[l], want)
+		}
+	}
+}

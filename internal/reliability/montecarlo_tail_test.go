@@ -1,0 +1,23 @@
+package reliability
+
+import (
+	"testing"
+
+	"repro/internal/params"
+)
+
+// TestMonteCarloZeroFaultsZeroFailures pins the reference-row
+// construction in RunXOR (now tail-masked like every Row): with fault
+// injection off, every trial's engine result must compare equal to the
+// reference, so any spurious failure is a mismatch between the two row
+// constructions, not a device error.
+func TestMonteCarloZeroFaultsZeroFailures(t *testing.T) {
+	mc := MonteCarlo{TRD: params.TRD7, FaultP: 0, Trials: 300, Seed: 3}
+	res, err := mc.RunXOR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("RunXOR with FaultP=0: %d/%d spurious failures", res.Failures, res.Trials)
+	}
+}

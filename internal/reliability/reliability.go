@@ -97,9 +97,12 @@ func MultiplyErrorRate(trEvents int, p float64) float64 {
 //     add row);
 //   - or a replica fault coincides with a fault in sensing the majority
 //     itself (the C' circuit, one flip boundary).
-func NModular(n int, q, p float64, trd params.TRD, bits int) float64 {
+//
+// Only odd degrees with a majority circuit in the TRD window are
+// modeled; any n other than 3, 5 or 7 is reported as an error.
+func NModular(n int, q, p float64, trd params.TRD, bits int) (float64, error) {
 	if n != 3 && n != 5 && n != 7 {
-		panic(fmt.Sprintf("reliability: unsupported redundancy degree %d", n))
+		return 0, fmt.Errorf("reliability: unsupported redundancy degree %d (want 3, 5 or 7)", n)
 	}
 	m := (n + 1) / 2
 	replicas := binom(n, m) * math.Pow(q, float64(m)) * math.Pow(0.25, float64(m-1))
@@ -109,7 +112,7 @@ func NModular(n int, q, p float64, trd params.TRD, bits int) float64 {
 	voteFault := binom(n, m-1) * math.Pow(q, float64(m-1)) *
 		(p / float64(int(trd))) * math.Pow(0.25, float64(m-1))
 	perBit := replicas + voteFault
-	return atLeastOnce(perBit, bits)
+	return atLeastOnce(perBit, bits), nil
 }
 
 // AddNMREndRate returns the uncorrectable-error probability of a b-bit
@@ -234,7 +237,11 @@ func TableVNMRRows(p float64) []NMRRow {
 					row.Rate[n][trd] = math.NaN()
 					continue
 				}
-				row.Rate[n][trd] = NModular(n, q(trd), p, trd, 8)
+				rate, err := NModular(n, q(trd), p, trd, 8)
+				if err != nil { // unreachable: n ranges over 3, 5, 7
+					rate = math.NaN()
+				}
+				row.Rate[n][trd] = rate
 			}
 		}
 		return row

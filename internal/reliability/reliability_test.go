@@ -68,7 +68,10 @@ func TestNModularTMRAdd(t *testing.T) {
 	// Table V: TMR brings the 8-bit add from 8e-6 to circa 5.6e-12.
 	p := DefaultTRFaultProb
 	q := AddErrorRate(8, p) / 8
-	got := NModular(3, q, p, params.TRD7, 8)
+	got, err := NModular(3, q, p, params.TRD7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got < 1e-12 || got > 2e-11 {
 		t.Errorf("TMR add = %.3g, want circa 5.6e-12", got)
 	}
@@ -77,9 +80,14 @@ func TestNModularTMRAdd(t *testing.T) {
 func TestNModularScaling(t *testing.T) {
 	p := DefaultTRFaultProb
 	q := 1e-6
-	tmr := NModular(3, q, p, params.TRD7, 8)
-	n5 := NModular(5, q, p, params.TRD7, 8)
-	n7 := NModular(7, q, p, params.TRD7, 8)
+	tmr, err3 := NModular(3, q, p, params.TRD7, 8)
+	n5, err5 := NModular(5, q, p, params.TRD7, 8)
+	n7, err7 := NModular(7, q, p, params.TRD7, 8)
+	for _, err := range []error{err3, err5, err7} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
 	if !(tmr > n5 && n5 > n7) {
 		t.Errorf("NMR rates not decreasing with N: %g %g %g", tmr, n5, n7)
 	}
@@ -92,20 +100,22 @@ func TestNModularScaling(t *testing.T) {
 
 func TestNModularMonotoneInQ(t *testing.T) {
 	p := DefaultTRFaultProb
-	lo := NModular(3, 1e-8, p, params.TRD7, 8)
-	hi := NModular(3, 1e-5, p, params.TRD7, 8)
+	lo, _ := NModular(3, 1e-8, p, params.TRD7, 8)
+	hi, _ := NModular(3, 1e-5, p, params.TRD7, 8)
 	if lo >= hi {
 		t.Errorf("NMR not monotone in replica error rate: %g vs %g", lo, hi)
 	}
 }
 
 func TestNModularRejectsBadN(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("N=4 accepted")
+	for _, n := range []int{-1, 0, 1, 2, 4, 6, 9} {
+		if _, err := NModular(n, 1e-6, 1e-6, params.TRD7, 8); err == nil {
+			t.Errorf("N=%d accepted", n)
 		}
-	}()
-	NModular(4, 1e-6, 1e-6, params.TRD7, 8)
+	}
+	if _, err := NModular(5, 1e-6, 1e-6, params.TRD7, 8); err != nil {
+		t.Errorf("N=5 rejected: %v", err)
+	}
 }
 
 func TestTableVRows(t *testing.T) {
