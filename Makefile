@@ -5,9 +5,9 @@
 GO ?= go
 BIN := bin
 
-.PHONY: ci vet lint audit build test race fuzz bench
+.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs
 
-ci: lint build race fuzz bench
+ci: lint build race race-obs fuzz bench bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-obs re-runs the telemetry-heavy packages under the race detector
+# with -count=2: the recorder is shared mutable state threaded through
+# memory, pim and dbc, and a second pass catches ordering flakes the
+# single ./... sweep can miss.
+race-obs:
+	$(GO) test -race -count=2 ./internal/memory ./internal/telemetry
+
 # fuzz gives each native fuzz target a short deterministic smoke run;
 # longer sessions are manual (`go test -fuzz <name> -fuzztime 5m`).
 fuzz:
@@ -56,3 +63,11 @@ fuzz:
 # BENCH_lint.json.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkDBC|BenchmarkBulk|BenchmarkPIM|BenchmarkAdd' -benchmem ./...
+
+# bench-obs measures the telemetry overhead guard: the hot PIM ops with
+# telemetry disabled (nil recorder — must match the un-instrumented
+# baseline), with a metrics-only recorder, and with a ring sink.
+# Reference numbers and the <2% disabled-path budget are recorded in
+# BENCH_obs.json.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' -benchmem .

@@ -8,16 +8,33 @@
 //	coruscant fig10 fig11 fig12
 //	coruscant demo                # bit-level PIM walkthrough
 //	coruscant list                # experiment ids
+//
+// Observability flags (most useful with demo, which drives the PIM
+// unit through a telemetry recorder):
+//
+//	coruscant -trace out.json demo   # Chrome trace_event JSON; open in
+//	                                 # https://ui.perfetto.dev
+//	coruscant -jsonl out.jsonl demo  # one JSON event per line
+//	coruscant -metrics demo          # text metrics report on exit
+//	coruscant -debug-addr :8080 all  # /debug/vars + /debug/pprof server
+//	coruscant -cpuprofile cpu.pb all # runtime profiles
 package main
 
 import (
+	_ "expvar" // registers /debug/vars on the default mux
+	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/dbc"
 	"repro/internal/experiments"
 	"repro/internal/params"
 	"repro/internal/pim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,10 +45,105 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) == 0 {
+	fs := flag.NewFlagSet("coruscant", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto)")
+	jsonlPath := fs.String("jsonl", "", "write telemetry events as JSON lines")
+	metrics := fs.Bool("metrics", false, "print the telemetry metrics report on exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile")
+	memProfile := fs.String("memprofile", "", "write a heap profile on exit")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	fs.Usage = func() {
 		usage()
+		fmt.Println("flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
+	if len(args) == 0 {
+		fs.Usage()
 		return nil
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *debugAddr != "" {
+		// Expose expvar (/debug/vars) and pprof (/debug/pprof) for the
+		// duration of the run; telemetry metrics publish there too.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "coruscant: debug server:", err)
+			}
+		}()
+	}
+
+	// Assemble the telemetry recorder when any observability output is
+	// requested; a nil recorder keeps the disabled path free.
+	var sinks []telemetry.Sink
+	var closers []*os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		sinks = append(sinks, telemetry.NewChromeSink(f))
+	}
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		sinks = append(sinks, telemetry.NewJSONLSink(f))
+	}
+	var rec *telemetry.Recorder
+	if len(sinks) > 0 || *metrics || *debugAddr != "" {
+		rec = telemetry.NewRecorder(params.DefaultConfig(), sinks...)
+		rec.Metrics().PublishExpvar("coruscant.telemetry")
+	}
+
+	runErr := dispatch(args, rec)
+
+	if err := rec.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	for _, f := range closers {
+		if err := f.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr == nil && *metrics && rec != nil {
+		runErr = rec.Metrics().WriteText(os.Stdout)
+	}
+	if runErr == nil && *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		runErr = pprof.WriteHeapProfile(f)
+	}
+	if *tracePath != "" && runErr == nil {
+		fmt.Fprintf(os.Stderr, "coruscant: wrote %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	return runErr
+}
+
+// dispatch runs the positional subcommands with the (possibly nil)
+// telemetry recorder.
+func dispatch(args []string, rec *telemetry.Recorder) error {
 	for _, arg := range args {
 		switch arg {
 		case "help", "-h", "--help":
@@ -49,7 +161,7 @@ func run(args []string) error {
 				t.Render(os.Stdout)
 			}
 		case "demo":
-			if err := demo(); err != nil {
+			if err := demo(rec); err != nil {
 				return err
 			}
 		case "json":
@@ -100,18 +212,21 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Println("usage: coruscant [all|demo|svg|json|list|<experiment>...]")
+	fmt.Println("usage: coruscant [flags] [all|demo|svg|json|list|<experiment>...]")
 	fmt.Println("experiments:", experiments.IDs())
 }
 
 // demo walks through the PIM unit's core operations at the bit level.
-func demo() error {
+// With a telemetry recorder attached, every primitive lands in the
+// requested sinks under the "demo" source lane.
+func demo(rec *telemetry.Recorder) error {
 	cfg := params.DefaultConfig()
 	cfg.Geometry.TrackWidth = 64
 	u, err := pim.NewUnit(cfg)
 	if err != nil {
 		return err
 	}
+	u.SetTelemetry(rec, "demo")
 	fmt.Printf("PIM unit: %d nanowires x %d rows, %v (window at rows %d..%d)\n",
 		u.Width(), cfg.Geometry.RowsPerDBC, cfg.TRD,
 		first(params.PortPlacement(cfg.Geometry.RowsPerDBC, cfg.TRD)),
@@ -170,6 +285,9 @@ func demo() error {
 	}
 	fmt.Println("max (TR tournament):", pim.UnpackLanes(maxRow, 8))
 	fmt.Println("trace:", u.Stats())
+	if rec != nil {
+		fmt.Printf("telemetry: %d cycles, %.1f pJ\n", rec.Cycle(), rec.EnergyPJ())
+	}
 	return nil
 }
 

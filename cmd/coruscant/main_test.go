@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"list"}); err != nil {
@@ -38,5 +44,38 @@ func TestRunHelpAndEmpty(t *testing.T) {
 	}
 	if err := run([]string{"help"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunDemoWithTraceProducesValidChromeJSON(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	jsonlPath := filepath.Join(dir, "out.jsonl")
+	if err := run([]string{"-trace", tracePath, "-jsonl", jsonlPath, "-metrics", "demo"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	jl, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jl) == 0 {
+		t.Fatal("jsonl file is empty")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuch-flag", "demo"}); err == nil {
+		t.Error("unknown flag accepted")
 	}
 }

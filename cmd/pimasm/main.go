@@ -1,21 +1,34 @@
-// Command pimasm assembles and disassembles cpim instruction words
-// (§III-E), the binary form a CPU writes to the memory controller.
+// Command pimasm assembles, disassembles and executes cpim instruction
+// words (§III-E), the binary form a CPU writes to the memory
+// controller.
 //
 // Usage:
 //
 //	pimasm asm "add b2.s10.t0.d15.r0 bs=8 k=3"
 //	pimasm dis 0x20078142a
 //	pimasm ops                     # list mnemonics and limits
+//	pimasm exec "add ... k=3" ...  # run instructions on a PIM unit
+//
+// exec drives each instruction on a fresh cpim controller with
+// deterministic operand lanes and reports the result values plus the
+// cycle/energy accounting. Telemetry flags apply to exec:
+//
+//	pimasm -trace out.json exec "add b2.s10.t0.d15.r0 bs=8 k=3"
+//	pimasm -metrics exec "mult b2.s10.t0.d15.r0 bs=16 k=2"
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/dbc"
 	"repro/internal/isa"
 	"repro/internal/params"
+	"repro/internal/pim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,8 +39,21 @@ func main() {
 }
 
 func run(args []string) error {
+	fs := flag.NewFlagSet("pimasm", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file for exec (open in Perfetto)")
+	jsonlPath := fs.String("jsonl", "", "write exec telemetry events as JSON lines")
+	metrics := fs.Bool("metrics", false, "print the telemetry metrics report after exec")
+	fs.Usage = func() {
+		fmt.Println("usage: pimasm [flags] asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops | exec <instr>...")
+		fmt.Println("flags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: pimasm asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops")
+		fs.Usage()
 		return nil
 	}
 	cfg := params.DefaultConfig()
@@ -65,7 +91,141 @@ func run(args []string) error {
 		fmt.Printf("blocksizes: %v\n", params.BlockSizes)
 		fmt.Printf("operands: 1..%d (TRD=%d)\n", cfg.TRD.MaxBulkOperands(), int(cfg.TRD))
 		return nil
+	case "exec":
+		if len(args) < 2 {
+			return fmt.Errorf("exec needs at least one instruction string")
+		}
+		return exec(cfg, args[1:], *tracePath, *jsonlPath, *metrics)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// exec parses each instruction string and runs it on one cpim
+// controller, synthesizing deterministic operand rows, so the encoded
+// stream's cost and behaviour can be inspected without writing a
+// program.
+func exec(cfg params.Config, instrs []string, tracePath, jsonlPath string, metrics bool) error {
+	var sinks []telemetry.Sink
+	var files []*os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		sinks = append(sinks, telemetry.NewChromeSink(f))
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		sinks = append(sinks, telemetry.NewJSONLSink(f))
+	}
+	var rec *telemetry.Recorder
+	if len(sinks) > 0 || metrics {
+		rec = telemetry.NewRecorder(cfg, sinks...)
+	}
+
+	c, err := isa.NewController(cfg)
+	if err != nil {
+		return err
+	}
+	c.Unit.SetTelemetry(rec, "cpim")
+	runErr := func() error {
+		for _, text := range instrs {
+			in, err := isa.ParseInstruction(text)
+			if err != nil {
+				return err
+			}
+			operands := operandRows(c.Unit, in)
+			c.Unit.ResetStats()
+			result, err := c.Execute(in, operands)
+			if err != nil {
+				return err
+			}
+			cost := c.Unit.Stats()
+			fmt.Printf("%s\n", isa.FormatInstruction(in))
+			if bs := laneWidth(in); bs > 0 && result.N > 0 {
+				vals := pim.UnpackLanes(result, bs)
+				fmt.Printf("  result lanes (bs=%d): %v\n", bs, preview(vals, 8))
+			}
+			fmt.Printf("  cost: %d cycles, %.1f pJ\n", cost.Cycles(), cost.EnergyPJ(cfg.Energy, cfg.TRD))
+		}
+		return nil
+	}()
+
+	if err := rec.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr == nil && metrics && rec != nil {
+		runErr = rec.Metrics().WriteText(os.Stdout)
+	}
+	if tracePath != "" && runErr == nil {
+		fmt.Fprintf(os.Stderr, "pimasm: wrote %s (open in https://ui.perfetto.dev)\n", tracePath)
+	}
+	return runErr
+}
+
+// operandRows synthesizes deterministic operand rows for an exec
+// instruction: lane j of operand i holds (7i+3j+1) mod 2^min(bs,8), so
+// results are reproducible and non-trivial.
+func operandRows(u *pim.Unit, in isa.Instruction) []dbc.Row {
+	bs := laneWidth(in)
+	if bs == 0 {
+		bs = 8
+	}
+	valBits := bs
+	if in.Op == isa.OpMult {
+		valBits = bs / 2 // multiplier lanes carry bs/2-bit inputs
+	}
+	if valBits > 8 {
+		valBits = 8
+	}
+	mod := uint64(1) << uint(valBits)
+	rows := make([]dbc.Row, in.Operands)
+	for i := range rows {
+		lanes := make([]uint64, u.Width()/bs)
+		for j := range lanes {
+			lanes[j] = uint64(7*i+3*j+1) % mod
+		}
+		r, err := pim.PackLanes(lanes, bs, u.Width())
+		if err != nil {
+			// Lane widths are validated by the instruction parser, so
+			// packing can only fail on a geometry mismatch; surface it
+			// as an empty operand and let Execute report the error.
+			return rows
+		}
+		if in.Op == isa.OpVote && i > 0 {
+			r = rows[0] // identical replicas vote cleanly
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// laneWidth returns the lane size results should be unpacked at, or 0
+// when the op has no lane structure.
+func laneWidth(in isa.Instruction) int {
+	switch in.Op {
+	case isa.OpNop, isa.OpRead, isa.OpWrite, isa.OpVote,
+		isa.OpAnd, isa.OpOr, isa.OpNand, isa.OpNor, isa.OpXor, isa.OpXnor, isa.OpNot:
+		return 0
+	}
+	return in.Blocksize
+}
+
+// preview truncates a slice for display.
+func preview(vals []uint64, n int) []uint64 {
+	if len(vals) <= n {
+		return vals
+	}
+	return vals[:n]
 }

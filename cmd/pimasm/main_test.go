@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 func TestRunAsmDis(t *testing.T) {
 	if err := run([]string{"asm", "add", "b2.s10.t0.d15.r0", "bs=8", "k=3"}); err != nil {
@@ -24,6 +30,49 @@ func TestRunErrors(t *testing.T) {
 		{"dis"},
 		{"dis", "zzz"},
 		{"frob"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunExec(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "exec.json")
+	err := run([]string{"-trace", tracePath, "-metrics", "exec",
+		"add b2.s10.t0.d15.r0 bs=8 k=3",
+		"xor b2.s10.t0.d15.r0 k=4",
+		"mult b2.s10.t0.d15.r0 bs=16 k=2",
+		"vote b2.s10.t0.d15.r0 k=3",
+		"relu b2.s10.t0.d15.r0 bs=8 k=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawCpim bool
+	for _, r := range records {
+		if r.Ph == "B" && r.Name == "cpim-add" {
+			sawCpim = true
+		}
+	}
+	if !sawCpim {
+		t.Error("no cpim-add span in exec trace")
+	}
+}
+
+func TestRunExecErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"exec"},
+		{"exec", "bogus"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)

@@ -25,6 +25,8 @@
 package coruscant
 
 import (
+	"io"
+
 	"repro/internal/dbc"
 	"repro/internal/device"
 	"repro/internal/experiments"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/params"
 	"repro/internal/pim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -192,6 +195,47 @@ type Memory = memory.Memory
 
 // MoveStats counts row-granularity data movement inside a Memory.
 type MoveStats = memory.MoveStats
+
+// Telemetry: the engine-wide observability layer (cycle-accurate op
+// tracing, pluggable sinks, runtime metrics).
+type (
+	// Recorder is the telemetry hub; attach one with Unit.SetTelemetry
+	// or Memory.SetTelemetry. A nil *Recorder disables telemetry at the
+	// cost of one branch per hook.
+	Recorder = telemetry.Recorder
+	// TelemetryEvent is one record of the telemetry stream.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySink consumes telemetry events.
+	TelemetrySink = telemetry.Sink
+	// TelemetrySource labels an event's emitting component.
+	TelemetrySource = telemetry.Source
+	// Metrics aggregates counters and histograms over the stream.
+	Metrics = telemetry.Metrics
+	// RingSink keeps the last N events in memory.
+	RingSink = telemetry.RingSink
+	// JSONLSink streams events as JSON lines.
+	JSONLSink = telemetry.JSONLSink
+	// ChromeSink exports a Chrome trace_event file loadable in
+	// Perfetto or chrome://tracing.
+	ChromeSink = telemetry.ChromeSink
+)
+
+// NewRecorder builds a telemetry recorder pricing events with cfg's
+// energy table and fanning out to the given sinks.
+func NewRecorder(cfg Config, sinks ...TelemetrySink) *Recorder {
+	return telemetry.NewRecorder(cfg, sinks...)
+}
+
+// NewRingSink keeps the most recent capacity events in memory.
+func NewRingSink(capacity int) *RingSink { return telemetry.NewRingSink(capacity) }
+
+// NewJSONLSink streams every event to w as one JSON object per line.
+func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONLSink(w) }
+
+// NewChromeSink streams a Chrome trace_event JSON array to w; open the
+// file in https://ui.perfetto.dev or chrome://tracing (1 µs = 1 device
+// cycle).
+func NewChromeSink(w io.Writer) *ChromeSink { return telemetry.NewChromeSink(w) }
 
 // NewMemory returns an empty functional memory (clusters materialize
 // lazily, so the full 1 GB geometry is addressable).

@@ -12,7 +12,9 @@
 // tested against (refdbc_test.go).
 //
 // All state-changing operations are traced: each control step logs into a
-// trace.Tracer from which cycle latency and energy are derived.
+// trace.Tracer from which cycle latency and energy are derived, and —
+// when a telemetry.Recorder is attached — also emits one timestamped
+// telemetry event (injected faults emit additional tagged events).
 package dbc
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/params"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -33,6 +36,8 @@ type DBC struct {
 
 	pa     *device.PlaneArray
 	tracer *trace.Tracer
+	rec    *telemetry.Recorder
+	src    telemetry.Source
 	inj    *device.FaultInjector
 }
 
@@ -72,6 +77,18 @@ func (d *DBC) SetTracer(t *trace.Tracer) { d.tracer = t }
 
 // Tracer returns the current tracer (possibly nil).
 func (d *DBC) Tracer() *trace.Tracer { return d.tracer }
+
+// SetTelemetry attaches a telemetry recorder (nil disables); src tags
+// this DBC's events — memory.Memory uses the DBC coordinates.
+func (d *DBC) SetTelemetry(rec *telemetry.Recorder, src telemetry.Source) {
+	d.rec, d.src = rec, src
+}
+
+// Recorder returns the attached telemetry recorder (possibly nil).
+func (d *DBC) Recorder() *telemetry.Recorder { return d.rec }
+
+// Source returns the DBC's telemetry source tag.
+func (d *DBC) Source() telemetry.Source { return d.src }
 
 // SetFaultInjector enables fault injection on TRs and shifts.
 func (d *DBC) SetFaultInjector(f *device.FaultInjector) { d.inj = f }
@@ -121,6 +138,11 @@ func (d *DBC) Shift(steps int) error {
 		n := 1
 		if e := d.inj.ShiftError(); e != 0 {
 			n += e * dir // over/under shoot relative to intended direction
+			detail := "shift-overshoot"
+			if e < 0 {
+				detail = "shift-undershoot"
+			}
+			d.rec.Fault(d.src, detail, d.width)
 		}
 		for j := 0; j < n; j++ {
 			if err := d.shiftOne(dir); err != nil {
@@ -128,6 +150,7 @@ func (d *DBC) Shift(steps int) error {
 			}
 		}
 		d.tracer.Shift(d.width)
+		d.rec.Step(d.src, telemetry.OpShift, d.width)
 	}
 	return nil
 }
@@ -169,6 +192,7 @@ func (d *DBC) ReadPort(s device.Side) Row {
 	out := NewRow(d.width)
 	d.pa.ReadPort(s, out.Words)
 	d.tracer.Read(d.width)
+	d.rec.Step(d.src, telemetry.OpRead, d.width)
 	return out
 }
 
@@ -177,6 +201,7 @@ func (d *DBC) WritePort(s device.Side, bits Row) {
 	d.checkRow(bits)
 	d.pa.WritePort(s, bits.Words)
 	d.tracer.Write(d.width)
+	d.rec.Step(d.src, telemetry.OpWrite, d.width)
 }
 
 // WriteScatter performs, in one traced control step, a set of port writes
@@ -188,6 +213,7 @@ func (d *DBC) WriteScatter(writes []PortBit) {
 		d.pa.SetPortBit(pw.Side, pw.Wire, pw.Bit)
 	}
 	d.tracer.Write(len(writes))
+	d.rec.Step(d.src, telemetry.OpWrite, len(writes))
 }
 
 // PortBit names a single-bit port write target for WriteScatter.
@@ -251,8 +277,10 @@ func (d *DBC) TRAllPlanesInto(lp *LevelPlanes) {
 	d.pa.TRPlanes(lp.C0, lp.C1, lp.C2)
 	if flip, up, any := d.inj.TRFaultMasks(d.width); any {
 		device.PerturbTRPlanes(lp.C0, lp.C1, lp.C2, flip, up, int(d.trd))
+		d.rec.Fault(d.src, "tr-level", device.OnesCount(flip))
 	}
 	d.tracer.TR(d.width)
+	d.rec.Step(d.src, telemetry.OpTR, d.width)
 }
 
 // TRAll performs a transverse read on every nanowire in one traced
@@ -279,9 +307,15 @@ func (d *DBC) TRWires(wires []int) ([]int, error) {
 		if levels[w] != -1 {
 			return nil, fmt.Errorf("dbc: duplicate TR wire %d", w)
 		}
-		levels[w] = d.inj.PerturbTR(d.pa.TRWire(w), int(d.trd))
+		lvl := d.pa.TRWire(w)
+		sensed := d.inj.PerturbTR(lvl, int(d.trd))
+		if sensed != lvl {
+			d.rec.Fault(d.src, "tr-level", 1)
+		}
+		levels[w] = sensed
 	}
 	d.tracer.TR(len(wires))
+	d.rec.Step(d.src, telemetry.OpTR, len(wires))
 	return levels, nil
 }
 
@@ -320,11 +354,13 @@ func (d *DBC) TRMaskedInto(lp *LevelPlanes, mask []uint64, wires int) {
 					lp.C0[word] = lp.C0[word]&clr | uint64(nl&1)<<bit
 					lp.C1[word] = lp.C1[word]&clr | uint64(nl>>1&1)<<bit
 					lp.C2[word] = lp.C2[word]&clr | uint64(nl>>2&1)<<bit
+					d.rec.Fault(d.src, "tr-level", 1)
 				}
 			}
 		}
 	}
 	d.tracer.TR(wires)
+	d.rec.Step(d.src, telemetry.OpTR, wires)
 }
 
 // WriteScatterPlanes performs, in one traced control step, word-parallel
@@ -337,6 +373,7 @@ func (d *DBC) WriteScatterPlanes(left, leftMask, right, rightMask []uint64, coun
 	d.pa.WritePortMasked(device.Left, left, leftMask)
 	d.pa.WritePortMasked(device.Right, right, rightMask)
 	d.tracer.Write(count)
+	d.rec.Step(d.src, telemetry.OpWrite, count)
 }
 
 // TW performs a transverse write of a full row (§IV-B): on every wire the
@@ -347,6 +384,7 @@ func (d *DBC) TW(bits Row) {
 	d.checkRow(bits)
 	d.pa.TW(bits.Words)
 	d.tracer.TW(d.width)
+	d.rec.Step(d.src, telemetry.OpTW, d.width)
 }
 
 // WindowRow maps window position i (0 = left port) to the data row

@@ -1,6 +1,20 @@
 package device
 
-import "math/rand"
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// OnesCount returns the number of set bits across the mask words — the
+// wire count of a word-packed selection or fault mask, used by the
+// telemetry layer to size fault events.
+func OnesCount(mask []uint64) int {
+	n := 0
+	for _, w := range mask {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // FaultInjector perturbs device operations according to the paper's
 // fault models (§V-F): a transverse read returns a level off by one with

@@ -181,6 +181,11 @@ func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error
 	if in.Op != OpRead && in.Op != OpNop && len(operands) != in.Operands {
 		return dbc.Row{}, fmt.Errorf("isa: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
 	}
+	// Build the span name only when telemetry is attached so the concat
+	// does not allocate on the disabled path.
+	if rec := c.Unit.Recorder(); rec != nil {
+		defer rec.Span(c.Unit.TelemetrySource(), "cpim-"+in.Op.String())()
+	}
 	switch in.Op {
 	case OpNop:
 		return dbc.Row{}, nil

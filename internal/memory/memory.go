@@ -7,8 +7,10 @@
 // DBCs materialize lazily, so the Table II geometry (a 1 GB memory of
 // half a million DBCs) is addressable without allocating it: only
 // touched clusters exist. All accesses are traced; the per-operation
-// device costs accumulate in the memory's tracer and the row-movement
-// counters in its MoveStats.
+// device costs accumulate in the memory's tracer and every access is
+// also recorded by the memory's telemetry recorder — row movement
+// included — so MoveStats is a view over the unified telemetry
+// counters rather than a bespoke tally.
 package memory
 
 import (
@@ -20,6 +22,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/params"
 	"repro/internal/pim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -32,11 +35,13 @@ type Memory struct {
 	plain  map[isa.Addr]*dbc.DBC // non-PIM DBCs, keyed by row-0 address
 	units  map[isa.Addr]*pim.Unit
 	tracer *trace.Tracer
-	moves  MoveStats
+	rec    *telemetry.Recorder // always non-nil: metrics-only by default
 	inj    *device.FaultInjector
 }
 
-// MoveStats counts row-granularity data movement inside the memory.
+// MoveStats counts row-granularity data movement inside the memory. It
+// is derived from the telemetry recorder's unified counters (the
+// OpRowRead/OpRowWrite/OpRowCopy instants).
 type MoveStats struct {
 	RowReads  int
 	RowWrites int
@@ -53,6 +58,7 @@ func New(cfg params.Config) (*Memory, error) {
 		plain:  make(map[isa.Addr]*dbc.DBC),
 		units:  make(map[isa.Addr]*pim.Unit),
 		tracer: &trace.Tracer{},
+		rec:    telemetry.NewRecorder(cfg),
 	}, nil
 }
 
@@ -66,11 +72,49 @@ func (m *Memory) Stats() trace.Stats {
 	return m.tracer.Stats()
 }
 
-// Moves returns the row-movement counters.
+// Moves returns the row-movement counters, derived from the unified
+// telemetry metrics.
 func (m *Memory) Moves() MoveStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.moves
+	met := m.rec.Metrics()
+	return MoveStats{
+		RowReads:  int(met.Count(telemetry.OpRowRead)),
+		RowWrites: int(met.Count(telemetry.OpRowWrite)),
+		RowCopies: int(met.Count(telemetry.OpRowCopy)),
+	}
+}
+
+// Recorder returns the memory's telemetry recorder (never nil).
+func (m *Memory) Recorder() *telemetry.Recorder {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rec
+}
+
+// SetTelemetry replaces the memory's telemetry recorder, re-attaching
+// every materialized DBC to it. Passing nil installs a fresh
+// metrics-only recorder (the memory always records: MoveStats derives
+// from the recorder's counters), which also resets the counters.
+func (m *Memory) SetTelemetry(rec *telemetry.Recorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rec == nil {
+		rec = telemetry.NewRecorder(m.cfg)
+	}
+	m.rec = rec
+	for base, d := range m.plain {
+		d.SetTelemetry(rec, srcFor(base))
+	}
+	for base, u := range m.units {
+		u.SetTelemetry(rec, srcFor(base))
+	}
+}
+
+// srcFor names a DBC's telemetry source after its coordinates, e.g.
+// "b0.s1.t2.d3" — one Chrome-trace lane per touched DBC.
+func srcFor(base isa.Addr) telemetry.Source {
+	return telemetry.Source(fmt.Sprintf("b%d.s%d.t%d.d%d", base.Bank, base.Subarray, base.Tile, base.DBC))
 }
 
 // dbcBase strips the row from an address, keying the containing DBC.
@@ -110,6 +154,7 @@ func (m *Memory) cluster(a isa.Addr) (*dbc.DBC, error) {
 	}
 	d.SetTracer(m.tracer)
 	d.SetFaultInjector(m.inj)
+	d.SetTelemetry(m.rec, srcFor(base))
 	m.plain[base] = d
 	return d, nil
 }
@@ -126,6 +171,7 @@ func (m *Memory) unit(base isa.Addr) (*pim.Unit, error) {
 	// Route the unit's accounting into the memory-wide tracer.
 	u.D.SetTracer(m.tracer)
 	u.D.SetFaultInjector(m.inj)
+	u.SetTelemetry(m.rec, srcFor(base))
 	m.units[base] = u
 	return u, nil
 }
@@ -151,7 +197,7 @@ func (m *Memory) writeRowLocked(a isa.Addr, row dbc.Row) error {
 		return err
 	}
 	d.WritePort(side, row)
-	m.moves.RowWrites++
+	m.rec.Move(d.Source(), telemetry.OpRowWrite, row.N)
 	return nil
 }
 
@@ -171,7 +217,7 @@ func (m *Memory) readRowLocked(a isa.Addr) (dbc.Row, error) {
 	if err != nil {
 		return dbc.Row{}, err
 	}
-	m.moves.RowReads++
+	m.rec.Move(d.Source(), telemetry.OpRowRead, d.Width())
 	return d.ReadPort(side), nil
 }
 
@@ -188,7 +234,7 @@ func (m *Memory) CopyRow(src, dst isa.Addr) error {
 	if err := m.writeRowLocked(dst, row); err != nil {
 		return err
 	}
-	m.moves.RowCopies++
+	m.rec.Move(srcFor(dbcBase(dst)), telemetry.OpRowCopy, row.N)
 	return nil
 }
 
@@ -227,6 +273,7 @@ func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) 
 	if err != nil {
 		return dbc.Row{}, err
 	}
+	defer m.rec.Span(srcFor(dbcBase(in.Src)), "exec-"+in.Op.String())()
 	rows := make([]dbc.Row, len(operands))
 	for i, a := range operands {
 		row, err := m.readRowLocked(a)
@@ -234,7 +281,8 @@ func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) 
 			return dbc.Row{}, fmt.Errorf("memory: operand %d: %w", i, err)
 		}
 		if !sameDBC(a, in.Src) {
-			m.moves.RowCopies++ // staged over the row buffer
+			// Staged over the row buffer into the executing DBC.
+			m.rec.Move(srcFor(dbcBase(in.Src)), telemetry.OpRowCopy, row.N)
 		}
 		rows[i] = row
 	}

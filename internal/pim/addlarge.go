@@ -15,6 +15,7 @@ import (
 // rounds for k operands plus one blocksize-cycle carry chain, versus
 // O(k·blocksize) for chained additions.
 func (u *Unit) AddLarge(operands []dbc.Row, blocksize int) (dbc.Row, error) {
+	defer u.Span("add-large")()
 	k := len(operands)
 	if k == 0 {
 		return dbc.Row{}, fmt.Errorf("pim: large add with no operands")
@@ -54,6 +55,7 @@ func (u *Unit) AddLarge(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 // (no carry-save reductions) — the baseline AddLarge is measured
 // against in the ablation benchmarks. Functionally identical.
 func (u *Unit) AddChained(operands []dbc.Row, blocksize int) (dbc.Row, error) {
+	defer u.Span("add-chained")()
 	k := len(operands)
 	if k == 0 {
 		return dbc.Row{}, fmt.Errorf("pim: chained add with no operands")

@@ -17,6 +17,11 @@ import (
 // bit-sliced level planes and the polymorphic gate is evaluated 64 wires
 // per word operation (dbc.EvalPlanes).
 func (u *Unit) BulkBitwise(op dbc.Op, operands []dbc.Row) (dbc.Row, error) {
+	// The span name is only materialized when telemetry is attached:
+	// the string concat would otherwise allocate on the disabled path.
+	if u.rec != nil {
+		defer u.rec.Span(u.src, "bulk-"+op.String())()
+	}
 	k := len(operands)
 	if k == 0 {
 		return dbc.Row{}, fmt.Errorf("pim: bulk %v with no operands", op)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/telemetry"
 )
 
 // SignedDigit is one term of a canonical signed-digit (CSD) recoding: the
@@ -123,6 +124,7 @@ func (p ConstMulPlan) AdditionSteps() int { return len(p.Groups) }
 // are 2·bw bits wide with the bw-bit input in the low half; products are
 // reduced modulo 2^(2·bw).
 func (u *Unit) ConstMultiply(a dbc.Row, c uint64, bw int) (dbc.Row, error) {
+	defer u.Span("const-mult")()
 	laneW := 2 * bw
 	if err := u.checkBlocksize(laneW); err != nil {
 		return dbc.Row{}, fmt.Errorf("pim: product lane: %w", err)
@@ -154,7 +156,9 @@ func (u *Unit) ConstMultiply(a dbc.Row, c uint64, bw int) (dbc.Row, error) {
 	for s := 1; s <= maxShift; s++ {
 		shifted[s] = laneShiftLeft(shifted[s-1], laneW)
 		u.tr.Copy(width)
+		u.rec.Step(u.src, telemetry.OpCopy, width)
 		u.tr.Shift(width)
+		u.rec.Step(u.src, telemetry.OpShift, width)
 	}
 
 	var sum dbc.Row
@@ -171,6 +175,7 @@ func (u *Unit) ConstMultiply(a dbc.Row, c uint64, bw int) (dbc.Row, error) {
 				// accumulate the +1 into the shared correction row.
 				term = complementLanes(term, laneW)
 				u.tr.Logic() // inverted read through the NOR path
+				u.rec.Step(u.src, telemetry.OpLogic, 0)
 				correction++
 			}
 			operands = append(operands, term)

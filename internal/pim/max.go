@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/telemetry"
 )
 
 // MaxTR computes the lane-wise maximum of up to TRD candidate rows using
@@ -18,6 +19,7 @@ import (
 // the maximum all survive; the final result is extracted with a last TR
 // whose OR output reads the surviving value regardless of its position.
 func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
+	defer u.Span("max")()
 	k := len(candidates)
 	if k < 2 {
 		return dbc.Row{}, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
@@ -77,6 +79,7 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 // using a predicated row refresh; other lanes pass through. One read of
 // the MSB wires plus one predicated write.
 func (u *Unit) ReLU(row dbc.Row, blocksize int) (dbc.Row, error) {
+	defer u.Span("relu")()
 	if err := u.checkBlocksize(blocksize); err != nil {
 		return dbc.Row{}, err
 	}
@@ -85,8 +88,10 @@ func (u *Unit) ReLU(row dbc.Row, blocksize int) (dbc.Row, error) {
 		return dbc.Row{}, fmt.Errorf("pim: row width %d, want %d", row.N, width)
 	}
 	lanes := width / blocksize
-	u.tr.Read(lanes)  // sign-bit wires into the row buffer
+	u.tr.Read(lanes) // sign-bit wires into the row buffer
+	u.rec.Step(u.src, telemetry.OpRead, lanes)
 	u.tr.Write(width) // predicated refresh
+	u.rec.Step(u.src, telemetry.OpWrite, width)
 	out := row.Clone()
 	for l := 0; l < lanes; l++ {
 		if out.Get(l*blocksize+blocksize-1) == 1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/telemetry"
 )
 
 // ValidNMR reports whether n is a supported modular-redundancy degree for
@@ -21,6 +22,7 @@ func (u *Unit) ValidNMR(n int) bool {
 // An uncorrectable error needs ⌈N/2⌉ replicas faulty in the same bit
 // position (or a C' sensing fault), giving the Table V reliability tiers.
 func (u *Unit) Vote(replicas []dbc.Row) (dbc.Row, error) {
+	defer u.Span("vote")()
 	n := len(replicas)
 	if !u.ValidNMR(n) {
 		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
@@ -57,6 +59,7 @@ func (u *Unit) Vote(replicas []dbc.Row) (dbc.Row, error) {
 // trade-off — voting after the whole add is cheaper but lets carry
 // errors accumulate ("nearly two orders of magnitude" apart, §V-F).
 func (u *Unit) AddMultiNMR(n int, operands []dbc.Row, blocksize int) (dbc.Row, error) {
+	defer u.Span("add-nmr")()
 	if !u.ValidNMR(n) {
 		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
 	}
@@ -106,6 +109,7 @@ func (u *Unit) AddMultiNMR(n int, operands []dbc.Row, blocksize int) (dbc.Row, e
 			}
 		}
 		u.Tracer().Logic() // the majority evaluation (C' circuit reuse)
+		u.rec.Step(u.src, telemetry.OpLogic, 0)
 		writes := make([]dbc.PortBit, 0, 3*len(wires))
 		for _, t := range wires {
 			s := majBit(votesS[t], n)

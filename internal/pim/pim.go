@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/dbc"
 	"repro/internal/params"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -27,6 +28,8 @@ type Unit struct {
 	D   *dbc.DBC
 	cfg params.Config
 	tr  *trace.Tracer
+	rec *telemetry.Recorder
+	src telemetry.Source
 
 	// lp is the scratch destination for transverse reads: valid only
 	// until the next TR, so every consumer copies what it keeps.
@@ -67,6 +70,27 @@ func (u *Unit) TRD() params.TRD { return u.cfg.TRD }
 
 // Tracer exposes the unit's primitive-op accounting.
 func (u *Unit) Tracer() *trace.Tracer { return u.tr }
+
+// SetTelemetry attaches a telemetry recorder to the unit and its DBC
+// (nil disables); src tags the unit's events and names its track in the
+// Chrome trace export.
+func (u *Unit) SetTelemetry(rec *telemetry.Recorder, src telemetry.Source) {
+	u.rec, u.src = rec, src
+	u.D.SetTelemetry(rec, src)
+}
+
+// Recorder returns the attached telemetry recorder (possibly nil).
+func (u *Unit) Recorder() *telemetry.Recorder { return u.rec }
+
+// TelemetrySource returns the source label the unit's events carry.
+func (u *Unit) TelemetrySource() telemetry.Source { return u.src }
+
+// Span opens a named telemetry span on the unit's track and returns its
+// closer, for the `defer u.Span("add")()` idiom. Every public PIM
+// operation wraps itself in a span, so workload-level spans nest around
+// operation spans, which nest around primitive steps. With no recorder
+// attached the returned closer is a shared no-op.
+func (u *Unit) Span(name string) func() { return u.rec.Span(u.src, name) }
 
 // Stats returns the accumulated primitive counts.
 func (u *Unit) Stats() trace.Stats { return u.tr.Stats() }

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ChromeSink streams the event stream in the Chrome trace_event JSON
+// array format, loadable directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. One process (pid 1) represents the memory; each
+// Source becomes a named thread lane, so per-DBC activity renders as
+// parallel tracks on a shared timeline.
+//
+// The viewer's microsecond timestamps carry device cycles one-to-one:
+// 1 µs on screen = 1 device cycle. Mapping:
+//
+//   - primitive steps → complete events (ph "X", dur 1) named after the
+//     op kind, with wires and energy_pj in args;
+//   - spans → duration pairs (ph "B"/"E") named after the operation;
+//   - faults and row moves → instant events (ph "i", thread scope).
+//
+// Events are streamed as emitted; Close terminates the JSON array and
+// flushes (the caller owns the underlying writer).
+type ChromeSink struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	tids   map[Source]int
+	wrote  bool
+	closed bool
+	err    error
+}
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewChromeSink returns a sink streaming a trace_event JSON array to w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: bufio.NewWriter(w), tids: make(map[Source]int)}
+}
+
+const chromePid = 1
+
+// tid maps a source to its thread lane, emitting the thread_name
+// metadata event on first sight so the viewer labels the track.
+func (s *ChromeSink) tid(src Source) int {
+	if t, ok := s.tids[src]; ok {
+		return t
+	}
+	t := len(s.tids) + 1
+	s.tids[src] = t
+	s.write(chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: chromePid, Tid: t,
+		Args: map[string]any{"name": string(src)},
+	})
+	return t
+}
+
+// write appends one record to the JSON array, retaining the first error.
+func (s *ChromeSink) write(e chromeEvent) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	lead := ",\n"
+	if !s.wrote {
+		lead = "[\n"
+		s.wrote = true
+	}
+	if _, err := s.w.WriteString(lead); err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+var one = uint64(1)
+
+// Emit converts and streams one telemetry event.
+func (s *ChromeSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	t := s.tid(e.Src)
+	switch e.Phase {
+	case PhaseStep:
+		s.write(chromeEvent{
+			Name: e.Op.String(), Cat: "primitive", Ph: "X", Ts: e.Cycle, Dur: &one,
+			Pid: chromePid, Tid: t,
+			Args: map[string]any{"wires": e.Wires, "energy_pj": e.EnergyPJ},
+		})
+	case PhaseBegin:
+		s.write(chromeEvent{Name: e.Name, Cat: "span", Ph: "B", Ts: e.Cycle, Pid: chromePid, Tid: t})
+	case PhaseEnd:
+		s.write(chromeEvent{Name: e.Name, Cat: "span", Ph: "E", Ts: e.Cycle, Pid: chromePid, Tid: t})
+	case PhaseInstant:
+		name := e.Op.String()
+		if e.Name != "" {
+			name += ":" + e.Name
+		}
+		cat := "move"
+		if e.Op == OpFault {
+			cat = "fault"
+		}
+		s.write(chromeEvent{
+			Name: name, Cat: cat, Ph: "i", Ts: e.Cycle, Pid: chromePid, Tid: t,
+			Scope: "t", Args: map[string]any{"wires": e.Wires},
+		})
+	}
+}
+
+// Close terminates the JSON array and flushes. Emits after Close are
+// dropped. Closing an empty sink still writes a valid empty array.
+func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	if s.err == nil {
+		tail := "\n]\n"
+		if !s.wrote {
+			tail = "[]\n"
+		}
+		if _, err := s.w.WriteString(tail); err != nil {
+			s.err = err
+		}
+	}
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Lanes returns the source → thread-lane mapping assigned so far, for
+// tests and tooling (sorted iteration is the caller's concern).
+func (s *ChromeSink) Lanes() map[Source]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Source]int, len(s.tids))
+	for k, v := range s.tids {
+		out[k] = v
+	}
+	return out
+}
+
+// SortedSources returns the sink's sources in lane order.
+func (s *ChromeSink) SortedSources() []Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srcs := make([]Source, 0, len(s.tids))
+	for k := range s.tids {
+		srcs = append(srcs, k)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return s.tids[srcs[i]] < s.tids[srcs[j]] })
+	return srcs
+}

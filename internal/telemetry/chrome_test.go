@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChromeSinkGolden drives a recorder through a fixed sequence and
+// compares the exact trace_event output, pinning the export schema.
+func TestChromeSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	r := NewRecorder(testConfig(), sink)
+
+	r.Begin("d0", "add")
+	r.Step("d0", OpWrite, 2) // cycle 0: 2 bits * 1 pJ
+	r.Step("d0", OpShift, 2) // cycle 1: 2 wires * 0.5 pJ
+	r.Fault("d0", "tr-level", 1)
+	r.End("d0")
+	r.Move("d1", OpRowRead, 4)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := strings.Join([]string{
+		"[",
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"d0"}},`,
+		`{"name":"add","cat":"span","ph":"B","ts":0,"pid":1,"tid":1},`,
+		`{"name":"write","cat":"primitive","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"energy_pj":2,"wires":2}},`,
+		`{"name":"shift","cat":"primitive","ph":"X","ts":1,"dur":1,"pid":1,"tid":1,"args":{"energy_pj":1,"wires":2}},`,
+		`{"name":"fault:tr-level","cat":"fault","ph":"i","ts":2,"pid":1,"tid":1,"s":"t","args":{"wires":1}},`,
+		`{"name":"add","cat":"span","ph":"E","ts":2,"pid":1,"tid":1},`,
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":2,"args":{"name":"d1"}},`,
+		`{"name":"row-read","cat":"move","ph":"i","ts":2,"pid":1,"tid":2,"s":"t","args":{"wires":4}}`,
+		"]",
+		"",
+	}, "\n")
+	// The streaming writer puts each record on its own line with ",\n"
+	// separators; normalize the leading separator placement.
+	got := buf.String()
+	if got != want {
+		t.Fatalf("chrome export mismatch:\n got: %q\nwant: %q", got, want)
+	}
+
+	if lanes := sink.Lanes(); lanes["d0"] != 1 || lanes["d1"] != 2 {
+		t.Errorf("lanes=%v, want d0:1 d1:2", lanes)
+	}
+	if srcs := sink.SortedSources(); len(srcs) != 2 || srcs[0] != "d0" || srcs[1] != "d1" {
+		t.Errorf("sorted sources=%v", srcs)
+	}
+}
+
+func TestChromeSinkEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Fatalf("empty trace = %q, want %q", got, "[]\n")
+	}
+}
+
+func TestChromeSinkDropsEmitsAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	sink.Emit(Event{Op: OpShift, Phase: PhaseStep, Src: "d0"})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	sink.Emit(Event{Op: OpShift, Phase: PhaseStep, Src: "d0"})
+	if buf.Len() != n {
+		t.Fatal("Emit after Close wrote output")
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateChromeTraceRejectsBadTraces exercises the validator's
+// failure modes so the CLI tests can rely on it.
+func TestValidateChromeTraceRejectsBadTraces(t *testing.T) {
+	bad := []struct {
+		name string
+		data string
+	}{
+		{"not-array", `{"name":"x"}`},
+		{"missing-fields", `[{"ph":"X","ts":0}]`},
+		{"no-dur", `[{"name":"w","ph":"X","ts":0,"pid":1,"tid":1}]`},
+		{"ts-regression", `[{"name":"a","ph":"X","ts":5,"dur":1,"pid":1,"tid":1},{"name":"b","ph":"X","ts":4,"dur":1,"pid":1,"tid":1}]`},
+		{"unmatched-end", `[{"name":"s","ph":"E","ts":0,"pid":1,"tid":1}]`},
+		{"unclosed-begin", `[{"name":"s","ph":"B","ts":0,"pid":1,"tid":1}]`},
+		{"crossed-spans", `[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},{"name":"b","ph":"B","ts":1,"pid":1,"tid":1},{"name":"a","ph":"E","ts":2,"pid":1,"tid":1},{"name":"b","ph":"E","ts":3,"pid":1,"tid":1}]`},
+		{"instant-no-scope", `[{"name":"f","ph":"i","ts":0,"pid":1,"tid":1}]`},
+		{"unknown-phase", `[{"name":"x","ph":"Z","ts":0,"pid":1,"tid":1}]`},
+	}
+	for _, tc := range bad {
+		if _, err := ValidateChromeTrace([]byte(tc.data)); err == nil {
+			t.Errorf("%s: validator accepted invalid trace", tc.name)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// jsonlEvent is the JSONL wire form of an Event. Fields with no value
+// for a given phase are omitted to keep lines short.
+type jsonlEvent struct {
+	Op       string  `json:"op"`
+	Phase    string  `json:"ph"`
+	Src      string  `json:"src"`
+	Name     string  `json:"name,omitempty"`
+	Cycle    uint64  `json:"cycle"`
+	Wires    int     `json:"wires,omitempty"`
+	EnergyPJ float64 `json:"energy_pj,omitempty"`
+}
+
+var phaseNames = [...]string{"step", "begin", "end", "instant"}
+
+func phaseName(p Phase) string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "?"
+}
+
+// JSONLSink writes one JSON object per event to a writer — the
+// machine-readable streaming form of the trace, suitable for ad-hoc
+// jq/python analysis. The sink buffers internally; Close flushes but
+// does not close the underlying writer (the caller owns it).
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink streaming JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes the event as one JSON line. The first encoding error is
+// retained and surfaced by Close; later events are dropped.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(jsonlEvent{
+			Op:       e.Op.String(),
+			Phase:    phaseName(e.Phase),
+			Src:      string(e.Src),
+			Name:     e.Name,
+			Cycle:    e.Cycle,
+			Wires:    e.Wires,
+			EnergyPJ: e.EnergyPJ,
+		})
+	}
+	s.mu.Unlock()
+}
+
+// Close flushes the buffer and returns the first error seen.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}

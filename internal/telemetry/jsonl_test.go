@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONLSinkOneObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := NewRecorder(testConfig(), sink)
+	r.Step("d0", OpWrite, 3)
+	r.Fault("d0", "tr-level", 1)
+	r.Begin("d0", "add")
+	r.End("d0")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	var decoded []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		decoded = append(decoded, m)
+	}
+	if decoded[0]["op"] != "write" || decoded[0]["ph"] != "step" || decoded[0]["wires"] != float64(3) {
+		t.Errorf("step line %v", decoded[0])
+	}
+	if decoded[1]["op"] != "fault" || decoded[1]["name"] != "tr-level" || decoded[1]["ph"] != "instant" {
+		t.Errorf("fault line %v", decoded[1])
+	}
+	if decoded[2]["ph"] != "begin" || decoded[3]["ph"] != "end" {
+		t.Errorf("span lines %v / %v", decoded[2], decoded[3])
+	}
+	// The step line prices 3 written bits at 1 pJ each.
+	if decoded[0]["energy_pj"] != float64(3) {
+		t.Errorf("energy_pj=%v, want 3", decoded[0]["energy_pj"])
+	}
+}
+
+func TestMetricsWriteTextIsStable(t *testing.T) {
+	r := NewRecorder(testConfig())
+	r.Step("b", OpShift, 2)
+	r.Step("a", OpWrite, 4)
+	r.Span("a", "op")()
+	var first, second bytes.Buffer
+	if err := r.Metrics().WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Metrics().WriteText(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("WriteText output is not deterministic")
+	}
+	for _, want := range []string{"## per op kind", "## per source", "## spans", "shift", "write"} {
+		if !strings.Contains(first.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, first.String())
+		}
+	}
+	// Sources render sorted: "a" before "b".
+	if ai, bi := strings.Index(first.String(), "\na "), strings.Index(first.String(), "\nb "); ai == -1 || bi == -1 || ai > bi {
+		t.Errorf("sources not sorted in report:\n%s", first.String())
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import "sync"
+
+// RingSink keeps the most recent events in a fixed-capacity ring
+// buffer, for in-process inspection (tests, the façade, post-mortem
+// dumps) without unbounded memory growth.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRingSink returns a ring buffer holding the last capacity events
+// (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Emit stores the event, evicting the oldest when full.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	s.buf[s.next] = e
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first, as an owned copy.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.full {
+		return append([]Event(nil), s.buf[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Len returns the number of buffered events.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// Close is a no-op; the buffer stays readable.
+func (s *RingSink) Close() error { return nil }

@@ -1,0 +1,327 @@
+// Package telemetry is the engine-wide observability layer: a
+// cycle-accurate event stream plus aggregate runtime metrics for every
+// device primitive the simulator executes.
+//
+// Where internal/trace answers "how many primitives did this operation
+// cost in total", telemetry answers "when did each one happen, on which
+// DBC, and what did it cost" — the timeline the paper's per-primitive
+// methodology implies but aggregate counters cannot show. A Recorder is
+// threaded through the engine layers (device fault injection → dbc →
+// pim → memory → workloads → the public façade): each traced control
+// step becomes an Event carrying the op kind, the emitting component
+// (DBC coordinates), the cycle timestamp, the affected wire/bit count
+// and the energy delta. Events fan out to pluggable Sinks — an
+// in-memory ring buffer, a JSONL writer, and a Chrome trace_event
+// exporter loadable in Perfetto/chrome://tracing — and accumulate into
+// Metrics (counters and histograms per op kind, per source and per
+// span), exposable via expvar and a text dump.
+//
+// The cycle clock follows the same rule as trace.Stats.Cycles(): one
+// cycle per control step. A Recorder attached next to a trace.Tracer
+// therefore agrees with it exactly (telemetry tests assert this).
+//
+// Overhead contract: a nil *Recorder is valid, discards everything and
+// costs a single inlineable nil check per hook, so the disabled engine
+// stays within 2% of its un-instrumented speed (see BENCH_obs.json and
+// the BenchmarkTelemetry* overhead guards).
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/params"
+)
+
+// Op enumerates the event kinds of the telemetry stream: the device
+// primitives of trace.Stats, injected faults, row-granularity data
+// movement inside a memory, and higher-level spans.
+type Op uint8
+
+// Event kinds. The first seven mirror the control-step counters of
+// trace.Stats one-to-one.
+const (
+	OpShift    Op = iota // DBC-wide domain-wall shift step
+	OpTR                 // transverse-read step
+	OpWrite              // access-port write step
+	OpRead               // access-port read step
+	OpTW                 // transverse-write step
+	OpCopy               // laterally shifted read/write step
+	OpLogic              // PIM-logic / row-buffer-only step
+	OpFault              // injected fault (zero-duration, tagged)
+	OpRowRead            // memory row read (row movement, not a cycle)
+	OpRowWrite           // memory row write
+	OpRowCopy            // row-buffer transfer between DBCs
+	OpSpan               // higher-level operation span (Begin/End pair)
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"shift", "tr", "write", "read", "tw", "copy", "logic",
+	"fault", "row-read", "row-write", "row-copy", "span",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Source identifies the engine component an event came from, e.g. the
+// DBC coordinates "b0.s0.t0.d511" assigned by memory.Memory or a
+// caller-chosen unit label. Sources map to separate tracks (thread
+// lanes) in the Chrome trace export.
+type Source string
+
+// Phase distinguishes the event shapes of the stream.
+type Phase uint8
+
+// Event phases, mapping onto Chrome trace_event phases X/B/E/i.
+const (
+	PhaseStep    Phase = iota // one complete primitive control step
+	PhaseBegin                // span start
+	PhaseEnd                  // span end
+	PhaseInstant              // zero-duration tagged event (fault, row move)
+)
+
+// Event is one telemetry record.
+type Event struct {
+	Op    Op     // event kind
+	Phase Phase  // step, span begin/end, or instant
+	Src   Source // emitting component
+	Name  string // span name or fault detail; "" for primitive steps
+	Cycle uint64 // cycle timestamp (trace.Stats-derived clock)
+	Wires int    // affected nanowires/bits (0 when not applicable)
+	// EnergyPJ is the energy delta of this step in picojoules, from the
+	// same per-primitive table trace.Stats.EnergyPJ uses.
+	EnergyPJ float64
+}
+
+// Sink consumes the event stream. Implementations must be safe for use
+// from a single Recorder (which serializes Emit calls under its lock);
+// the provided sinks additionally lock internally so they can be shared
+// across recorders.
+type Sink interface {
+	Emit(e Event)
+	// Close flushes and releases the sink. A sink must tolerate Emit
+	// calls being absent after Close is requested by the recorder.
+	Close() error
+}
+
+// Recorder is the telemetry hub: it timestamps events on a cycle clock,
+// prices them with the configured energy table, updates Metrics and
+// fans them out to the attached sinks. A nil *Recorder is valid and
+// records nothing — the hooks threaded through the engine cost one
+// branch when telemetry is disabled.
+//
+// A Recorder is safe for concurrent use; a single lock serializes the
+// clock, mirroring the one memory controller in front of the arrays.
+type Recorder struct {
+	mu      sync.Mutex
+	cycle   uint64
+	totalPJ float64
+	energy  params.Energy
+	trd     params.TRD
+	sinks   []Sink
+	metrics *Metrics
+	spans   map[Source][]spanFrame
+}
+
+type spanFrame struct {
+	name        string
+	startCycle  uint64
+	startEnergy float64
+}
+
+// NewRecorder returns a recorder pricing events with cfg's energy table
+// and emitting to the given sinks (none is valid: metrics only).
+func NewRecorder(cfg params.Config, sinks ...Sink) *Recorder {
+	return &Recorder{
+		energy:  cfg.Energy,
+		trd:     cfg.TRD,
+		sinks:   sinks,
+		metrics: NewMetrics(),
+		spans:   make(map[Source][]spanFrame),
+	}
+}
+
+// Step records one primitive control step of kind op at src touching
+// wires nanowires (or bits), advancing the cycle clock by one — the
+// same one-cycle-per-control-step rule as trace.Stats.Cycles(). The
+// wrapper stays small enough to inline so the nil (disabled) path costs
+// a single branch.
+func (r *Recorder) Step(src Source, op Op, wires int) {
+	if r == nil {
+		return
+	}
+	r.step(src, op, wires)
+}
+
+func (r *Recorder) step(src Source, op Op, wires int) {
+	r.mu.Lock()
+	e := Event{
+		Op:       op,
+		Phase:    PhaseStep,
+		Src:      src,
+		Cycle:    r.cycle,
+		Wires:    wires,
+		EnergyPJ: r.stepEnergy(op, wires),
+	}
+	r.cycle++
+	r.totalPJ += e.EnergyPJ
+	r.metrics.record(e)
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+	r.mu.Unlock()
+}
+
+// stepEnergy prices one control step, mirroring trace.Stats.EnergyPJ.
+func (r *Recorder) stepEnergy(op Op, wires int) float64 {
+	switch op {
+	case OpShift:
+		return float64(wires) * r.energy.ShiftPJ
+	case OpTR:
+		return float64(wires) * r.energy.TRPJ(r.trd)
+	case OpWrite:
+		return float64(wires) * r.energy.WritePJ
+	case OpRead:
+		return float64(wires) * r.energy.ReadPJ
+	case OpTW:
+		return float64(wires) * r.energy.TWPJ
+	case OpCopy:
+		return float64(wires) * (r.energy.ReadPJ + r.energy.WritePJ)
+	}
+	return 0
+}
+
+// Fault records an injected fault as a zero-duration tagged event at
+// the current cycle: detail names the fault mode (e.g. "tr",
+// "shift-overshoot") and wires how many nanowires were perturbed. The
+// clock does not advance — the fault rides on the step that exposed it.
+func (r *Recorder) Fault(src Source, detail string, wires int) {
+	if r == nil {
+		return
+	}
+	r.instant(src, OpFault, detail, wires)
+}
+
+// Move records a row-granularity data movement (OpRowRead, OpRowWrite
+// or OpRowCopy) of wires bits at src. Moves are instants: the port and
+// shift steps that implement them are recorded separately and carry the
+// cycles and energy.
+func (r *Recorder) Move(src Source, op Op, wires int) {
+	if r == nil {
+		return
+	}
+	r.instant(src, op, "", wires)
+}
+
+func (r *Recorder) instant(src Source, op Op, name string, wires int) {
+	r.mu.Lock()
+	e := Event{Op: op, Phase: PhaseInstant, Src: src, Name: name, Cycle: r.cycle, Wires: wires}
+	r.metrics.record(e)
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+	r.mu.Unlock()
+}
+
+// Begin opens a named span at src: a higher-level operation (an AddMulti
+// call, a cpim instruction, a CNN layer) that groups the primitive steps
+// recorded until the matching End. Spans nest per source.
+func (r *Recorder) Begin(src Source, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans[src] = append(r.spans[src], spanFrame{name: name, startCycle: r.cycle, startEnergy: r.totalPJ})
+	e := Event{Op: OpSpan, Phase: PhaseBegin, Src: src, Name: name, Cycle: r.cycle}
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+	r.mu.Unlock()
+}
+
+// End closes the innermost open span at src, recording its cycle
+// duration and energy delta into the span metrics. An End without a
+// matching Begin is ignored.
+func (r *Recorder) End(src Source) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	stack := r.spans[src]
+	if n := len(stack); n > 0 {
+		f := stack[n-1]
+		r.spans[src] = stack[:n-1]
+		e := Event{Op: OpSpan, Phase: PhaseEnd, Src: src, Name: f.name, Cycle: r.cycle}
+		r.metrics.recordSpan(f.name, r.cycle-f.startCycle, r.totalPJ-f.startEnergy)
+		for _, s := range r.sinks {
+			s.Emit(e)
+		}
+	}
+	r.mu.Unlock()
+}
+
+var nopEnd = func() {}
+
+// Span opens a span and returns its closer, for the
+// `defer rec.Span(src, "add")()` idiom. On a nil recorder it returns a
+// shared no-op closure, so disabled call sites do not allocate.
+func (r *Recorder) Span(src Source, name string) func() {
+	if r == nil {
+		return nopEnd
+	}
+	r.Begin(src, name)
+	return func() { r.End(src) }
+}
+
+// Cycle returns the current value of the cycle clock: the number of
+// control steps recorded so far.
+func (r *Recorder) Cycle() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cycle
+}
+
+// EnergyPJ returns the total energy recorded so far, in picojoules.
+func (r *Recorder) EnergyPJ() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totalPJ
+}
+
+// Metrics returns the recorder's aggregate metrics. It is never nil for
+// a non-nil recorder.
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}
+
+// Close closes every attached sink, returning the first error.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, s := range r.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.sinks = nil
+	return first
+}

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ChromeRecord is the decoded form of one trace_event entry, used by
+// ValidateChromeTrace and by tests inspecting exports.
+type ChromeRecord struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    *uint64        `json:"ts"`
+	Dur   *uint64        `json:"dur"`
+	Pid   *int           `json:"pid"`
+	Tid   *int           `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args"`
+}
+
+// ValidateChromeTrace decodes a trace_event JSON array and checks the
+// invariants Perfetto relies on: required fields present, timestamps
+// monotonically non-decreasing per thread lane, complete events carry a
+// duration, instants carry a scope, and B/E span events are matched
+// per lane in stack order. It returns the decoded records.
+func ValidateChromeTrace(data []byte) ([]ChromeRecord, error) {
+	var records []ChromeRecord
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("telemetry: chrome trace is not a JSON array: %w", err)
+	}
+	lastTs := make(map[int]uint64)
+	spans := make(map[int][]string)
+	for i, rec := range records {
+		if rec.Name == "" || rec.Ph == "" || rec.Pid == nil || rec.Tid == nil {
+			return nil, fmt.Errorf("telemetry: record %d missing required fields", i)
+		}
+		if rec.Ph == "M" {
+			continue
+		}
+		if rec.Ts == nil {
+			return nil, fmt.Errorf("telemetry: record %d (%s) has no ts", i, rec.Name)
+		}
+		if *rec.Ts < lastTs[*rec.Tid] {
+			return nil, fmt.Errorf("telemetry: record %d (%s): ts %d < previous %d on tid %d",
+				i, rec.Name, *rec.Ts, lastTs[*rec.Tid], *rec.Tid)
+		}
+		lastTs[*rec.Tid] = *rec.Ts
+		switch rec.Ph {
+		case "X":
+			if rec.Dur == nil {
+				return nil, fmt.Errorf("telemetry: record %d (%s): complete event without dur", i, rec.Name)
+			}
+		case "B":
+			spans[*rec.Tid] = append(spans[*rec.Tid], rec.Name)
+		case "E":
+			stack := spans[*rec.Tid]
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("telemetry: record %d: E %q without open B on tid %d", i, rec.Name, *rec.Tid)
+			}
+			if top := stack[len(stack)-1]; top != rec.Name {
+				return nil, fmt.Errorf("telemetry: record %d: E %q closes B %q on tid %d", i, rec.Name, top, *rec.Tid)
+			}
+			spans[*rec.Tid] = stack[:len(stack)-1]
+		case "i":
+			if rec.Scope == "" {
+				return nil, fmt.Errorf("telemetry: record %d (%s): instant without scope", i, rec.Name)
+			}
+		default:
+			return nil, fmt.Errorf("telemetry: record %d: unexpected phase %q", i, rec.Ph)
+		}
+	}
+	for tid, stack := range spans {
+		if len(stack) > 0 {
+			return nil, fmt.Errorf("telemetry: unclosed spans on tid %d: %v", tid, stack)
+		}
+	}
+	return records, nil
+}

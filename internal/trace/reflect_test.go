@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStatsAddCoversEveryField seeds every Stats field with a distinct
+// value via reflection and asserts Add accumulates each one — so a
+// newly added counter that Add forgets fails this test instead of
+// silently dropping events.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	var a, b Stats
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(&b).Elem()
+	typ := va.Type()
+	for i := 0; i < va.NumField(); i++ {
+		if va.Field(i).Kind() != reflect.Int {
+			t.Fatalf("Stats.%s is %v, want int (update this test and Add/Scale together)",
+				typ.Field(i).Name, va.Field(i).Kind())
+		}
+		va.Field(i).SetInt(int64(i + 1))
+		vb.Field(i).SetInt(int64(100 * (i + 1)))
+	}
+	a.Add(b)
+	for i := 0; i < va.NumField(); i++ {
+		want := int64(i+1) + int64(100*(i+1))
+		if got := va.Field(i).Int(); got != want {
+			t.Errorf("Add ignores Stats.%s: got %d, want %d", typ.Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsScaleCoversEveryField does the same for Scale.
+func TestStatsScaleCoversEveryField(t *testing.T) {
+	var s Stats
+	vs := reflect.ValueOf(&s).Elem()
+	typ := vs.Type()
+	for i := 0; i < vs.NumField(); i++ {
+		vs.Field(i).SetInt(int64(i + 1))
+	}
+	got := s.Scale(7)
+	vg := reflect.ValueOf(got)
+	for i := 0; i < vg.NumField(); i++ {
+		want := int64(7 * (i + 1))
+		if g := vg.Field(i).Int(); g != want {
+			t.Errorf("Scale ignores Stats.%s: got %d, want %d", typ.Field(i).Name, g, want)
+		}
+	}
+}
+
+// TestStatsCyclesCoversStepFields asserts Cycles() is exactly the sum
+// of the *Steps fields: setting any single step counter must move
+// Cycles by the same amount, and wire-event fields must not.
+func TestStatsCyclesCoversStepFields(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		var s Stats
+		reflect.ValueOf(&s).Elem().Field(i).SetInt(5)
+		name := typ.Field(i).Name
+		isStep := strings.HasSuffix(name, "Steps")
+		switch {
+		case isStep && s.Cycles() != 5:
+			t.Errorf("Cycles ignores step field Stats.%s", name)
+		case !isStep && s.Cycles() != 0:
+			t.Errorf("Cycles counts non-step field Stats.%s", name)
+		}
+	}
+}

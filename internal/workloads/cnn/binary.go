@@ -45,6 +45,7 @@ func (b *BinaryConv) InferRef(img [][]uint8) [][]uint8 {
 // popcount through AddLarge, and the majority threshold from the lane
 // comparison.
 func (b *BinaryConv) InferPIM(u *pim.Unit, img [][]uint8) ([][]uint8, error) {
+	defer u.Span("cnn-binary")()
 	h, w := len(img)-2, len(img[0])-2
 	if h <= 0 || w <= 0 {
 		return nil, fmt.Errorf("cnn: image too small for a 3x3 kernel")

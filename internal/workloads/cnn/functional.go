@@ -62,6 +62,7 @@ func (t *TinyCNN) InferRef(img [][]int) [][]int {
 // InferPIM runs the same network on the PIM unit. Image values must be
 // in [0, 15] so products fit the 8-bit multiplier lanes.
 func (t *TinyCNN) InferPIM(u *pim.Unit, img [][]int) ([][]int, error) {
+	defer u.Span("cnn-functional")()
 	h, w := len(img)-2, len(img[0])-2
 	if h <= 0 || w <= 0 || h%2 != 0 || w%2 != 0 {
 		return nil, fmt.Errorf("cnn: conv output %dx%d not poolable", h, w)

@@ -43,6 +43,7 @@ func (t *TernaryConv) InferRef(img [][]uint8) [][]uint8 {
 // the subtraction in two's complement, and the sign from the lane MSB
 // (via ReLU's predicated refresh: positive pre-activations survive).
 func (t *TernaryConv) InferPIM(u *pim.Unit, img [][]uint8) ([][]uint8, error) {
+	defer u.Span("cnn-ternary")()
 	h, w := len(img)-2, len(img[0])-2
 	if h <= 0 || w <= 0 {
 		return nil, fmt.Errorf("cnn: image too small for a 3x3 kernel")
