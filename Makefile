@@ -5,17 +5,17 @@
 GO ?= go
 BIN := bin
 
-.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs
+.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-parallel
 
-ci: lint build race race-obs fuzz bench bench-obs
+ci: lint build race race-obs fuzz bench bench-obs bench-parallel
 
 vet:
 	$(GO) vet ./...
 
 # lint runs the stock vet analyzers, then the repository's own
-# coruscantvet suite (internal/analysis: rowalias, masktail, seededrand,
-# panicmsg, facadeerr — see DESIGN.md "Invariants & static analysis"),
-# then checks formatting. third_party/ carries vendored upstream code
+# coruscantvet suite (internal/analysis: rowalias, scratchescape,
+# masktail, seededrand, panicmsg, facadeerr — see DESIGN.md "Invariants
+# & static analysis"), then checks formatting. third_party/ carries vendored upstream code
 # and is exempt from gofmt drift.
 lint: vet
 	$(GO) build -o $(BIN)/coruscantvet ./cmd/coruscantvet
@@ -44,12 +44,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# race-obs re-runs the telemetry-heavy packages under the race detector
-# with -count=2: the recorder is shared mutable state threaded through
-# memory, pim and dbc, and a second pass catches ordering flakes the
-# single ./... sweep can miss.
+# race-obs re-runs the concurrency-bearing packages under the race
+# detector with -count=2: the recorder is shared mutable state threaded
+# through memory, pim and dbc; memory's striped locks, the isa lane
+# pool and the parallel CNN/bitmapidx drivers all hammer it from worker
+# goroutines. A second pass catches ordering flakes the single ./...
+# sweep can miss.
 race-obs:
-	$(GO) test -race -count=2 ./internal/memory ./internal/telemetry
+	$(GO) test -race -count=2 ./internal/memory ./internal/telemetry \
+		./internal/isa ./internal/workloads/cnn ./internal/workloads/bitmapidx
 
 # fuzz gives each native fuzz target a short deterministic smoke run;
 # longer sessions are manual (`go test -fuzz <name> -fuzztime 5m`).
@@ -63,6 +66,13 @@ fuzz:
 # BENCH_lint.json.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkDBC|BenchmarkBulk|BenchmarkPIM|BenchmarkAdd' -benchmem ./...
+
+# bench-parallel measures the bank-parallel batch path: one ExecuteBatch
+# of independent adds across banks/subarrays at worker counts 1/2/4/8
+# against the request-at-a-time serial loop. Reference numbers (and the
+# single-core-host caveat) are recorded in BENCH_parallel.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatch' -benchmem .
 
 # bench-obs measures the telemetry overhead guard: the hot PIM ops with
 # telemetry disabled (nil recorder — must match the un-instrumented

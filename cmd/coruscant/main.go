@@ -7,6 +7,7 @@
 //	coruscant table1 table3 ...   # selected experiments
 //	coruscant fig10 fig11 fig12
 //	coruscant demo                # bit-level PIM walkthrough
+//	coruscant batch               # bank-parallel ExecuteBatch demo
 //	coruscant list                # experiment ids
 //
 // Observability flags (most useful with demo, which drives the PIM
@@ -32,6 +33,8 @@ import (
 
 	"repro/internal/dbc"
 	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/memory"
 	"repro/internal/params"
 	"repro/internal/pim"
 	"repro/internal/telemetry"
@@ -52,6 +55,7 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile")
 	memProfile := fs.String("memprofile", "", "write a heap profile on exit")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the batch subcommand")
 	fs.Usage = func() {
 		usage()
 		fmt.Println("flags:")
@@ -113,7 +117,7 @@ func run(args []string) error {
 		rec.Metrics().PublishExpvar("coruscant.telemetry")
 	}
 
-	runErr := dispatch(args, rec)
+	runErr := dispatch(args, rec, *workers)
 
 	if err := rec.Close(); err != nil && runErr == nil {
 		runErr = err
@@ -143,7 +147,7 @@ func run(args []string) error {
 
 // dispatch runs the positional subcommands with the (possibly nil)
 // telemetry recorder.
-func dispatch(args []string, rec *telemetry.Recorder) error {
+func dispatch(args []string, rec *telemetry.Recorder, workers int) error {
 	for _, arg := range args {
 		switch arg {
 		case "help", "-h", "--help":
@@ -162,6 +166,10 @@ func dispatch(args []string, rec *telemetry.Recorder) error {
 			}
 		case "demo":
 			if err := demo(rec); err != nil {
+				return err
+			}
+		case "batch":
+			if err := batchDemo(rec, workers); err != nil {
 				return err
 			}
 		case "json":
@@ -212,8 +220,72 @@ func dispatch(args []string, rec *telemetry.Recorder) error {
 }
 
 func usage() {
-	fmt.Println("usage: coruscant [flags] [all|demo|svg|json|list|<experiment>...]")
+	fmt.Println("usage: coruscant [flags] [all|demo|batch|svg|json|list|<experiment>...]")
 	fmt.Println("experiments:", experiments.IDs())
+}
+
+// batchDemo exercises the whole-memory model's bank-parallel batch
+// path: one cpim add per bank, all submitted as a single ExecuteBatch
+// over the requested worker count. Results and telemetry totals are
+// identical for any -workers value.
+func batchDemo(rec *telemetry.Recorder, workers int) error {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	m, err := memory.New(cfg)
+	if err != nil {
+		return err
+	}
+	m.SetTelemetry(rec)
+	m.SetWorkers(workers)
+
+	banks := 8
+	if banks > cfg.Geometry.Banks {
+		banks = cfg.Geometry.Banks
+	}
+	pimDBC := func(bank int) isa.Addr {
+		return isa.Addr{Bank: bank, Tile: 0, DBC: cfg.Geometry.DBCsPerTile - 1}
+	}
+	reqs := make([]memory.Request, banks)
+	for bank := 0; bank < banks; bank++ {
+		for r := 0; r < 3; r++ {
+			vals := make([]uint64, 8)
+			for l := range vals {
+				vals[l] = uint64(10*bank + 3*r + l)
+			}
+			row, err := pim.PackLanes(vals, 8, cfg.Geometry.TrackWidth)
+			if err != nil {
+				return err
+			}
+			a := pimDBC(bank)
+			a.Row = r
+			if err := m.WriteRow(a, row); err != nil {
+				return err
+			}
+		}
+		operands := make([]isa.Addr, 3)
+		for r := range operands {
+			operands[r] = pimDBC(bank)
+			operands[r].Row = r
+		}
+		dst := pimDBC(bank)
+		dst.Row = 10
+		reqs[bank] = memory.Request{
+			In:       isa.Instruction{Op: isa.OpAdd, Src: pimDBC(bank), Blocksize: 8, Operands: 3},
+			Operands: operands,
+			Dst:      dst,
+		}
+	}
+	fmt.Printf("batch: %d three-operand adds across %d banks, %d workers\n", banks, banks, m.Workers())
+	for bank, res := range m.ExecuteBatch(reqs) {
+		if res.Err != nil {
+			return fmt.Errorf("bank %d: %w", bank, res.Err)
+		}
+		fmt.Printf("  bank %d: %v\n", bank, pim.UnpackLanes(res.Row, 8))
+	}
+	st := m.Stats()
+	fmt.Printf("totals: %d cycles, %d DBCs materialized, moves %+v\n",
+		st.Cycles(), m.MaterializedDBCs(), m.Moves())
+	return nil
 }
 
 // demo walks through the PIM unit's core operations at the bit level.

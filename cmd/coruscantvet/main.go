@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis/masktail"
 	"repro/internal/analysis/panicmsg"
 	"repro/internal/analysis/rowalias"
+	"repro/internal/analysis/scratchescape"
 	"repro/internal/analysis/seededrand"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		masktail.Analyzer,
 		panicmsg.Analyzer,
 		rowalias.Analyzer,
+		scratchescape.Analyzer,
 		seededrand.Analyzer,
 	)
 }

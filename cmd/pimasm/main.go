@@ -9,18 +9,22 @@
 //	pimasm ops                     # list mnemonics and limits
 //	pimasm exec "add ... k=3" ...  # run instructions on a PIM unit
 //
-// exec drives each instruction on a fresh cpim controller with
+// exec drives each instruction on a cpim controller lane with
 // deterministic operand lanes and reports the result values plus the
-// cycle/energy accounting. Telemetry flags apply to exec:
+// cycle/energy accounting. Independent instructions spread across
+// -workers parallel lanes (§IV-B high-throughput mode); output order,
+// costs and telemetry are identical for any worker count. Telemetry
+// flags apply to exec:
 //
 //	pimasm -trace out.json exec "add b2.s10.t0.d15.r0 bs=8 k=3"
-//	pimasm -metrics exec "mult b2.s10.t0.d15.r0 bs=16 k=2"
+//	pimasm -metrics -workers 4 exec "mult b2.s10.t0.d15.r0 bs=16 k=2"
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -43,6 +47,7 @@ func run(args []string) error {
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON file for exec (open in Perfetto)")
 	jsonlPath := fs.String("jsonl", "", "write exec telemetry events as JSON lines")
 	metrics := fs.Bool("metrics", false, "print the telemetry metrics report after exec")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel controller lanes for exec")
 	fs.Usage = func() {
 		fmt.Println("usage: pimasm [flags] asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops | exec <instr>...")
 		fmt.Println("flags:")
@@ -95,17 +100,19 @@ func run(args []string) error {
 		if len(args) < 2 {
 			return fmt.Errorf("exec needs at least one instruction string")
 		}
-		return exec(cfg, args[1:], *tracePath, *jsonlPath, *metrics)
+		return exec(cfg, args[1:], *tracePath, *jsonlPath, *metrics, *workers)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
 }
 
-// exec parses each instruction string and runs it on one cpim
-// controller, synthesizing deterministic operand rows, so the encoded
-// stream's cost and behaviour can be inspected without writing a
-// program.
-func exec(cfg params.Config, instrs []string, tracePath, jsonlPath string, metrics bool) error {
+// exec parses each instruction string and runs the stream across a pool
+// of cpim controller lanes, synthesizing deterministic operand rows, so
+// the encoded stream's cost and behaviour can be inspected without
+// writing a program. Results print in program order and telemetry is
+// replayed in program order, so any -workers value produces identical
+// output.
+func exec(cfg params.Config, instrs []string, tracePath, jsonlPath string, metrics bool, workers int) error {
 	var sinks []telemetry.Sink
 	var files []*os.File
 	if tracePath != "" {
@@ -129,30 +136,31 @@ func exec(cfg params.Config, instrs []string, tracePath, jsonlPath string, metri
 		rec = telemetry.NewRecorder(cfg, sinks...)
 	}
 
-	c, err := isa.NewController(cfg)
-	if err != nil {
-		return err
-	}
-	c.Unit.SetTelemetry(rec, "cpim")
 	runErr := func() error {
-		for _, text := range instrs {
+		jobs := make([]isa.LaneJob, len(instrs))
+		for i, text := range instrs {
 			in, err := isa.ParseInstruction(text)
 			if err != nil {
 				return err
 			}
-			operands := operandRows(c.Unit, in)
-			c.Unit.ResetStats()
-			result, err := c.Execute(in, operands)
-			if err != nil {
-				return err
+			jobs[i] = isa.LaneJob{In: in, Operands: operandRows(cfg.Geometry.TrackWidth, in)}
+		}
+		pool, err := isa.NewLanePool(cfg, workers)
+		if err != nil {
+			return err
+		}
+		results := pool.Run(jobs, rec)
+		for i, res := range results {
+			if res.Err != nil {
+				return res.Err
 			}
-			cost := c.Unit.Stats()
+			in := jobs[i].In
 			fmt.Printf("%s\n", isa.FormatInstruction(in))
-			if bs := laneWidth(in); bs > 0 && result.N > 0 {
-				vals := pim.UnpackLanes(result, bs)
+			if bs := laneWidth(in); bs > 0 && res.Row.N > 0 {
+				vals := pim.UnpackLanes(res.Row, bs)
 				fmt.Printf("  result lanes (bs=%d): %v\n", bs, preview(vals, 8))
 			}
-			fmt.Printf("  cost: %d cycles, %.1f pJ\n", cost.Cycles(), cost.EnergyPJ(cfg.Energy, cfg.TRD))
+			fmt.Printf("  cost: %d cycles, %.1f pJ\n", res.Stats.Cycles(), res.Stats.EnergyPJ(cfg.Energy, cfg.TRD))
 		}
 		return nil
 	}()
@@ -177,7 +185,7 @@ func exec(cfg params.Config, instrs []string, tracePath, jsonlPath string, metri
 // operandRows synthesizes deterministic operand rows for an exec
 // instruction: lane j of operand i holds (7i+3j+1) mod 2^min(bs,8), so
 // results are reproducible and non-trivial.
-func operandRows(u *pim.Unit, in isa.Instruction) []dbc.Row {
+func operandRows(width int, in isa.Instruction) []dbc.Row {
 	bs := laneWidth(in)
 	if bs == 0 {
 		bs = 8
@@ -192,11 +200,11 @@ func operandRows(u *pim.Unit, in isa.Instruction) []dbc.Row {
 	mod := uint64(1) << uint(valBits)
 	rows := make([]dbc.Row, in.Operands)
 	for i := range rows {
-		lanes := make([]uint64, u.Width()/bs)
+		lanes := make([]uint64, width/bs)
 		for j := range lanes {
 			lanes[j] = uint64(7*i+3*j+1) % mod
 		}
-		r, err := pim.PackLanes(lanes, bs, u.Width())
+		r, err := pim.PackLanes(lanes, bs, width)
 		if err != nil {
 			// Lane widths are validated by the instruction parser, so
 			// packing can only fail on a geometry mismatch; surface it

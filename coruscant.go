@@ -190,11 +190,38 @@ func NewSystem(cfg Config) *System { return mem.NewSystem(cfg) }
 
 // Memory is the functional whole-memory model: the Fig. 2 hierarchy
 // behind one address space, with row-buffer data movement and in-place
-// cpim execution in the PIM-enabled DBCs.
+// cpim execution in the PIM-enabled DBCs. Locking is striped per DBC,
+// so independent requests proceed in parallel; ExecuteBatch exploits
+// that bank-level parallelism explicitly.
 type Memory = memory.Memory
 
 // MoveStats counts row-granularity data movement inside a Memory.
 type MoveStats = memory.MoveStats
+
+// Batch execution over a Memory.
+type (
+	// BatchRequest is one cpim execution for Memory.ExecuteBatch.
+	BatchRequest = memory.Request
+	// BatchResult is the positional outcome of one batch request.
+	BatchResult = memory.Result
+)
+
+// ErrCrossDBC reports an operand outside the executing DBC's bank —
+// the §III-A staging rule: operands reach a PIM DBC over the
+// bank-shared row buffer, so cross-bank operands must be staged with
+// CopyRow first. Test with errors.Is.
+var ErrCrossDBC = memory.ErrCrossDBC
+
+// LanePool runs independent cpim instructions across parallel
+// controller lanes with deterministic, program-ordered telemetry.
+type (
+	LanePool   = isa.LanePool
+	LaneJob    = isa.LaneJob
+	LaneResult = isa.LaneResult
+)
+
+// NewLanePool returns a pool of n controller lanes.
+func NewLanePool(cfg Config, n int) (*LanePool, error) { return isa.NewLanePool(cfg, n) }
 
 // Telemetry: the engine-wide observability layer (cycle-accurate op
 // tracing, pluggable sinks, runtime metrics).

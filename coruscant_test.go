@@ -1,6 +1,7 @@
 package coruscant_test
 
 import (
+	"errors"
 	"testing"
 
 	coruscant "repro"
@@ -151,5 +152,88 @@ func TestFacadeGeometry(t *testing.T) {
 	}
 	if err := cfg.Validate(); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFacadeExecuteBatch(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	m, err := coruscant.NewMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWorkers(4)
+	pim := func(bank int) coruscant.Addr {
+		return coruscant.Addr{Bank: bank, Tile: 0, DBC: cfg.Geometry.DBCsPerTile - 1}
+	}
+	row, err := coruscant.PackLanes([]uint64{9, 7}, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]coruscant.BatchRequest, 4)
+	for i := range reqs {
+		a := pim(i)
+		a.Row = 0
+		if err := m.WriteRow(a, row); err != nil {
+			t.Fatal(err)
+		}
+		dst := pim(i)
+		dst.Row = 1
+		reqs[i] = coruscant.BatchRequest{
+			In:       coruscant.Instruction{Op: coruscant.OpcodeAdd, Src: pim(i), Blocksize: 8, Operands: 2},
+			Operands: []coruscant.Addr{a, a},
+			Dst:      dst,
+		}
+	}
+	for i, res := range m.ExecuteBatch(reqs) {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+		got := coruscant.UnpackLanes(res.Row, 8)
+		if got[0] != 18 || got[1] != 14 {
+			t.Errorf("request %d: lanes %v, want [18 14 ...]", i, got[:2])
+		}
+	}
+}
+
+func TestFacadeErrCrossDBC(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	m, err := coruscant.NewMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := coruscant.Addr{Bank: 0, Tile: 0, DBC: cfg.Geometry.DBCsPerTile - 1}
+	other := coruscant.Addr{Bank: 1, Tile: 1} // different bank
+	in := coruscant.Instruction{Op: coruscant.OpcodeAdd, Src: src, Blocksize: 8, Operands: 2}
+	_, err = m.Execute(in, []coruscant.Addr{src, other}, src)
+	if !errors.Is(err, coruscant.ErrCrossDBC) {
+		t.Errorf("cross-bank operand: err = %v, want ErrCrossDBC", err)
+	}
+}
+
+func TestFacadeLanePool(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	pool, err := coruscant.NewLanePool(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := coruscant.PackLanes([]uint64{3, 5}, 16, 64)
+	b, _ := coruscant.PackLanes([]uint64{4, 6}, 16, 64)
+	in := coruscant.Instruction{Op: coruscant.OpcodeAdd, Blocksize: 16, Operands: 2}
+	jobs := []coruscant.LaneJob{
+		{In: in, Operands: []coruscant.Row{a, b}},
+		{In: in, Operands: []coruscant.Row{b, b}},
+	}
+	results := pool.Run(jobs, nil)
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("errs: %v %v", results[0].Err, results[1].Err)
+	}
+	if got := coruscant.UnpackLanes(results[0].Row, 16); got[0] != 7 || got[1] != 11 {
+		t.Errorf("job 0 = %v", got)
+	}
+	if got := coruscant.UnpackLanes(results[1].Row, 16); got[0] != 8 || got[1] != 12 {
+		t.Errorf("job 1 = %v", got)
 	}
 }

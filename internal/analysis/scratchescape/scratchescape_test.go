@@ -1,0 +1,12 @@
+package scratchescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/scratchescape"
+)
+
+func TestScratchEscape(t *testing.T) {
+	analyzertest.Run(t, "testdata", scratchescape.Analyzer, "a")
+}

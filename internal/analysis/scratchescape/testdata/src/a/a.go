@@ -1,0 +1,146 @@
+package a
+
+// Unit mirrors the pim.Unit scratch arena: a bump pool of rows plus a
+// flat word buffer, reclaimed when the next top-level operation begins.
+type Unit struct {
+	rows  []Row
+	used  int
+	words []uint64
+}
+
+// scratchRow is a seed accessor: arena-backed, never to escape.
+func (u *Unit) scratchRow() Row {
+	if u.used == len(u.rows) {
+		u.rows = append(u.rows, NewRow(64))
+	}
+	r := u.rows[u.used]
+	u.used++
+	return r
+}
+
+// scratchWords mirrors the flat-buffer accessor.
+func scratchWords(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	return (*buf)[:n]
+}
+
+// scratchRowList mirrors the pooled row-list accessor.
+func (u *Unit) scratchRowList(n int) []Row {
+	return make([]Row, 0, n)
+}
+
+// tempRow is an unexported wrapper: taint must flow through it.
+func (u *Unit) tempRow() Row {
+	return u.scratchRow()
+}
+
+// BadReturn hands the caller the live scratch row through a local.
+func (u *Unit) BadReturn() Row {
+	r := u.scratchRow()
+	return r // want `BadReturn returns arena-backed scratch storage`
+}
+
+// BadDirect returns the accessor result directly.
+func (u *Unit) BadDirect() Row {
+	return u.scratchRow() // want `BadDirect returns arena-backed scratch storage`
+}
+
+// BadWords leaks a flat scratch buffer.
+func (u *Unit) BadWords(n int) []uint64 {
+	return scratchWords(&u.words, n) // want `BadWords returns arena-backed scratch storage`
+}
+
+// BadWrapped hides scratch words inside a caller-visible Row.
+func (u *Unit) BadWrapped(n int) Row {
+	w := scratchWords(&u.words, n)
+	return Row{Words: w, N: n * 64} // want `BadWrapped returns arena-backed scratch storage`
+}
+
+// BadViaHelper leaks through the unexported wrapper.
+func (u *Unit) BadViaHelper() Row {
+	r := u.tempRow()
+	return r // want `BadViaHelper returns arena-backed scratch storage`
+}
+
+// BadSlice: a reslice of scratch still aliases the arena.
+func (u *Unit) BadSlice() []uint64 {
+	r := u.scratchRow()
+	return r.Words[:1] // want `BadSlice returns arena-backed scratch storage`
+}
+
+// BadAppend: append keeps the pooled list's backing array.
+func (u *Unit) BadAppend() []Row {
+	l := u.scratchRowList(4)
+	l = append(l, u.scratchRow())
+	return l // want `BadAppend returns arena-backed scratch storage`
+}
+
+// Pair mirrors Reduction: a result struct wrapping rows.
+type Pair struct{ S, C Row }
+
+// BadPair wraps scratch rows in a result struct.
+func (u *Unit) BadPair() Pair {
+	return Pair{S: u.scratchRow(), C: u.scratchRow()} // want `BadPair returns arena-backed scratch storage`
+}
+
+// BadGoCapture: a goroutine closes over a scratch row.
+func (u *Unit) BadGoCapture(out chan<- uint64) {
+	r := u.scratchRow()
+	go func() {
+		out <- r.Words[0] // want `scratch storage r escapes into a goroutine`
+	}()
+}
+
+// BadGoArg: a scratch row handed to a spawned worker.
+func (u *Unit) BadGoArg(out chan<- uint64) {
+	r := u.scratchRow()
+	go drain(r, out) // want `scratch storage r escapes into a goroutine`
+}
+
+func drain(r Row, out chan<- uint64) { out <- r.Words[0] }
+
+// badGoUnexported: goroutine escapes are diagnosed in unexported
+// functions too — no goroutine may ever hold arena storage.
+func (u *Unit) badGoUnexported(out chan<- uint64) {
+	r := u.scratchRow()
+	go drain(r, out) // want `scratch storage r escapes into a goroutine`
+}
+
+// GoodClone returns an owned copy: calls sanitize.
+func (u *Unit) GoodClone() Row {
+	r := u.scratchRow()
+	return r.Clone()
+}
+
+// GoodCopy copies the flat buffer out.
+func (u *Unit) GoodCopy(n int) []uint64 {
+	w := scratchWords(&u.words, n)
+	out := make([]uint64, len(w))
+	copy(out, w)
+	return out
+}
+
+// GoodInternal keeps scratch inside the operation and clones the
+// result; reassigning a local back to clean is tracked.
+func (u *Unit) GoodInternal(a, b Row) Row {
+	tmp := u.scratchRow()
+	for i := range tmp.Words {
+		tmp.Words[i] = a.Words[i] &^ b.Words[i]
+	}
+	tmp = tmp.Clone()
+	return tmp
+}
+
+// GoodGo hands the goroutine an owned clone.
+func (u *Unit) GoodGo(out chan<- uint64) {
+	r := u.scratchRow().Clone()
+	go func() { out <- r.Words[0] }()
+}
+
+// GoodIgnored is a deliberate escape, suppressed with a reason.
+func (u *Unit) GoodIgnored() Row {
+	//coruscantvet:ignore scratchescape -- caller synchronizes with the arena epoch in this fixture
+	return u.scratchRow()
+}

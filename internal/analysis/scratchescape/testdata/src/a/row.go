@@ -1,0 +1,25 @@
+package a
+
+// Row mirrors the engine's word-packed row so the fixture is
+// self-contained: the analyzers detect it structurally.
+type Row struct {
+	Words []uint64
+	N     int
+}
+
+func NewRow(n int) Row {
+	return Row{Words: make([]uint64, (n+63)/64), N: n}
+}
+
+func (r Row) MaskTail() {
+	if rem := r.N % 64; rem != 0 && len(r.Words) > 0 {
+		r.Words[len(r.Words)-1] &= 1<<uint(rem) - 1
+	}
+}
+
+// Clone returns an owned copy: the canonical sanitizer.
+func (r Row) Clone() Row {
+	out := NewRow(r.N)
+	copy(out.Words, r.Words)
+	return out
+}

@@ -190,10 +190,18 @@ func (d *DBC) RowAtPort(s device.Side) int { return d.pa.RowAtPort(s) }
 // returned row is an owned copy.
 func (d *DBC) ReadPort(s device.Side) Row {
 	out := NewRow(d.width)
+	d.ReadPortInto(s, out)
+	return out
+}
+
+// ReadPortInto is ReadPort writing into a caller-owned row of the DBC's
+// width, for hot paths that reuse a scratch row across reads instead of
+// allocating per read.
+func (d *DBC) ReadPortInto(s device.Side, out Row) {
+	d.checkRow(out)
 	d.pa.ReadPort(s, out.Words)
 	d.tracer.Read(d.width)
 	d.rec.Step(d.src, telemetry.OpRead, d.width)
-	return out
 }
 
 // WritePort writes the full row under the port (one traced step).
@@ -297,15 +305,29 @@ func (d *DBC) TRAll() []int {
 // the energy accounting of the trace.
 func (d *DBC) TRWires(wires []int) ([]int, error) {
 	levels := make([]int, d.width)
+	if err := d.TRWiresInto(levels, wires); err != nil {
+		return nil, err
+	}
+	return levels, nil
+}
+
+// TRWiresInto is TRWires writing into a caller-owned levels buffer of
+// length Width(), for hot paths that reuse the buffer across reads. The
+// buffer is reset to -1 before sensing; validation and fault-injection
+// draw order match TRWires exactly.
+func (d *DBC) TRWiresInto(levels []int, wires []int) error {
+	if len(levels) != d.width {
+		return fmt.Errorf("dbc: TR levels buffer length %d, want %d", len(levels), d.width)
+	}
 	for i := range levels {
 		levels[i] = -1
 	}
 	for _, w := range wires {
 		if w < 0 || w >= d.width {
-			return nil, fmt.Errorf("dbc: TR wire %d out of range [0,%d)", w, d.width)
+			return fmt.Errorf("dbc: TR wire %d out of range [0,%d)", w, d.width)
 		}
 		if levels[w] != -1 {
-			return nil, fmt.Errorf("dbc: duplicate TR wire %d", w)
+			return fmt.Errorf("dbc: duplicate TR wire %d", w)
 		}
 		lvl := d.pa.TRWire(w)
 		sensed := d.inj.PerturbTR(lvl, int(d.trd))
@@ -316,7 +338,7 @@ func (d *DBC) TRWires(wires []int) ([]int, error) {
 	}
 	d.tracer.TR(len(wires))
 	d.rec.Step(d.src, telemetry.OpTR, len(wires))
-	return levels, nil
+	return nil
 }
 
 // TRMasked performs a transverse read on the bitlines selected by mask

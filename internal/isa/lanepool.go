@@ -1,0 +1,115 @@
+package isa
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dbc"
+	"repro/internal/device"
+	"repro/internal/params"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// LaneJob is one independent cpim instruction for a LanePool run: the
+// instruction plus the operand rows already staged for it.
+type LaneJob struct {
+	In       Instruction
+	Operands []dbc.Row
+}
+
+// LaneResult is the outcome of one LaneJob: the result row, the
+// device-primitive cost of exactly that instruction, and any error.
+type LaneResult struct {
+	Row   dbc.Row
+	Stats trace.Stats
+	Err   error
+}
+
+// LanePool executes independent cpim instructions across parallel
+// controller lanes — the §IV-B high-throughput mode where the memory
+// controller drives one PIM unit per subarray. Each lane owns a
+// controller (and so a PIM unit) for its working lifetime; jobs are
+// dealt to idle lanes and results keep their submission order.
+//
+// Telemetry stays deterministic under the parallelism: each job records
+// into a private capture recorder whose source is derived from the job
+// index (not the lane it happened to land on), and after the run the
+// captures are replayed into the caller's recorder in job order —
+// identical output for identical input, regardless of scheduling.
+type LanePool struct {
+	cfg   params.Config
+	lanes []*Controller
+}
+
+// NewLanePool returns a pool of n controller lanes (minimum 1).
+func NewLanePool(cfg params.Config, n int) (*LanePool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &LanePool{cfg: cfg}
+	for i := 0; i < n; i++ {
+		c, err := NewController(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.lanes = append(p.lanes, c)
+	}
+	return p, nil
+}
+
+// Lanes returns the pool width.
+func (p *LanePool) Lanes() int { return len(p.lanes) }
+
+// Run executes the jobs across the pool's lanes and returns positional
+// results. rec (nil = discard) receives every job's telemetry replayed
+// in job order after the barrier.
+func (p *LanePool) Run(jobs []LaneJob, rec *telemetry.Recorder) []LaneResult {
+	results := make([]LaneResult, len(jobs))
+	captures := make([]*telemetry.CaptureSink, len(jobs))
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	n := len(p.lanes)
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	wg.Add(n)
+	for l := 0; l < n; l++ {
+		go func(c *Controller) {
+			defer wg.Done()
+			for ji := range next {
+				// Canonicalize the lane before the job: realign the access
+				// port to row 0 with telemetry detached, so a job's shift
+				// cost never depends on which jobs ran on this lane before
+				// it (the realignment models operand staging, which is not
+				// part of the measured instruction).
+				c.Unit.SetTelemetry(nil, "")
+				if _, err := c.Unit.D.Align(0, device.Left); err != nil {
+					results[ji] = LaneResult{Err: err}
+					continue
+				}
+				capture := telemetry.NewCaptureSink()
+				jobRec := telemetry.NewCaptureRecorder(p.cfg, capture)
+				src := telemetry.Source(fmt.Sprintf("cpim.%d", ji))
+				c.Unit.SetTelemetry(jobRec, src)
+				c.Unit.ResetStats()
+				row, err := c.Execute(jobs[ji].In, jobs[ji].Operands)
+				results[ji] = LaneResult{Row: row, Stats: c.Unit.Stats(), Err: err}
+				captures[ji] = capture
+			}
+		}(p.lanes[l])
+	}
+	for ji := range jobs {
+		next <- ji
+	}
+	close(next)
+	wg.Wait()
+
+	for _, c := range captures {
+		if c != nil {
+			c.ReplayAll(rec)
+		}
+	}
+	return results
+}

@@ -1,0 +1,126 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+	"repro/internal/pim"
+	"repro/internal/telemetry"
+)
+
+// laneJobs synthesizes a deterministic mixed-opcode job list.
+func laneJobs(t *testing.T, cfg params.Config, n int) []LaneJob {
+	t.Helper()
+	width := cfg.Geometry.TrackWidth
+	ops := []OpCode{OpAdd, OpXor, OpMax, OpMult, OpRelu}
+	jobs := make([]LaneJob, n)
+	for i := range jobs {
+		op := ops[i%len(ops)]
+		in := Instruction{Op: op, Src: Addr{Tile: 0, DBC: cfg.Geometry.DBCsPerTile - 1}, Blocksize: 8, Operands: 3}
+		switch op {
+		case OpMult:
+			in.Operands = 2
+		case OpRelu:
+			in.Operands = 1
+		}
+		valBits := in.Blocksize
+		if op == OpMult {
+			valBits = in.Blocksize / 2
+		}
+		operands := make([]dbc.Row, in.Operands)
+		for k := range operands {
+			vals := make([]uint64, width/in.Blocksize)
+			for l := range vals {
+				vals[l] = uint64(7*i+3*k+5*l+1) % (1 << valBits)
+			}
+			operands[k] = pim.MustPackLanes(vals, in.Blocksize, width)
+		}
+		jobs[i] = LaneJob{In: in, Operands: operands}
+	}
+	return jobs
+}
+
+// TestLanePoolMatchesSerial: any pool width produces bit-identical
+// results, per-job stats, and telemetry totals to a 1-lane run.
+func TestLanePoolMatchesSerial(t *testing.T) {
+	cfg := testConfig()
+	jobs := laneJobs(t, cfg, 12)
+
+	serialRec := telemetry.NewRecorder(cfg)
+	serialPool, err := NewLanePool(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := serialPool.Run(jobs, serialRec)
+
+	for _, lanes := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			rec := telemetry.NewRecorder(cfg)
+			pool, err := NewLanePool(cfg, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pool.Lanes() != lanes {
+				t.Fatalf("Lanes() = %d, want %d", pool.Lanes(), lanes)
+			}
+			got := pool.Run(jobs, rec)
+			if len(got) != len(serial) {
+				t.Fatalf("got %d results, want %d", len(got), len(serial))
+			}
+			for i := range got {
+				if (got[i].Err == nil) != (serial[i].Err == nil) {
+					t.Fatalf("job %d: err %v, serial %v", i, got[i].Err, serial[i].Err)
+				}
+				if !got[i].Row.Equal(serial[i].Row) {
+					t.Errorf("job %d: result row differs from serial", i)
+				}
+				if got[i].Stats != serial[i].Stats {
+					t.Errorf("job %d: stats %+v, serial %+v", i, got[i].Stats, serial[i].Stats)
+				}
+			}
+			if rec.Cycle() != serialRec.Cycle() {
+				t.Errorf("cycle clock %d, serial %d", rec.Cycle(), serialRec.Cycle())
+			}
+			if math.Abs(rec.EnergyPJ()-serialRec.EnergyPJ()) > 1e-6 {
+				t.Errorf("energy %v, serial %v", rec.EnergyPJ(), serialRec.EnergyPJ())
+			}
+			sm, pm := serialRec.Metrics(), rec.Metrics()
+			for op := telemetry.Op(0); op <= telemetry.OpSpan; op++ {
+				if pm.Count(op) != sm.Count(op) {
+					t.Errorf("op %v: count %d, serial %d", op, pm.Count(op), sm.Count(op))
+				}
+			}
+			for _, name := range sm.SpanNames() {
+				s, p := sm.Span(name), pm.Span(name)
+				if p.Count != s.Count || p.TotalCycles != s.TotalCycles {
+					t.Errorf("span %q: {count %d cycles %d}, serial {count %d cycles %d}",
+						name, p.Count, p.TotalCycles, s.Count, s.TotalCycles)
+				}
+			}
+		})
+	}
+}
+
+// TestLanePoolErrorIsolation: a failing job reports its own error and
+// leaves the rest of the batch untouched.
+func TestLanePoolErrorIsolation(t *testing.T) {
+	cfg := testConfig()
+	jobs := laneJobs(t, cfg, 4)
+	jobs[1].Operands = jobs[1].Operands[:1] // arity mismatch
+	pool, err := NewLanePool(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := pool.Run(jobs, nil)
+	if results[1].Err == nil {
+		t.Error("job 1: want arity error, got nil")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil {
+			t.Errorf("job %d: unexpected error %v", i, results[i].Err)
+		}
+	}
+}

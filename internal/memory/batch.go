@@ -1,0 +1,233 @@
+package memory
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dbc"
+	"repro/internal/isa"
+	"repro/internal/telemetry"
+)
+
+// Request is one cpim execution for ExecuteBatch — the arguments of an
+// Execute call.
+type Request struct {
+	In       isa.Instruction
+	Operands []isa.Addr
+	Dst      isa.Addr
+}
+
+// Result is the outcome of one batch request.
+type Result struct {
+	Row dbc.Row
+	Err error
+}
+
+// batchGroup is a connected component of requests whose DBC footprints
+// overlap: its requests must run in program order relative to each
+// other, while distinct groups touch disjoint shards and run
+// concurrently.
+type batchGroup struct {
+	reqs  []int      // request indices, ascending (program order)
+	bases []isa.Addr // union of the requests' lock sets, sorted
+}
+
+// ExecuteBatch runs a batch of cpim requests, exploiting DBC-level
+// parallelism: requests are grouped by the DBCs they touch (requests
+// with overlapping footprints form one group and keep their program
+// order; disjoint groups run concurrently on a worker pool of
+// SetWorkers goroutines, default GOMAXPROCS). Results are positional.
+//
+// Every request is validated upfront exactly as Execute validates —
+// invalid requests (including ErrCrossDBC) fail in their Result without
+// blocking the rest of the batch, and a request that fails at runtime
+// does not stop later requests of its group.
+//
+// Determinism: the memory state after ExecuteBatch is bit-identical to
+// running the requests serially in order — only requests with disjoint
+// footprints are reordered, and those commute. Telemetry is merged
+// deterministically: each group records into a private capture
+// recorder, and after the barrier the captured streams are replayed
+// into the memory's recorder in first-request order, so cycle totals,
+// energy and metrics equal the serial run's exactly. With a fault
+// injector attached the batch runs serially in program order (the
+// injector's random stream is order-dependent).
+func (m *Memory) ExecuteBatch(reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	plans := make([]execPlan, len(reqs))
+	runnable := make([]bool, len(reqs))
+	for i, r := range reqs {
+		p, err := m.planExecute(r.In, r.Operands, r.Dst)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		plans[i], runnable[i] = p, true
+	}
+
+	m.cfgMu.Lock()
+	workers, inj := m.workers, m.inj
+	m.cfgMu.Unlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if inj != nil {
+		workers = 1 // serialize: the fault stream is order-dependent
+	}
+
+	groups := m.groupRequests(plans, runnable)
+	if workers == 1 || len(groups) == 1 {
+		// Serial path: program order on the memory's own recorder; no
+		// capture/replay detour needed.
+		for i := range reqs {
+			if !runnable[i] {
+				continue
+			}
+			shards, unlock, err := m.lockOrdered(plans[i].bases)
+			if err != nil {
+				results[i].Err = err
+				continue
+			}
+			results[i].Row, results[i].Err = runPlan(plans[i], shards)
+			unlock()
+		}
+		return results
+	}
+
+	captures := make([]*telemetry.CaptureSink, len(groups))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	worker := func() {
+		defer wg.Done()
+		for gi := range next {
+			captures[gi] = m.runGroup(groups[gi], plans, results)
+		}
+	}
+	n := workers
+	if n > len(groups) {
+		n = len(groups)
+	}
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go worker()
+	}
+	for gi := range groups {
+		next <- gi
+	}
+	close(next)
+	wg.Wait()
+
+	// Merge: replay each group's capture into the main recorder in
+	// first-request order (groups are already ordered by construction),
+	// re-stamping cycles and re-pricing energy so totals match a serial
+	// run exactly. Drained sinks go back to the pool.
+	rec := m.Recorder()
+	for _, c := range captures {
+		if c != nil {
+			c.ReplayAll(rec)
+			c.Reset()
+			capturePool.Put(c)
+		}
+	}
+	return results
+}
+
+// capturePool recycles the per-group capture buffers across batches;
+// the event slices inside are the batch path's dominant allocation.
+var capturePool = sync.Pool{New: func() interface{} { return telemetry.NewCaptureSink() }}
+
+// runGroup executes one group's requests in program order with the
+// group's shards locked throughout and their telemetry diverted into a
+// fresh capture recorder. Returns the capture for ordered merging.
+func (m *Memory) runGroup(g batchGroup, plans []execPlan, results []Result) *telemetry.CaptureSink {
+	capture := capturePool.Get().(*telemetry.CaptureSink)
+	groupRec := telemetry.NewCaptureRecorder(m.cfg, capture)
+	shards, unlock, err := m.lockOrdered(g.bases)
+	if err != nil {
+		for _, ri := range g.reqs {
+			results[ri].Err = err
+		}
+		capturePool.Put(capture)
+		return nil
+	}
+	defer unlock()
+	restore := m.Recorder()
+	for _, sh := range shards {
+		sh.setRecorder(groupRec)
+	}
+	defer func() {
+		for _, sh := range shards {
+			sh.setRecorder(restore)
+		}
+	}()
+	for _, ri := range g.reqs {
+		results[ri].Row, results[ri].Err = runPlan(plans[ri], shards)
+	}
+	return capture
+}
+
+// groupRequests partitions the runnable requests into connected
+// components by DBC footprint (union-find over lock-set overlap).
+// Groups come out ordered by their first request index, and each
+// group's request list preserves program order.
+func (m *Memory) groupRequests(plans []execPlan, runnable []bool) []batchGroup {
+	parent := make(map[isa.Addr]int) // DBC base → first request that claimed it
+
+	// Union-find over request indices.
+	reqParent := make([]int, len(plans))
+	for i := range reqParent {
+		reqParent[i] = i
+	}
+	var root func(int) int
+	root = func(i int) int {
+		if reqParent[i] != i {
+			reqParent[i] = root(reqParent[i])
+		}
+		return reqParent[i]
+	}
+	union := func(a, b int) {
+		ra, rb := root(a), root(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			reqParent[rb] = ra // lowest request index becomes the root
+		}
+	}
+	for i, p := range plans {
+		if !runnable[i] {
+			continue
+		}
+		for _, b := range p.bases {
+			if j, ok := parent[b]; ok {
+				union(i, j)
+			} else {
+				parent[b] = i
+			}
+		}
+	}
+
+	byRoot := make(map[int]*batchGroup)
+	var order []int
+	for i, p := range plans {
+		if !runnable[i] {
+			continue
+		}
+		r := root(i)
+		g, ok := byRoot[r]
+		if !ok {
+			g = &batchGroup{}
+			byRoot[r] = g
+			order = append(order, r)
+		}
+		g.reqs = append(g.reqs, i)
+		g.bases = append(g.bases, p.bases...)
+	}
+	groups := make([]batchGroup, 0, len(order))
+	for _, r := range order {
+		g := byRoot[r]
+		g.bases = m.sortBases(g.bases)
+		groups = append(groups, *g)
+	}
+	return groups
+}

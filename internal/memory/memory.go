@@ -6,15 +6,33 @@
 //
 // DBCs materialize lazily, so the Table II geometry (a 1 GB memory of
 // half a million DBCs) is addressable without allocating it: only
-// touched clusters exist. All accesses are traced; the per-operation
-// device costs accumulate in the memory's tracer and every access is
-// also recorded by the memory's telemetry recorder — row movement
-// included — so MoveStats is a view over the unified telemetry
-// counters rather than a bespoke tally.
+// touched clusters exist.
+//
+// Concurrency model: the memory is striped per DBC — each materialized
+// cluster is a shard with its own lock and its own trace.Tracer, so
+// operations on disjoint clusters never contend (the bank-level
+// parallelism the DBC organization exists to provide). Multi-DBC
+// operations (CopyRow, Execute's operand staging) take the involved
+// shard locks in global address order, which makes deadlock impossible.
+// ExecuteBatch (batch.go) runs whole request groups on a worker pool on
+// top of the same striping. All accesses are traced; Stats() merges the
+// per-shard tracers under their locks, so it is safe — and consistent —
+// while operations are in flight. Every access is also recorded by the
+// memory's telemetry recorder, row movement included, so MoveStats is a
+// view over the unified telemetry counters rather than a bespoke tally.
+//
+// Fault injection is the one feature that serializes: the injector's
+// random stream is consumed in operation order, so reproducible
+// experiments require serial execution (ExecuteBatch degrades to the
+// serial path when an injector is attached, and direct concurrent
+// access with an injector installed needs external ordering anyway for
+// the fault pattern to be meaningful).
 package memory
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/dbc"
@@ -26,17 +44,58 @@ import (
 	"repro/internal/trace"
 )
 
-// Memory is one CORUSCANT main memory. It is safe for concurrent use:
-// a single lock serializes accesses, mirroring the one memory controller
-// in front of the arrays.
+// ErrCrossDBC reports a cpim instruction whose operand or destination
+// rows cannot be staged into the executing DBC: staging rides the
+// bank's shared row buffer (§III-A), so every operand and the
+// destination must live in the same bank as the PIM-enabled DBC named
+// by the instruction. The error is returned by Execute and ExecuteBatch
+// before any lock is taken or any row is moved; callers stage remote
+// rows explicitly with CopyRow first. Test with errors.Is.
+var ErrCrossDBC = errors.New("memory: operand outside the executing DBC's bank")
+
+// shard is one materialized DBC with its lock and accounting. The DBC
+// (and, for PIM-enabled clusters, the unit wrapping it) is only touched
+// with mu held.
+type shard struct {
+	mu   sync.Mutex
+	base isa.Addr
+	d    *dbc.DBC
+	u    *pim.Unit // non-nil iff the cluster is PIM-enabled
+	// tr is the shard's slice of the memory-wide device accounting;
+	// trace.Tracer is plain counters, so sharing one across shards would
+	// race. Stats() folds the shards together.
+	tr *trace.Tracer
+}
+
+// setRecorder points the shard's DBC (and unit) at rec. Callers hold
+// sh.mu; ExecuteBatch uses this to divert a group's events into a
+// capture recorder for deterministic merging.
+func (sh *shard) setRecorder(rec *telemetry.Recorder) {
+	if sh.u != nil {
+		sh.u.SetTelemetry(rec, srcFor(sh.base))
+		return
+	}
+	sh.d.SetTelemetry(rec, srcFor(sh.base))
+}
+
+// recorder returns the recorder currently attached to the shard's DBC.
+func (sh *shard) recorder() *telemetry.Recorder { return sh.d.Recorder() }
+
+// Memory is one CORUSCANT main memory, safe for concurrent use through
+// per-DBC striped locking.
 type Memory struct {
-	mu     sync.Mutex
-	cfg    params.Config
-	plain  map[isa.Addr]*dbc.DBC // non-PIM DBCs, keyed by row-0 address
-	units  map[isa.Addr]*pim.Unit
-	tracer *trace.Tracer
-	rec    *telemetry.Recorder // always non-nil: metrics-only by default
-	inj    *device.FaultInjector
+	cfg params.Config
+
+	// tableMu guards the shard table only; shard state is behind each
+	// shard's own lock.
+	tableMu sync.RWMutex
+	shards  map[isa.Addr]*shard
+
+	// cfgMu guards the attachment state below.
+	cfgMu   sync.Mutex
+	rec     *telemetry.Recorder // always non-nil: metrics-only by default
+	inj     *device.FaultInjector
+	workers int // ExecuteBatch pool size; 0 = GOMAXPROCS
 }
 
 // MoveStats counts row-granularity data movement inside the memory. It
@@ -55,9 +114,7 @@ func New(cfg params.Config) (*Memory, error) {
 	}
 	return &Memory{
 		cfg:    cfg,
-		plain:  make(map[isa.Addr]*dbc.DBC),
-		units:  make(map[isa.Addr]*pim.Unit),
-		tracer: &trace.Tracer{},
+		shards: make(map[isa.Addr]*shard),
 		rec:    telemetry.NewRecorder(cfg),
 	}, nil
 }
@@ -65,19 +122,41 @@ func New(cfg params.Config) (*Memory, error) {
 // Config returns the memory's configuration.
 func (m *Memory) Config() params.Config { return m.cfg }
 
+// snapshotShards returns the materialized shards in address order.
+func (m *Memory) snapshotShards() []*shard {
+	m.tableMu.RLock()
+	out := make([]*shard, 0, len(m.shards))
+	for _, sh := range m.shards {
+		out = append(out, sh)
+	}
+	m.tableMu.RUnlock()
+	g := m.cfg.Geometry
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].base.Linear(g) < out[j].base.Linear(g)
+	})
+	return out
+}
+
 // Stats returns the accumulated device-primitive counts of every DBC.
+// It folds the per-shard tracers under their locks, one shard at a
+// time, so it is safe to call while operations — including a batch —
+// are in flight and never blocks the whole memory.
 func (m *Memory) Stats() trace.Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tracer.Stats()
+	var total trace.Stats
+	for _, sh := range m.snapshotShards() {
+		sh.mu.Lock()
+		s := sh.tr.Stats()
+		sh.mu.Unlock()
+		total.Add(s)
+	}
+	return total
 }
 
 // Moves returns the row-movement counters, derived from the unified
-// telemetry metrics.
+// telemetry metrics. Events of an in-flight batch group appear once the
+// group's capture is merged.
 func (m *Memory) Moves() MoveStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	met := m.rec.Metrics()
+	met := m.Recorder().Metrics()
 	return MoveStats{
 		RowReads:  int(met.Count(telemetry.OpRowRead)),
 		RowWrites: int(met.Count(telemetry.OpRowWrite)),
@@ -87,8 +166,8 @@ func (m *Memory) Moves() MoveStats {
 
 // Recorder returns the memory's telemetry recorder (never nil).
 func (m *Memory) Recorder() *telemetry.Recorder {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
 	return m.rec
 }
 
@@ -97,18 +176,35 @@ func (m *Memory) Recorder() *telemetry.Recorder {
 // metrics-only recorder (the memory always records: MoveStats derives
 // from the recorder's counters), which also resets the counters.
 func (m *Memory) SetTelemetry(rec *telemetry.Recorder) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if rec == nil {
 		rec = telemetry.NewRecorder(m.cfg)
 	}
+	m.cfgMu.Lock()
 	m.rec = rec
-	for base, d := range m.plain {
-		d.SetTelemetry(rec, srcFor(base))
+	m.cfgMu.Unlock()
+	for _, sh := range m.snapshotShards() {
+		sh.mu.Lock()
+		sh.setRecorder(rec)
+		sh.mu.Unlock()
 	}
-	for base, u := range m.units {
-		u.SetTelemetry(rec, srcFor(base))
+}
+
+// SetWorkers sets the ExecuteBatch worker-pool size; n ≤ 0 restores the
+// default (GOMAXPROCS).
+func (m *Memory) SetWorkers(n int) {
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	if n < 0 {
+		n = 0
 	}
+	m.workers = n
+}
+
+// Workers returns the configured ExecuteBatch pool size (0 = default).
+func (m *Memory) Workers() int {
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	return m.workers
 }
 
 // srcFor names a DBC's telemetry source after its coordinates, e.g.
@@ -131,64 +227,96 @@ func (m *Memory) checkAddr(a isa.Addr) error {
 	return nil
 }
 
-// cluster materializes (or returns) the DBC holding the address. For
-// PIM-enabled locations the DBC belongs to a PIM unit.
-func (m *Memory) cluster(a isa.Addr) (*dbc.DBC, error) {
+// shardFor materializes (or returns) the shard holding the address. For
+// PIM-enabled locations the shard's DBC belongs to a PIM unit.
+func (m *Memory) shardFor(a isa.Addr) (*shard, error) {
 	if err := m.checkAddr(a); err != nil {
 		return nil, err
 	}
 	base := dbcBase(a)
+	m.tableMu.RLock()
+	sh, ok := m.shards[base]
+	m.tableMu.RUnlock()
+	if ok {
+		return sh, nil
+	}
+
+	m.tableMu.Lock()
+	defer m.tableMu.Unlock()
+	if sh, ok := m.shards[base]; ok {
+		return sh, nil
+	}
+	sh = &shard{base: base, tr: &trace.Tracer{}}
+	m.cfgMu.Lock()
+	rec, inj := m.rec, m.inj
+	m.cfgMu.Unlock()
 	if a.IsPIMEnabled(m.cfg.Geometry) {
-		u, err := m.unit(base)
+		u, err := pim.NewUnit(m.cfg)
 		if err != nil {
 			return nil, err
 		}
-		return u.D, nil
+		// Route the unit's device accounting into the shard tracer.
+		u.D.SetTracer(sh.tr)
+		u.D.SetFaultInjector(inj)
+		u.SetTelemetry(rec, srcFor(base))
+		sh.u, sh.d = u, u.D
+	} else {
+		d, err := dbc.New(m.cfg.Geometry.TrackWidth, m.cfg.Geometry.RowsPerDBC, m.cfg.TRD)
+		if err != nil {
+			return nil, err
+		}
+		d.SetTracer(sh.tr)
+		d.SetFaultInjector(inj)
+		d.SetTelemetry(rec, srcFor(base))
+		sh.d = d
 	}
-	if d, ok := m.plain[base]; ok {
-		return d, nil
-	}
-	d, err := dbc.New(m.cfg.Geometry.TrackWidth, m.cfg.Geometry.RowsPerDBC, m.cfg.TRD)
-	if err != nil {
-		return nil, err
-	}
-	d.SetTracer(m.tracer)
-	d.SetFaultInjector(m.inj)
-	d.SetTelemetry(m.rec, srcFor(base))
-	m.plain[base] = d
-	return d, nil
+	m.shards[base] = sh
+	return sh, nil
 }
 
-// unit materializes the PIM unit of a PIM-enabled DBC address.
-func (m *Memory) unit(base isa.Addr) (*pim.Unit, error) {
-	if u, ok := m.units[base]; ok {
-		return u, nil
+// lockOrdered materializes and locks the shards of the given DBC bases
+// in global address order (the deadlock-freedom invariant: every
+// multi-shard operation acquires in the same order). bases must be
+// duplicate-free; sortBases provides that. The returned unlock releases
+// in reverse order.
+func (m *Memory) lockOrdered(bases []isa.Addr) ([]*shard, func(), error) {
+	shards := make([]*shard, len(bases))
+	for i, b := range bases {
+		sh, err := m.shardFor(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		shards[i] = sh
 	}
-	u, err := pim.NewUnit(m.cfg)
-	if err != nil {
-		return nil, err
+	for _, sh := range shards {
+		sh.mu.Lock()
 	}
-	// Route the unit's accounting into the memory-wide tracer.
-	u.D.SetTracer(m.tracer)
-	u.D.SetFaultInjector(m.inj)
-	u.SetTelemetry(m.rec, srcFor(base))
-	m.units[base] = u
-	return u, nil
+	unlock := func() {
+		for i := len(shards) - 1; i >= 0; i-- {
+			shards[i].mu.Unlock()
+		}
+	}
+	return shards, unlock, nil
 }
 
-// WriteRow stores a row at the address through its DBC's nearest access
-// port (shift-align plus port write, all traced).
-func (m *Memory) WriteRow(a isa.Addr, row dbc.Row) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.writeRowLocked(a, row)
+// sortBases deduplicates and orders DBC base addresses by their global
+// linear index — the lock acquisition order.
+func (m *Memory) sortBases(bases []isa.Addr) []isa.Addr {
+	g := m.cfg.Geometry
+	sort.Slice(bases, func(i, j int) bool { return bases[i].Linear(g) < bases[j].Linear(g) })
+	out := bases[:0]
+	for i, b := range bases {
+		if i == 0 || b != bases[i-1] {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
-func (m *Memory) writeRowLocked(a isa.Addr, row dbc.Row) error {
-	d, err := m.cluster(a)
-	if err != nil {
-		return err
-	}
+// writeRowOn stores a row through the shard's nearest access port;
+// sh.mu held.
+func (sh *shard) writeRow(a isa.Addr, row dbc.Row) error {
+	d := sh.d
 	if row.N != d.Width() {
 		return fmt.Errorf("memory: row width %d, want %d", row.N, d.Width())
 	}
@@ -197,128 +325,230 @@ func (m *Memory) writeRowLocked(a isa.Addr, row dbc.Row) error {
 		return err
 	}
 	d.WritePort(side, row)
-	m.rec.Move(d.Source(), telemetry.OpRowWrite, row.N)
+	sh.recorder().Move(d.Source(), telemetry.OpRowWrite, row.N)
 	return nil
 }
 
-// ReadRow loads the row at the address.
-func (m *Memory) ReadRow(a isa.Addr) (dbc.Row, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.readRowLocked(a)
-}
-
-func (m *Memory) readRowLocked(a isa.Addr) (dbc.Row, error) {
-	d, err := m.cluster(a)
-	if err != nil {
-		return dbc.Row{}, err
-	}
+// readRow loads the row at the address; sh.mu held.
+func (sh *shard) readRow(a isa.Addr) (dbc.Row, error) {
+	d := sh.d
 	side, _, err := d.AlignNearest(a.Row)
 	if err != nil {
 		return dbc.Row{}, err
 	}
-	m.rec.Move(d.Source(), telemetry.OpRowRead, d.Width())
+	sh.recorder().Move(d.Source(), telemetry.OpRowRead, d.Width())
 	return d.ReadPort(side), nil
+}
+
+// WriteRow stores a row at the address through its DBC's nearest access
+// port (shift-align plus port write, all traced).
+func (m *Memory) WriteRow(a isa.Addr, row dbc.Row) error {
+	sh, err := m.shardFor(a)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.writeRow(a, row)
+}
+
+// ReadRow loads the row at the address.
+func (m *Memory) ReadRow(a isa.Addr) (dbc.Row, error) {
+	sh, err := m.shardFor(a)
+	if err != nil {
+		return dbc.Row{}, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.readRow(a)
 }
 
 // CopyRow moves a row between two locations over the shared row buffer
 // (§II-B / [35]): an activate-read at the source and an activate-write
-// at the destination, without crossing the memory bus.
+// at the destination, without crossing the memory bus. The two shard
+// locks are taken in address order.
 func (m *Memory) CopyRow(src, dst isa.Addr) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	row, err := m.readRowLocked(src)
+	if err := m.checkAddr(src); err != nil {
+		return err
+	}
+	if err := m.checkAddr(dst); err != nil {
+		return err
+	}
+	bases := m.sortBases([]isa.Addr{dbcBase(src), dbcBase(dst)})
+	shards, unlock, err := m.lockOrdered(bases)
 	if err != nil {
 		return err
 	}
-	if err := m.writeRowLocked(dst, row); err != nil {
+	defer unlock()
+	byBase := func(b isa.Addr) *shard {
+		for _, sh := range shards {
+			if sh.base == b {
+				return sh
+			}
+		}
+		return nil
+	}
+	row, err := byBase(dbcBase(src)).readRow(src)
+	if err != nil {
 		return err
 	}
-	m.rec.Move(srcFor(dbcBase(dst)), telemetry.OpRowCopy, row.N)
+	dstSh := byBase(dbcBase(dst))
+	if err := dstSh.writeRow(dst, row); err != nil {
+		return err
+	}
+	dstSh.recorder().Move(srcFor(dbcBase(dst)), telemetry.OpRowCopy, row.N)
 	return nil
 }
 
 // SetFaultInjector attaches fault injection to every future cluster
-// materialization and all already-materialized clusters.
+// materialization and all already-materialized clusters. With an
+// injector attached, ExecuteBatch runs serially: the injector's random
+// stream is consumed in operation order, so parallel interleaving would
+// destroy the reproducibility fixed-seed experiments rely on.
 func (m *Memory) SetFaultInjector(f *device.FaultInjector) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cfgMu.Lock()
 	m.inj = f
-	for _, d := range m.plain {
-		d.SetFaultInjector(f)
-	}
-	for _, u := range m.units {
-		u.D.SetFaultInjector(f)
+	m.cfgMu.Unlock()
+	for _, sh := range m.snapshotShards() {
+		sh.mu.Lock()
+		sh.d.SetFaultInjector(f)
+		sh.mu.Unlock()
 	}
 }
 
-// Execute runs a cpim instruction whose operands live at memory
-// addresses: the controller stages each operand into the PIM-enabled
-// DBC named by in.Src over the row buffer (§III-A: "the shared row
-// buffer ... can be used to move data from non-PIM DBCs to PIM-enabled
-// DBCs"), executes the operation there, and writes the result to dst.
-func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) (dbc.Row, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// execPlan is a fully validated cpim execution: every address checked,
+// the bank-staging rule enforced, and the lock set precomputed — all
+// before any lock is taken, so an invalid request fails without
+// touching (or blocking) any shard.
+type execPlan struct {
+	in       isa.Instruction
+	operands []isa.Addr
+	dst      isa.Addr
+	bases    []isa.Addr // sorted, deduplicated lock set
+}
+
+// planExecute validates the request upfront and returns its plan.
+func (m *Memory) planExecute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) (execPlan, error) {
 	if err := in.Validate(m.cfg.Geometry, m.cfg.TRD); err != nil {
-		return dbc.Row{}, err
+		return execPlan{}, err
 	}
 	if !in.Src.IsPIMEnabled(m.cfg.Geometry) {
-		return dbc.Row{}, fmt.Errorf("memory: %+v is not a PIM-enabled DBC", in.Src)
+		return execPlan{}, fmt.Errorf("memory: %+v is not a PIM-enabled DBC", in.Src)
 	}
 	if len(operands) != in.Operands {
-		return dbc.Row{}, fmt.Errorf("memory: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
+		return execPlan{}, fmt.Errorf("memory: %v expects %d operands, got %d", in.Op, in.Operands, len(operands))
 	}
-	u, err := m.unit(dbcBase(in.Src))
-	if err != nil {
-		return dbc.Row{}, err
+	switch in.Op {
+	case isa.OpMult:
+		if len(operands) != 2 {
+			return execPlan{}, fmt.Errorf("memory: mult expects 2 operands, got %d", len(operands))
+		}
+	case isa.OpAdd, isa.OpMax, isa.OpRelu, isa.OpVote,
+		isa.OpAnd, isa.OpOr, isa.OpNand, isa.OpNor, isa.OpXor, isa.OpXnor, isa.OpNot:
+	default:
+		return execPlan{}, fmt.Errorf("memory: opcode %v is not a PIM operation", in.Op)
 	}
-	defer m.rec.Span(srcFor(dbcBase(in.Src)), "exec-"+in.Op.String())()
-	rows := make([]dbc.Row, len(operands))
+	if err := m.checkAddr(dst); err != nil {
+		return execPlan{}, err
+	}
+	bases := make([]isa.Addr, 0, len(operands)+2)
+	bases = append(bases, dbcBase(in.Src))
 	for i, a := range operands {
-		row, err := m.readRowLocked(a)
+		if err := m.checkAddr(a); err != nil {
+			return execPlan{}, fmt.Errorf("memory: operand %d: %w", i, err)
+		}
+		if a.Bank != in.Src.Bank {
+			return execPlan{}, fmt.Errorf("memory: operand %d at %+v, executing DBC in bank %d: %w",
+				i, a, in.Src.Bank, ErrCrossDBC)
+		}
+		bases = append(bases, dbcBase(a))
+	}
+	if dst.Bank != in.Src.Bank {
+		return execPlan{}, fmt.Errorf("memory: destination %+v, executing DBC in bank %d: %w",
+			dst, in.Src.Bank, ErrCrossDBC)
+	}
+	bases = append(bases, dbcBase(dst))
+	return execPlan{in: in, operands: operands, dst: dst, bases: m.sortBases(bases)}, nil
+}
+
+// runPlan executes a validated plan over its locked shards, in
+// program order: stage operands, run the PIM op, write the result.
+// shards holds the plan's lock set (all locks held by the caller).
+func runPlan(p execPlan, shards []*shard) (dbc.Row, error) {
+	byBase := func(b isa.Addr) *shard {
+		for _, sh := range shards {
+			if sh.base == b {
+				return sh
+			}
+		}
+		return nil
+	}
+	execSh := byBase(dbcBase(p.in.Src))
+	u := execSh.u
+	defer execSh.recorder().Span(srcFor(execSh.base), "exec-"+p.in.Op.String())()
+	rows := make([]dbc.Row, len(p.operands))
+	for i, a := range p.operands {
+		row, err := byBase(dbcBase(a)).readRow(a)
 		if err != nil {
 			return dbc.Row{}, fmt.Errorf("memory: operand %d: %w", i, err)
 		}
-		if !sameDBC(a, in.Src) {
+		if dbcBase(a) != dbcBase(p.in.Src) {
 			// Staged over the row buffer into the executing DBC.
-			m.rec.Move(srcFor(dbcBase(in.Src)), telemetry.OpRowCopy, row.N)
+			execSh.recorder().Move(srcFor(execSh.base), telemetry.OpRowCopy, row.N)
 		}
 		rows[i] = row
 	}
 
 	var result dbc.Row
-	switch in.Op {
+	var err error
+	switch p.in.Op {
 	case isa.OpAdd:
-		result, err = u.AddMulti(rows, in.Blocksize)
+		result, err = u.AddMulti(rows, p.in.Blocksize)
 	case isa.OpMult:
-		if len(rows) != 2 {
-			return dbc.Row{}, fmt.Errorf("memory: mult expects 2 operands")
-		}
-		result, err = u.Multiply(rows[0], rows[1], in.Blocksize/2)
+		result, err = u.Multiply(rows[0], rows[1], p.in.Blocksize/2)
 	case isa.OpMax:
-		result, err = u.MaxTR(rows, in.Blocksize)
+		result, err = u.MaxTR(rows, p.in.Blocksize)
 	case isa.OpRelu:
-		result, err = u.ReLU(rows[0], in.Blocksize)
+		result, err = u.ReLU(rows[0], p.in.Blocksize)
 	case isa.OpVote:
 		result, err = u.Vote(rows)
-	case isa.OpAnd, isa.OpOr, isa.OpNand, isa.OpNor, isa.OpXor, isa.OpXnor, isa.OpNot:
-		op, _ := bulkOp(in.Op)
-		result, err = u.BulkBitwise(op, rows)
 	default:
-		return dbc.Row{}, fmt.Errorf("memory: opcode %v is not a PIM operation", in.Op)
+		op, _ := bulkOp(p.in.Op)
+		result, err = u.BulkBitwise(op, rows)
 	}
 	if err != nil {
 		return dbc.Row{}, err
 	}
-	if err := m.writeRowLocked(dst, result); err != nil {
+	if err := byBase(dbcBase(p.dst)).writeRow(p.dst, result); err != nil {
 		return dbc.Row{}, err
 	}
 	return result, nil
 }
 
-// sameDBC reports whether two addresses share a DBC.
-func sameDBC(a, b isa.Addr) bool { return dbcBase(a) == dbcBase(b) }
+// Execute runs a cpim instruction whose operands live at memory
+// addresses: the controller stages each operand into the PIM-enabled
+// DBC named by in.Src over the bank's shared row buffer (§III-A: "the
+// shared row buffer ... can be used to move data from non-PIM DBCs to
+// PIM-enabled DBCs"), executes the operation there, and writes the
+// result to dst.
+//
+// The request is validated in full — instruction encoding, address
+// geometry, and the bank-staging rule — before any shard lock is taken;
+// operands or destinations outside in.Src's bank return ErrCrossDBC
+// (stage them with CopyRow first). The involved shard locks are then
+// acquired in address order and held for the whole operation.
+func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) (dbc.Row, error) {
+	p, err := m.planExecute(in, operands, dst)
+	if err != nil {
+		return dbc.Row{}, err
+	}
+	shards, unlock, err := m.lockOrdered(p.bases)
+	if err != nil {
+		return dbc.Row{}, err
+	}
+	defer unlock()
+	return runPlan(p, shards)
+}
 
 // bulkOp maps a bulk opcode to the PIM logic selector.
 func bulkOp(o isa.OpCode) (dbc.Op, bool) {
@@ -344,7 +574,7 @@ func bulkOp(o isa.OpCode) (dbc.Op, bool) {
 // MaterializedDBCs reports how many clusters have been touched (for
 // tests and capacity sanity checks).
 func (m *Memory) MaterializedDBCs() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.plain) + len(m.units)
+	m.tableMu.RLock()
+	defer m.tableMu.RUnlock()
+	return len(m.shards)
 }

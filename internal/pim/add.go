@@ -42,6 +42,8 @@ func (u *Unit) AddMulti(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 			return dbc.Row{}, fmt.Errorf("pim: operand width %d, want %d", r.N, width)
 		}
 	}
+	u.enterOp()
+	defer u.exitOp()
 	hasCp := u.cfg.TRD.HasSuperCarry()
 	// TRD≥5: operands at positions 1..k, position 0 is the S/C' slot and
 	// the last position the C slot. TRD=3: operands at positions 0..k−1
@@ -66,7 +68,7 @@ func (u *Unit) addPlaced(blocksize int, hasCp bool) (dbc.Row, error) {
 	b := blocksize
 	sum := dbc.NewRow(width)
 	words := len(sum.Words)
-	scratch := make([]uint64, 5*words)
+	scratch := scratchWords(&u.scratch.addWords, 5*words)
 	mask := scratch[:words]
 	cBits := scratch[words : 2*words]
 	cMask := scratch[2*words : 3*words]

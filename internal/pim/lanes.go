@@ -115,8 +115,19 @@ func lanePattern(lane, bit int) uint64 {
 // carry chain plus one lane-boundary mask.
 func laneShiftLeftK(r dbc.Row, lane, k int) dbc.Row {
 	out := dbc.NewRow(r.N)
+	laneShiftLeftKInto(out, r, lane, k)
+	return out
+}
+
+// laneShiftLeftKInto is laneShiftLeftK writing into a caller-owned row
+// of the same width. out == r is allowed (in-place shift): each word is
+// read before it is overwritten and the carry walks low to high.
+func laneShiftLeftKInto(out, r dbc.Row, lane, k int) {
 	if k >= lane {
-		return out
+		for i := range out.Words {
+			out.Words[i] = 0
+		}
+		return
 	}
 	var carry uint64
 	for i, w := range r.Words {
@@ -146,10 +157,11 @@ func laneShiftLeftK(r dbc.Row, lane, k int) dbc.Row {
 		}
 	}
 	out.MaskTail()
-	return out
 }
 
 func laneShiftLeft(r dbc.Row, lane int) dbc.Row { return laneShiftLeftK(r, lane, 1) }
+
+func laneShiftLeftInto(out, r dbc.Row, lane int) { laneShiftLeftKInto(out, r, lane, 1) }
 
 // zeroLane clears lane l of row r in place, word-at-a-time.
 func zeroLane(r dbc.Row, l, lane int) {

@@ -36,19 +36,22 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 			return dbc.Row{}, fmt.Errorf("pim: candidate width %d, want %d", r.N, width)
 		}
 	}
+	u.enterOp()
+	defer u.exitOp()
 	if err := u.placeWindow(candidates, 0, false); err != nil {
 		return dbc.Row{}, err
 	}
 
 	lanes := width / blocksize
+	wires := scratchInts(&u.scratch.wires, lanes)
+	levels := scratchInts(&u.scratch.levels, width)
+	row := u.scratchRow() // tournament rotation buffer, reused per TW
 	for j := blocksize - 1; j >= 0; j-- {
 		// TR across the candidates' bit j, one wire per lane.
-		wires := make([]int, lanes)
 		for l := 0; l < lanes; l++ {
 			wires[l] = l*blocksize + j
 		}
-		levels, err := u.D.TRWires(wires)
-		if err != nil {
+		if err := u.D.TRWiresInto(levels, wires); err != nil {
 			return dbc.Row{}, err
 		}
 		// Rotate all TRD window rows once around: read at the right
@@ -56,7 +59,7 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 		// left port. Rows holding padding rotate like candidates so the
 		// controller sequence is identical across subarrays (§IV-B).
 		for r := 0; r < int(u.cfg.TRD); r++ {
-			row := u.D.ReadPort(dbcRight)
+			u.D.ReadPortInto(dbcRight, row)
 			for l := 0; l < lanes; l++ {
 				w := l*blocksize + j
 				if levels[w] > 0 && row.Get(w) == 0 {

@@ -34,6 +34,11 @@ type Unit struct {
 	// lp is the scratch destination for transverse reads: valid only
 	// until the next TR, so every consumer copies what it keeps.
 	lp dbc.LevelPlanes
+
+	// scratch pools the hot-loop row and word buffers; see arena. Like
+	// the DBC it fronts, a Unit is single-threaded — concurrent callers
+	// get one Unit each (memory.Memory shards per DBC).
+	scratch arena
 }
 
 // NewUnit builds a PIM unit for the given configuration.

@@ -131,6 +131,14 @@ func reduceRowsFunctional(rows []dbc.Row, blocksize int, hasCp bool) Reduction {
 	c0 := make([]uint64, words)
 	c1 := make([]uint64, words)
 	c2 := make([]uint64, words)
+	countRowsInto(c0, c1, c2, rows)
+	lp := dbc.LevelPlanes{C0: c0, C1: c1, C2: c2, N: rows[0].N}
+	return reductionOfPlanes(lp, blocksize, hasCp)
+}
+
+// countRowsInto accumulates the per-wire '1' counts of rows into zeroed
+// carry-save counter planes, word-parallel.
+func countRowsInto(c0, c1, c2 []uint64, rows []dbc.Row) {
 	for _, r := range rows {
 		for i, w := range r.Words {
 			t0 := c0[i] & w
@@ -140,6 +148,33 @@ func reduceRowsFunctional(rows []dbc.Row, blocksize int, hasCp bool) Reduction {
 			c2[i] |= t1
 		}
 	}
-	lp := dbc.LevelPlanes{C0: c0, C1: c1, C2: c2, N: rows[0].N}
-	return reductionOfPlanes(lp, blocksize, hasCp)
+}
+
+// reduceRowsScratch is reduceRowsFunctional on the unit's scratch arena:
+// the counter planes live in a dedicated buffer and the S/C/C' outputs
+// are scratch rows, valid until the enclosing top-level op returns. The
+// in-place lane shifts route C and C' up one and two positions, exactly
+// as reductionOfPlanes does.
+func (u *Unit) reduceRowsScratch(rows []dbc.Row, blocksize int, hasCp bool) Reduction {
+	words := len(rows[0].Words)
+	cs := scratchWords(&u.scratch.redWords, 3*words)
+	c0, c1, c2 := cs[:words], cs[words:2*words], cs[2*words:]
+	countRowsInto(c0, c1, c2, rows)
+
+	s := u.scratchRow()
+	copy(s.Words, c0)
+	s.MaskTail()
+	c := u.scratchRow()
+	copy(c.Words, c1)
+	c.MaskTail()
+	laneShiftLeftKInto(c, c, blocksize, 1)
+	red := Reduction{S: s, C: c}
+	if hasCp {
+		cp := u.scratchRow()
+		copy(cp.Words, c2)
+		cp.MaskTail()
+		laneShiftLeftKInto(cp, cp, blocksize, 2)
+		red.Cp = cp
+	}
+	return red
 }

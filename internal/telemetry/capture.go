@@ -1,0 +1,90 @@
+package telemetry
+
+import "sync"
+
+// CaptureSink records every event, in emission order, with no capacity
+// bound. It is the building block of deterministic parallel telemetry:
+// each worker of a batch gets a private Recorder draining into a
+// CaptureSink, and after the barrier the captured streams are replayed
+// into the main recorder in a stable order (see Recorder.Replay and
+// memory.ExecuteBatch).
+type CaptureSink struct {
+	mu  sync.Mutex
+	buf []Event
+}
+
+// NewCaptureSink returns an empty capture buffer.
+func NewCaptureSink() *CaptureSink { return &CaptureSink{} }
+
+// Emit appends the event.
+func (s *CaptureSink) Emit(e Event) {
+	s.mu.Lock()
+	s.buf = append(s.buf, e)
+	s.mu.Unlock()
+}
+
+// Events returns the captured events in emission order as an owned copy.
+func (s *CaptureSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.buf...)
+}
+
+// ReplayAll replays the captured events into r in emission order
+// without copying the buffer (Events allocates an owned snapshot; the
+// batch merge path replays thousands of events per group and needs
+// neither the copy nor the garbage). The sink stays intact; r may be
+// nil, in which case the stream is discarded.
+func (s *CaptureSink) ReplayAll(r *Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Replay(s.buf)
+}
+
+// Len returns the number of captured events.
+func (s *CaptureSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Reset discards the captured events, keeping the backing storage for
+// reuse.
+func (s *CaptureSink) Reset() {
+	s.mu.Lock()
+	s.buf = s.buf[:0]
+	s.mu.Unlock()
+}
+
+// Close is a no-op; the buffer stays readable.
+func (s *CaptureSink) Close() error { return nil }
+
+// Replay feeds a captured event stream through the recorder's normal
+// recording paths, as if the originating operations had run here
+// directly: steps advance the cycle clock and are re-priced from this
+// recorder's energy table, spans re-open and re-close, and instants
+// (faults, row moves) attach to the current cycle. The events' own
+// Cycle and EnergyPJ stamps are ignored — replay re-derives both — so a
+// serial run and a captured-then-replayed run produce identical clocks,
+// totals and metrics. Replaying into a nil recorder discards the stream.
+func (r *Recorder) Replay(events []Event) {
+	if r == nil {
+		return
+	}
+	for _, e := range events {
+		switch e.Phase {
+		case PhaseStep:
+			r.step(e.Src, e.Op, e.Wires)
+		case PhaseBegin:
+			r.Begin(e.Src, e.Name)
+		case PhaseEnd:
+			r.End(e.Src)
+		case PhaseInstant:
+			if e.Op == OpFault {
+				r.Fault(e.Src, e.Name, e.Wires)
+			} else {
+				r.instant(e.Src, e.Op, e.Name, e.Wires)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// drive emits a representative mixed stream — steps of every priced
+// kind, nested spans, faults and row moves — used by the capture/replay
+// parity tests below.
+func drive(r *Recorder) {
+	r.Begin("u0", "outer")
+	r.Step("u0", OpShift, 10)
+	r.Step("u0", OpTR, 3)
+	r.Fault("u0", "tr-level", 2)
+	end := r.Span("u0", "inner")
+	r.Step("u0", OpWrite, 7)
+	r.Step("u0", OpTW, 5)
+	end()
+	r.Move("u0", OpRowRead, 64)
+	r.End("u0")
+	r.Step("u1", OpRead, 2)
+	r.Step("u1", OpCopy, 4)
+	r.Move("u1", OpRowWrite, 64)
+	r.Step("u1", OpLogic, 0)
+}
+
+func TestCaptureSinkRecordsInOrder(t *testing.T) {
+	s := NewCaptureSink()
+	r := NewRecorder(testConfig(), s)
+	drive(r)
+	events := s.Events()
+	if len(events) == 0 {
+		t.Fatal("no events captured")
+	}
+	if got := s.Len(); got != len(events) {
+		t.Fatalf("Len=%d, want %d", got, len(events))
+	}
+	// Events() returns an owned copy: mutating it must not affect the sink.
+	events[0].Name = "clobbered"
+	if again := s.Events(); again[0].Name == "clobbered" {
+		t.Fatal("Events aliases the internal buffer")
+	}
+	var lastCycle uint64
+	for i, e := range events {
+		if e.Cycle < lastCycle {
+			t.Fatalf("event %d: cycle %d < previous %d", i, e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset did not clear the buffer")
+	}
+}
+
+// TestReplayReproducesSerialTotals is the determinism contract behind
+// memory.ExecuteBatch: a stream captured on a worker recorder and
+// replayed into a fresh recorder yields exactly the clock, energy and
+// metrics a direct serial run would.
+func TestReplayReproducesSerialTotals(t *testing.T) {
+	cfg := testConfig()
+
+	serial := NewRecorder(cfg)
+	drive(serial)
+
+	capture := NewCaptureSink()
+	worker := NewRecorder(cfg, capture)
+	drive(worker)
+	replayed := NewRecorder(cfg)
+	replayed.Replay(capture.Events())
+
+	if got, want := replayed.Cycle(), serial.Cycle(); got != want {
+		t.Fatalf("replayed cycle=%d, want %d", got, want)
+	}
+	if got, want := replayed.EnergyPJ(), serial.EnergyPJ(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("replayed energy=%v, want %v", got, want)
+	}
+	for op := Op(0); op < numOps; op++ {
+		g, w := replayed.Metrics().Op(op), serial.Metrics().Op(op)
+		if g != w {
+			t.Errorf("%v metrics: replayed %+v, serial %+v", op, g, w)
+		}
+	}
+	for _, name := range serial.Metrics().SpanNames() {
+		g, w := replayed.Metrics().Span(name), serial.Metrics().Span(name)
+		if g != w {
+			t.Errorf("span %q: replayed %+v, serial %+v", name, g, w)
+		}
+	}
+	if g, w := replayed.Metrics().SpanNames(), serial.Metrics().SpanNames(); len(g) != len(w) {
+		t.Errorf("span names: replayed %v, serial %v", g, w)
+	}
+}
+
+// TestReplayRepricesFromOwnTable: replay ignores the captured EnergyPJ
+// and Cycle stamps and re-derives both, so stale or foreign stamps
+// cannot corrupt the destination clock.
+func TestReplayRepricesFromOwnTable(t *testing.T) {
+	events := []Event{
+		{Op: OpWrite, Phase: PhaseStep, Src: "u", Wires: 4, Cycle: 900, EnergyPJ: 1e9},
+		{Op: OpWrite, Phase: PhaseStep, Src: "u", Wires: 4, Cycle: 901, EnergyPJ: 1e9},
+	}
+	r := NewRecorder(testConfig())
+	r.Replay(events)
+	if got := r.Cycle(); got != 2 {
+		t.Fatalf("cycle=%d, want 2", got)
+	}
+	if got := r.EnergyPJ(); got != 8 { // 2 steps * 4 wires * WritePJ=1
+		t.Fatalf("energy=%v, want 8", got)
+	}
+}
+
+func TestReplayOnNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Replay([]Event{{Op: OpWrite, Phase: PhaseStep, Src: "u", Wires: 4}})
+}
+
+// TestCaptureRecorderReplayAll is the allocation-lean variant the batch
+// path actually uses: a metrics-free capture recorder drained with
+// ReplayAll (no Events copy) must land on the same totals as a direct
+// serial run, and the sink must survive to be Reset and reused.
+func TestCaptureRecorderReplayAll(t *testing.T) {
+	cfg := testConfig()
+
+	serial := NewRecorder(cfg)
+	drive(serial)
+
+	capture := NewCaptureSink()
+	worker := NewCaptureRecorder(cfg, capture)
+	drive(worker)
+	if worker.Metrics() != nil {
+		t.Fatal("capture recorder carries a Metrics aggregate")
+	}
+	if got, want := worker.Cycle(), serial.Cycle(); got != want {
+		t.Fatalf("capture recorder cycle=%d, want %d", got, want)
+	}
+
+	replayed := NewRecorder(cfg)
+	capture.ReplayAll(replayed)
+	if got, want := replayed.Cycle(), serial.Cycle(); got != want {
+		t.Fatalf("replayed cycle=%d, want %d", got, want)
+	}
+	if got, want := replayed.EnergyPJ(), serial.EnergyPJ(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("replayed energy=%v, want %v", got, want)
+	}
+	for op := Op(0); op < numOps; op++ {
+		if g, w := replayed.Metrics().Op(op), serial.Metrics().Op(op); g != w {
+			t.Errorf("%v metrics: replayed %+v, serial %+v", op, g, w)
+		}
+	}
+	// ReplayAll must not consume the buffer; Reset reclaims it for the
+	// next group without reallocating.
+	if capture.Len() == 0 {
+		t.Fatal("ReplayAll drained the sink")
+	}
+	capture.ReplayAll(nil) // nil destination discards, must not panic
+	capture.Reset()
+	if capture.Len() != 0 {
+		t.Fatal("Reset did not clear the buffer")
+	}
+}

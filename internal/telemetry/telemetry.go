@@ -147,6 +147,20 @@ func NewRecorder(cfg params.Config, sinks ...Sink) *Recorder {
 	}
 }
 
+// NewCaptureRecorder returns a recorder that timestamps, prices and
+// emits to sink but keeps no Metrics aggregate (Metrics() returns nil).
+// It backs the private per-group recorders of batch execution: their
+// events are replayed into the main recorder after the barrier, which
+// re-aggregates everything, so aggregating here would be pure waste.
+func NewCaptureRecorder(cfg params.Config, sink Sink) *Recorder {
+	return &Recorder{
+		energy: cfg.Energy,
+		trd:    cfg.TRD,
+		sinks:  []Sink{sink},
+		spans:  make(map[Source][]spanFrame),
+	}
+}
+
 // Step records one primitive control step of kind op at src touching
 // wires nanowires (or bits), advancing the cycle clock by one — the
 // same one-cycle-per-control-step rule as trace.Stats.Cycles(). The
@@ -300,8 +314,8 @@ func (r *Recorder) EnergyPJ() float64 {
 	return r.totalPJ
 }
 
-// Metrics returns the recorder's aggregate metrics. It is never nil for
-// a non-nil recorder.
+// Metrics returns the recorder's aggregate metrics: never nil for a
+// NewRecorder recorder, nil for a nil or NewCaptureRecorder one.
 func (r *Recorder) Metrics() *Metrics {
 	if r == nil {
 		return nil

@@ -73,6 +73,35 @@ func TestExecuteOnMemoryWideFold(t *testing.T) {
 	}
 }
 
+func TestExecuteOnMemoryWorkerInvariant(t *testing.T) {
+	// The batched compile path must produce the same count and the same
+	// primitive totals for any worker count (serial is workers=1).
+	s := NewStore(2000, 3, 66)
+	q := And(Male(), Or(Week(0), Week(1)), Not(Week(2)))
+	want, err := Count(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refStats string
+	for _, workers := range []int{1, 2, 8} {
+		m := compileMemory(t)
+		m.SetWorkers(workers)
+		got, err := ExecuteOnMemory(m, s, q)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: count %d, want %d", workers, got, want)
+		}
+		stats := m.Stats().String()
+		if workers == 1 {
+			refStats = stats
+		} else if stats != refStats {
+			t.Errorf("workers=%d: stats %s, serial %s", workers, stats, refStats)
+		}
+	}
+}
+
 func TestExecuteOnMemoryNonMultipleWidth(t *testing.T) {
 	// User counts that do not fill the last row chunk must not leak
 	// ghost bits, even through NOT.

@@ -81,72 +81,8 @@ func (t *TinyCNN) InferPIM(u *pim.Unit, img [][]int) ([][]int, error) {
 	}
 	for start := 0; start < len(pixels); start += lanes {
 		batch := pixels[start:min(start+lanes, len(pixels))]
-		var posRows, negRows []dbc.Row
-		for ky := 0; ky < 3; ky++ {
-			for kx := 0; kx < 3; kx++ {
-				wgt := t.Kernel[ky][kx]
-				if wgt == 0 {
-					continue
-				}
-				a := make([]uint64, len(batch))
-				b := make([]uint64, len(batch))
-				for i, p := range batch {
-					a[i] = uint64(img[p[0]+ky][p[1]+kx])
-					b[i] = uint64(abs(wgt))
-				}
-				prods, err := u.MultiplyValues(a, b, laneW/2)
-				if err != nil {
-					return nil, err
-				}
-				row, err := pim.PackLanes(prods, laneW, u.Width())
-				if err != nil {
-					return nil, err
-				}
-				if wgt > 0 {
-					posRows = append(posRows, row)
-				} else {
-					negRows = append(negRows, row)
-				}
-			}
-		}
-		pos, err := sumRows(u, posRows)
-		if err != nil {
+		if err := t.convBatch(u, img, batch, conv); err != nil {
 			return nil, err
-		}
-		neg, err := sumRows(u, negRows)
-		if err != nil {
-			return nil, err
-		}
-		// acc = pos − neg via two's complement: pos + ~neg + 1.
-		acc := pos
-		if !neg.IsEmpty() {
-			ones := make([]uint64, len(batch))
-			for i := range ones {
-				ones[i] = 1
-			}
-			oneRow, err := pim.PackLanes(ones, laneW, u.Width())
-			if err != nil {
-				return nil, err
-			}
-			operands := []dbc.Row{complementRow(neg), oneRow}
-			if !acc.IsEmpty() {
-				operands = append([]dbc.Row{acc}, operands...)
-			}
-			acc, err = sumRows(u, operands)
-			if err != nil {
-				return nil, err
-			}
-		}
-		if acc.IsEmpty() {
-			acc = dbc.NewRow(u.Width())
-		}
-		relued, err := u.ReLU(acc, laneW)
-		if err != nil {
-			return nil, err
-		}
-		vals := pim.UnpackLanes(relued, laneW)
-		for i, p := range batch {
-			conv[p[0]][p[1]] = int(vals[i])
 		}
 	}
 
@@ -164,28 +100,113 @@ func (t *TinyCNN) InferPIM(u *pim.Unit, img [][]int) ([][]int, error) {
 	}
 	for start := 0; start < len(windows); start += lanes {
 		batch := windows[start:min(start+lanes, len(windows))]
-		cand := make([]dbc.Row, 4)
-		for c := 0; c < 4; c++ {
-			vals := make([]uint64, len(batch))
-			for i, p := range batch {
-				vals[i] = uint64(conv[2*p[0]+c/2][2*p[1]+c%2])
-			}
-			row, err := pim.PackLanes(vals, laneW, u.Width())
-			if err != nil {
-				return nil, err
-			}
-			cand[c] = row
-		}
-		maxRow, err := u.MaxLarge(cand, laneW)
-		if err != nil {
+		if err := poolBatch(u, conv, batch, out); err != nil {
 			return nil, err
-		}
-		vals := pim.UnpackLanes(maxRow, laneW)
-		for i, p := range batch {
-			out[p[0]][p[1]] = int(vals[i])
 		}
 	}
 	return out, nil
+}
+
+// convBatch computes convolution + ReLU for one batch of output pixels
+// on one unit, writing the results into conv. Distinct batches touch
+// distinct pixels, so batches may run concurrently on distinct units.
+func (t *TinyCNN) convBatch(u *pim.Unit, img [][]int, batch [][2]int, conv [][]int) error {
+	var posRows, negRows []dbc.Row
+	for ky := 0; ky < 3; ky++ {
+		for kx := 0; kx < 3; kx++ {
+			wgt := t.Kernel[ky][kx]
+			if wgt == 0 {
+				continue
+			}
+			a := make([]uint64, len(batch))
+			b := make([]uint64, len(batch))
+			for i, p := range batch {
+				a[i] = uint64(img[p[0]+ky][p[1]+kx])
+				b[i] = uint64(abs(wgt))
+			}
+			prods, err := u.MultiplyValues(a, b, laneW/2)
+			if err != nil {
+				return err
+			}
+			row, err := pim.PackLanes(prods, laneW, u.Width())
+			if err != nil {
+				return err
+			}
+			if wgt > 0 {
+				posRows = append(posRows, row)
+			} else {
+				negRows = append(negRows, row)
+			}
+		}
+	}
+	pos, err := sumRows(u, posRows)
+	if err != nil {
+		return err
+	}
+	neg, err := sumRows(u, negRows)
+	if err != nil {
+		return err
+	}
+	// acc = pos − neg via two's complement: pos + ~neg + 1.
+	acc := pos
+	if !neg.IsEmpty() {
+		ones := make([]uint64, len(batch))
+		for i := range ones {
+			ones[i] = 1
+		}
+		oneRow, err := pim.PackLanes(ones, laneW, u.Width())
+		if err != nil {
+			return err
+		}
+		operands := []dbc.Row{complementRow(neg), oneRow}
+		if !acc.IsEmpty() {
+			operands = append([]dbc.Row{acc}, operands...)
+		}
+		acc, err = sumRows(u, operands)
+		if err != nil {
+			return err
+		}
+	}
+	if acc.IsEmpty() {
+		acc = dbc.NewRow(u.Width())
+	}
+	relued, err := u.ReLU(acc, laneW)
+	if err != nil {
+		return err
+	}
+	vals := pim.UnpackLanes(relued, laneW)
+	for i, p := range batch {
+		conv[p[0]][p[1]] = int(vals[i])
+	}
+	return nil
+}
+
+// poolBatch runs the 2×2 TR max-pool tournament for one batch of pool
+// windows on one unit, writing the results into out. Distinct batches
+// touch distinct windows, so batches may run concurrently on distinct
+// units.
+func poolBatch(u *pim.Unit, conv [][]int, batch [][2]int, out [][]int) error {
+	cand := make([]dbc.Row, 4)
+	for c := 0; c < 4; c++ {
+		vals := make([]uint64, len(batch))
+		for i, p := range batch {
+			vals[i] = uint64(conv[2*p[0]+c/2][2*p[1]+c%2])
+		}
+		row, err := pim.PackLanes(vals, laneW, u.Width())
+		if err != nil {
+			return err
+		}
+		cand[c] = row
+	}
+	maxRow, err := u.MaxLarge(cand, laneW)
+	if err != nil {
+		return err
+	}
+	vals := pim.UnpackLanes(maxRow, laneW)
+	for i, p := range batch {
+		out[p[0]][p[1]] = int(vals[i])
+	}
+	return nil
 }
 
 // sumRows adds rows lane-wise in chunks of the unit's operand limit.

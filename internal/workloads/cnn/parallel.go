@@ -1,0 +1,114 @@
+package cnn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pim"
+)
+
+// InferPIMParallel runs the same network as InferPIM with the lane
+// batches spread across several PIM units — the §IV-B high-throughput
+// mapping where the memory controller drives one unit per subarray.
+// Every batch is self-contained (operands are freshly staged, results
+// land in disjoint output pixels), so the output is bit-identical to
+// InferPIM for any unit count; only wall-clock and per-unit cost
+// distribution change. Each unit is driven by exactly one goroutine.
+//
+// The units must share a geometry; one unit degenerates to the serial
+// schedule.
+func (t *TinyCNN) InferPIMParallel(units []*pim.Unit, img [][]int) ([][]int, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("cnn: no units")
+	}
+	if len(units) == 1 {
+		return t.InferPIM(units[0], img)
+	}
+	width := units[0].Width()
+	for _, u := range units[1:] {
+		if u.Width() != width {
+			return nil, fmt.Errorf("cnn: unit widths differ (%d vs %d)", width, u.Width())
+		}
+	}
+	h, w := len(img)-2, len(img[0])-2
+	if h <= 0 || w <= 0 || h%2 != 0 || w%2 != 0 {
+		return nil, fmt.Errorf("cnn: conv output %dx%d not poolable", h, w)
+	}
+	lanes := width / laneW
+	conv := make([][]int, h)
+	for y := range conv {
+		conv[y] = make([]int, w)
+	}
+
+	// Phase 1: convolution + ReLU, batches fanned out across units.
+	pixels := make([][2]int, 0, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pixels = append(pixels, [2]int{y, x})
+		}
+	}
+	convWork := func(u *pim.Unit, batch [][2]int) error {
+		return t.convBatch(u, img, batch, conv)
+	}
+	if err := runBatches(units, pixels, lanes, "cnn-conv-par", convWork); err != nil {
+		return nil, err
+	}
+
+	// Phase 2 (after the conv barrier): max pooling, same fan-out.
+	out := make([][]int, h/2)
+	for y := range out {
+		out[y] = make([]int, w/2)
+	}
+	windows := make([][2]int, 0, (h/2)*(w/2))
+	for y := 0; y < h/2; y++ {
+		for x := 0; x < w/2; x++ {
+			windows = append(windows, [2]int{y, x})
+		}
+	}
+	poolWork := func(u *pim.Unit, batch [][2]int) error {
+		return poolBatch(u, conv, batch, out)
+	}
+	if err := runBatches(units, windows, lanes, "cnn-pool-par", poolWork); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runBatches splits items into lane-sized batches and deals them to one
+// worker goroutine per unit. The first error (in batch order) wins.
+func runBatches(units []*pim.Unit, items [][2]int, lanes int, span string, work func(*pim.Unit, [][2]int) error) error {
+	nBatch := (len(items) + lanes - 1) / lanes
+	errs := make([]error, nBatch)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	n := len(units)
+	if n > nBatch {
+		n = nBatch
+	}
+	wg.Add(n)
+	for _, u := range units[:n] {
+		go func(u *pim.Unit) {
+			defer wg.Done()
+			defer u.Span(span)()
+			for bi := range next {
+				start := bi * lanes
+				end := start + lanes
+				if end > len(items) {
+					end = len(items)
+				}
+				errs[bi] = work(u, items[start:end])
+			}
+		}(u)
+	}
+	for bi := 0; bi < nBatch; bi++ {
+		next <- bi
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

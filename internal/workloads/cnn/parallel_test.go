@@ -1,0 +1,75 @@
+package cnn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/pim"
+	"repro/internal/telemetry"
+)
+
+// TestInferPIMParallelMatchesSerial: the multi-unit schedule is
+// bit-identical to the single-unit one for any unit count.
+func TestInferPIMParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 256 // 16 lanes of 16 bits
+	net := &TinyCNN{Kernel: [3][3]int{{1, -2, 1}, {2, 4, -1}, {-3, 1, 2}}}
+	img := make([][]int, 10)
+	for y := range img {
+		img[y] = make([]int, 10)
+		for x := range img[y] {
+			img[y][x] = rng.Intn(16)
+		}
+	}
+	want, err := net.InferPIM(pim.MustNewUnit(cfg), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := net.InferRef(img)
+	for y := range want {
+		for x := range want[y] {
+			if want[y][x] != ref[y][x] {
+				t.Fatalf("serial out[%d][%d] = %d, reference %d", y, x, want[y][x], ref[y][x])
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("units=%d", n), func(t *testing.T) {
+			rec := telemetry.NewRecorder(cfg)
+			units := make([]*pim.Unit, n)
+			for i := range units {
+				units[i] = pim.MustNewUnit(cfg)
+				units[i].SetTelemetry(rec, telemetry.Source(fmt.Sprintf("cnn.u%d", i)))
+			}
+			got, err := net.InferPIMParallel(units, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for y := range want {
+				for x := range want[y] {
+					if got[y][x] != want[y][x] {
+						t.Errorf("out[%d][%d] = %d, serial %d", y, x, got[y][x], want[y][x])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestInferPIMParallelRejectsBadInput(t *testing.T) {
+	net := &TinyCNN{}
+	if _, err := net.InferPIMParallel(nil, [][]int{{1}}); err == nil {
+		t.Error("no units: want error")
+	}
+	cfgA := params.DefaultConfig()
+	cfgA.Geometry.TrackWidth = 128
+	cfgB := params.DefaultConfig()
+	cfgB.Geometry.TrackWidth = 256
+	units := []*pim.Unit{pim.MustNewUnit(cfgA), pim.MustNewUnit(cfgB)}
+	if _, err := net.InferPIMParallel(units, [][]int{{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 1, 2, 3}, {4, 5, 6, 7}}); err == nil {
+		t.Error("mismatched widths: want error")
+	}
+}
