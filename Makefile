@@ -5,9 +5,9 @@
 GO ?= go
 BIN := bin
 
-.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-parallel
+.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-parallel bench-resilient
 
-ci: lint build race race-obs fuzz bench bench-obs bench-parallel
+ci: lint build race race-obs fuzz bench bench-obs bench-parallel bench-resilient
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +73,13 @@ bench:
 # single-core-host caveat) are recorded in BENCH_parallel.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkBatch' -benchmem .
+
+# bench-resilient measures the recovery layer: the per-policy cost of
+# recovered Execute (off/dup/nmr3/nmr5) with and without fault
+# injection. Reference numbers and the disabled-path budget are
+# recorded in BENCH_resilient.json.
+bench-resilient:
+	$(GO) test -run '^$$' -bench 'BenchmarkResilient' -benchmem .
 
 # bench-obs measures the telemetry overhead guard: the hot PIM ops with
 # telemetry disabled (nil recorder — must match the un-instrumented

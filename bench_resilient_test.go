@@ -1,0 +1,111 @@
+// Recovery-layer benchmarks (recorded in BENCH_resilient.json): the
+// price of each verification policy on the memory Execute path. The
+// no-fault rows measure pure replication cost (dup = 2x execution,
+// nmr3 = 3x, plus the unanimity compare); the faulty rows add the
+// detect/retry/backoff loop at an exaggerated fault rate. "off" is the
+// unprotected baseline the <2% hot-path budget is measured against —
+// the recovery layer must stay out of the way when disabled.
+package coruscant
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/memory"
+	"repro/internal/params"
+	"repro/internal/pim"
+	"repro/internal/resilient"
+)
+
+// resilientFixture builds a memory with one staged two-operand add on
+// bank 0's PIM DBC.
+func resilientFixture(tb testing.TB, pol resilient.Policy, prof memory.FaultProfile) (*memory.Memory, memory.Request) {
+	tb.Helper()
+	cfg := params.DefaultConfig()
+	m, err := memory.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if prof.TRProb > 0 || prof.ShiftProb > 0 {
+		m.SetFaultProfile(prof)
+	}
+	if err := m.SetRecovery(pol); err != nil {
+		tb.Fatal(err)
+	}
+	g := cfg.Geometry
+	pimDBC := isa.Addr{Bank: 0, Tile: 0, DBC: g.DBCsPerTile - g.PIMDBCsPerTile}
+	operands := make([]isa.Addr, 2)
+	lanes := g.TrackWidth / 8
+	for r := range operands {
+		vals := make([]uint64, lanes)
+		for l := range vals {
+			vals[l] = uint64((3*r + l) % 100)
+		}
+		row, err := pim.PackLanes(vals, 8, g.TrackWidth)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		a := isa.Addr{Bank: 0, Subarray: 1, Tile: 1, Row: r}
+		if err := m.WriteRow(a, row); err != nil {
+			tb.Fatal(err)
+		}
+		operands[r] = a
+	}
+	req := memory.Request{
+		In:       isa.Instruction{Op: isa.OpAdd, Src: pimDBC, Blocksize: 8, Operands: 2},
+		Operands: operands,
+		Dst:      isa.Addr{Bank: 0, Subarray: 1, Tile: 2},
+	}
+	return m, req
+}
+
+func benchPolicies() []struct {
+	name string
+	pol  resilient.Policy
+} {
+	return []struct {
+		name string
+		pol  resilient.Policy
+	}{
+		{"off", resilient.Policy{}},
+		{"dup", resilient.Policy{Verify: resilient.VerifyDup, MaxRetries: 3, BackoffCycles: 8}},
+		{"nmr3", resilient.Policy{Verify: resilient.VerifyNMR, NMR: 3, MaxRetries: 3, BackoffCycles: 8}},
+		{"nmr5", resilient.Policy{Verify: resilient.VerifyNMR, NMR: 5, MaxRetries: 3, BackoffCycles: 8}},
+	}
+}
+
+// BenchmarkResilientExecute measures one recovered Execute per policy
+// with no faults injected: the steady-state replication overhead.
+func BenchmarkResilientExecute(b *testing.B) {
+	for _, tc := range benchPolicies() {
+		b.Run(tc.name, func(b *testing.B) {
+			m, req := resilientFixture(b, tc.pol, memory.FaultProfile{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Execute(req.In, req.Operands, req.Dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkResilientExecuteFaulty adds per-DBC fault injection at an
+// exaggerated rate (1e-2 per TR sense), so the detect/retry loop runs
+// often enough to show up in the mean.
+func BenchmarkResilientExecuteFaulty(b *testing.B) {
+	prof := memory.FaultProfile{TRProb: 1e-2, Seed: 17}
+	for _, tc := range benchPolicies() {
+		b.Run(tc.name, func(b *testing.B) {
+			m, req := resilientFixture(b, tc.pol, prof)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Faulty unprotected runs deliver wrong rows, never errors;
+				// protected dup runs can surface ErrUnverified after the retry
+				// budget. Both are valid measurements, so only plumbing errors
+				// (which return before executing) abort the benchmark.
+				_, _ = m.Execute(req.In, req.Operands, req.Dst)
+			}
+		})
+	}
+}

@@ -8,7 +8,13 @@
 //	coruscant fig10 fig11 fig12
 //	coruscant demo                # bit-level PIM walkthrough
 //	coruscant batch               # bank-parallel ExecuteBatch demo
+//	coruscant campaign            # fault-recovery Monte Carlo sweep
 //	coruscant list                # experiment ids
+//
+// Campaign flags (with the campaign subcommand):
+//
+//	coruscant -p 1e-3 -ops 10000 -policy nmr3 campaign
+//	coruscant -policy dup -retries 5 campaign
 //
 // Observability flags (most useful with demo, which drives the PIM
 // unit through a telemetry recorder):
@@ -37,6 +43,8 @@ import (
 	"repro/internal/memory"
 	"repro/internal/params"
 	"repro/internal/pim"
+	"repro/internal/reliability"
+	"repro/internal/resilient"
 	"repro/internal/telemetry"
 )
 
@@ -55,7 +63,14 @@ func run(args []string) error {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile")
 	memProfile := fs.String("memprofile", "", "write a heap profile on exit")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the batch subcommand")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the batch and campaign subcommands")
+	faultP := fs.Float64("p", 1e-3, "campaign: per-sense TR fault probability (§V-F)")
+	shiftP := fs.Float64("shift-p", 0, "campaign: per-step shift fault probability")
+	campaignOps := fs.Int("ops", 10000, "campaign: number of cpim operations")
+	policySpec := fs.String("policy", "nmr3", "campaign: recovery policy (off|dup|nmr3|nmr5|nmr7)")
+	retries := fs.Int("retries", -1, "campaign: retry budget override (-1 = policy default)")
+	quarantineAfter := fs.Int("quarantine-after", 0, "campaign: detected faults per DBC before quarantine (0 = never)")
+	seed := fs.Int64("seed", 1, "campaign: workload and fault-stream seed")
 	fs.Usage = func() {
 		usage()
 		fmt.Println("flags:")
@@ -117,7 +132,12 @@ func run(args []string) error {
 		rec.Metrics().PublishExpvar("coruscant.telemetry")
 	}
 
-	runErr := dispatch(args, rec, *workers)
+	camp := campaignFlags{
+		faultP: *faultP, shiftP: *shiftP, ops: *campaignOps,
+		policy: *policySpec, retries: *retries,
+		quarantineAfter: *quarantineAfter, seed: *seed, workers: *workers,
+	}
+	runErr := dispatch(args, rec, *workers, camp)
 
 	if err := rec.Close(); err != nil && runErr == nil {
 		runErr = err
@@ -147,7 +167,7 @@ func run(args []string) error {
 
 // dispatch runs the positional subcommands with the (possibly nil)
 // telemetry recorder.
-func dispatch(args []string, rec *telemetry.Recorder, workers int) error {
+func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaignFlags) error {
 	for _, arg := range args {
 		switch arg {
 		case "help", "-h", "--help":
@@ -170,6 +190,10 @@ func dispatch(args []string, rec *telemetry.Recorder, workers int) error {
 			}
 		case "batch":
 			if err := batchDemo(rec, workers); err != nil {
+				return err
+			}
+		case "campaign":
+			if err := runCampaign(camp); err != nil {
 				return err
 			}
 		case "json":
@@ -220,8 +244,59 @@ func dispatch(args []string, rec *telemetry.Recorder, workers int) error {
 }
 
 func usage() {
-	fmt.Println("usage: coruscant [flags] [all|demo|batch|svg|json|list|<experiment>...]")
+	fmt.Println("usage: coruscant [flags] [all|demo|batch|campaign|svg|json|list|<experiment>...]")
 	fmt.Println("experiments:", experiments.IDs())
+}
+
+// campaignFlags carries the campaign subcommand's flag values.
+type campaignFlags struct {
+	faultP, shiftP  float64
+	ops             int
+	policy          string
+	retries         int
+	quarantineAfter int
+	seed            int64
+	workers         int
+}
+
+// runCampaign drives a fault-injection Monte Carlo sweep through the
+// recovered execution path and reports achieved versus raw delivered
+// error rates.
+func runCampaign(f campaignFlags) error {
+	pol, err := resilient.ParsePolicy(f.policy)
+	if err != nil {
+		return err
+	}
+	if f.retries >= 0 {
+		pol.MaxRetries = f.retries
+	}
+	pol.QuarantineAfter = f.quarantineAfter
+	c := reliability.Campaign{
+		TRProb:    f.faultP,
+		ShiftProb: f.shiftP,
+		Policy:    pol,
+		Ops:       f.ops,
+		Seed:      f.seed,
+		Workers:   f.workers,
+	}
+	fmt.Printf("campaign: %d ops at p=%g, policy %s (retries=%d, backoff=%d cycles, quarantine-after=%d)\n",
+		f.ops, f.faultP, pol, pol.MaxRetries, pol.BackoffCycles, pol.QuarantineAfter)
+	rep, err := c.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  raw:       %6d / %d wrong results (%.3e per op)\n", rep.RawErrors, rep.Ops, rep.RawRate())
+	fmt.Printf("  recovered: %6d / %d wrong results (%.3e per op)\n", rep.RecovErrors, rep.Ops, rep.RecovRate())
+	fmt.Printf("  improvement: %.0fx (error-rate reduction", rep.Improvement())
+	if rep.RecovErrors == 0 && rep.RawErrors > 0 {
+		fmt.Printf(", lower bound: zero delivered errors")
+	}
+	fmt.Println(")")
+	fmt.Printf("  recovery:  %d detected, %d quarantined (%d remapped to spares)\n",
+		rep.Detected, rep.Quarantined, rep.SparesUsed)
+	fmt.Printf("  overhead:  %.2fx cycles (%d raw, %d recovered, stalls included)\n",
+		rep.Overhead(), rep.RawStats.Cycles(), rep.RecovStats.Cycles())
+	return nil
 }
 
 // batchDemo exercises the whole-memory model's bank-parallel batch

@@ -12,14 +12,26 @@
 //     cycle/energy accounting;
 //   - Controller/Instruction — the cpim ISA front end (§III-E);
 //   - System — the memory-hierarchy timing/energy model;
+//   - RecoveryPolicy/Campaign — the fault detect/retry/degrade layer
+//     and its Monte Carlo evaluation harness;
 //   - the experiment generators that regenerate every table and figure
 //     of the paper's evaluation.
+//
+// Constructors take functional options for attachments that used to
+// need post-construction setters: WithTelemetry, WithFaults,
+// WithRecovery, WithWorkers (options.go). The setters remain for
+// call sites that attach later.
 //
 // Quickstart:
 //
 //	u, err := coruscant.NewUnit(coruscant.DefaultConfig())
 //	...
 //	sums, err := u.AddMulti(rows, 8) // five-operand lane-wise addition
+//
+// Recovered execution:
+//
+//	m, err := coruscant.NewMemory(cfg,
+//	    coruscant.WithRecovery(coruscant.DefaultRecoveryPolicy()))
 //
 // See the examples directory for runnable programs.
 package coruscant
@@ -114,9 +126,6 @@ type (
 	Cost = trace.Cost
 )
 
-// NewUnit builds a PIM unit for the configuration.
-func NewUnit(cfg Config) (*Unit, error) { return pim.NewUnit(cfg) }
-
 // NewRow returns an all-zero row of n wires.
 func NewRow(n int) Row { return dbc.NewRow(n) }
 
@@ -166,9 +175,6 @@ const (
 	OpcodeRelu  = isa.OpRelu
 	OpcodeVote  = isa.OpVote
 )
-
-// NewController builds a cpim controller over a fresh PIM unit.
-func NewController(cfg Config) (*Controller, error) { return isa.NewController(cfg) }
 
 // System model.
 type (
@@ -263,10 +269,6 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONLSink(w) }
 // file in https://ui.perfetto.dev or chrome://tracing (1 µs = 1 device
 // cycle).
 func NewChromeSink(w io.Writer) *ChromeSink { return telemetry.NewChromeSink(w) }
-
-// NewMemory returns an empty functional memory (clusters materialize
-// lazily, so the full 1 GB geometry is addressable).
-func NewMemory(cfg Config) (*Memory, error) { return memory.New(cfg) }
 
 // Experiments.
 type (

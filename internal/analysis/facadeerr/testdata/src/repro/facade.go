@@ -39,3 +39,13 @@ func SuppressedMust(n int) int {
 	//coruscantvet:ignore facadeerr -- Must-style constructor, documented to panic
 	return engine.MustPower(n)
 }
+
+// ErrQuarantined re-exports an internal sentinel, the error-taxonomy
+// pattern of the real façade: assignment of an error value is not a
+// panic path and must not be flagged.
+var ErrQuarantined = engine.ErrQuarantined
+
+// GoodSentinel surfaces a wrapped sentinel through the façade.
+func GoodSentinel(n int) error {
+	return engine.CheckHealth(n)
+}

@@ -43,3 +43,17 @@ func Safe(n int) (int, error) {
 func Helper(n int) int {
 	return MustPower(n)
 }
+
+// ErrQuarantined mirrors the engine's sentinel errors (ErrBadTRD,
+// ErrLaneOverflow, ErrQuarantined): package-level error values the
+// façade re-exports for errors.Is.
+var ErrQuarantined = errors.New("engine: quarantined")
+
+// CheckHealth wraps the sentinel with %w — the taxonomy style. Error
+// construction and wrapping must never be confused with panicking.
+func CheckHealth(n int) error {
+	if n < 0 {
+		return errors.Join(ErrQuarantined, errors.New("negative"))
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dbc"
 	"repro/internal/params"
 	"repro/internal/pim"
+	"repro/internal/resilient"
 )
 
 // OpCode enumerates the cpim operations.
@@ -142,7 +143,7 @@ func (in Instruction) Validate(g params.Geometry, trd params.TRD) error {
 		return fmt.Errorf("isa: invalid blocksize %d", in.Blocksize)
 	}
 	if in.Operands < 1 || in.Operands > trd.MaxBulkOperands() {
-		return fmt.Errorf("isa: operand count %d out of range for %v", in.Operands, trd)
+		return fmt.Errorf("isa: operand count %d out of range for %v: %w", in.Operands, trd, params.ErrBadTRD)
 	}
 	return nil
 }
@@ -160,6 +161,7 @@ func (in Instruction) String() string {
 type Controller struct {
 	Unit *pim.Unit
 	geo  params.Geometry
+	ex   *resilient.Executor // non-nil when a recovery policy is installed
 }
 
 // NewController returns a controller over a fresh PIM unit.
@@ -169,6 +171,34 @@ func NewController(cfg params.Config) (*Controller, error) {
 		return nil, err
 	}
 	return &Controller{Unit: u, geo: cfg.Geometry}, nil
+}
+
+// SetRecovery installs (or, with a disabled policy, removes) a recovery
+// protocol on the controller: PIM-executing instructions are verified,
+// retried and degraded per the policy; pure data movement (read, write,
+// nop) bypasses it.
+func (c *Controller) SetRecovery(p resilient.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if !p.Enabled() {
+		c.ex = nil
+		return nil
+	}
+	ex, err := resilient.NewExecutor(c.Unit, p)
+	if err != nil {
+		return err
+	}
+	c.ex = ex
+	return nil
+}
+
+// Recovery returns the installed recovery policy (zero when disabled).
+func (c *Controller) Recovery() resilient.Policy {
+	if c.ex == nil {
+		return resilient.Policy{}
+	}
+	return c.ex.Policy
 }
 
 // Execute runs one instruction. Operand rows model the data already
@@ -204,12 +234,30 @@ func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error
 		}
 		c.Unit.D.WritePort(side, operands[0])
 		return operands[0], nil
-	case OpAdd:
-		return c.Unit.AddMulti(operands, in.Blocksize)
 	case OpMult:
 		if len(operands) != 2 {
 			return dbc.Row{}, fmt.Errorf("isa: mult expects 2 operands, got %d", len(operands))
 		}
+	default:
+		if _, ok := in.Op.bulkOp(); !ok && in.Op != OpAdd && in.Op != OpMax && in.Op != OpRelu && in.Op != OpVote {
+			return dbc.Row{}, fmt.Errorf("isa: unhandled opcode %v", in.Op)
+		}
+	}
+	run := func() (dbc.Row, error) { return c.dispatch(in, operands) }
+	if c.ex != nil {
+		row, _, err := c.ex.Do(in.Op.String(), run)
+		return row, err
+	}
+	return run()
+}
+
+// dispatch runs one validated PIM opcode on the unit. It is
+// re-executable, so the recovery executor can replay it.
+func (c *Controller) dispatch(in Instruction, operands []dbc.Row) (dbc.Row, error) {
+	switch in.Op {
+	case OpAdd:
+		return c.Unit.AddMulti(operands, in.Blocksize)
+	case OpMult:
 		return c.Unit.Multiply(operands[0], operands[1], in.Blocksize/2)
 	case OpMax:
 		return c.Unit.MaxTR(operands, in.Blocksize)
@@ -218,10 +266,7 @@ func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error
 	case OpVote:
 		return c.Unit.Vote(operands)
 	default:
-		op, ok := in.Op.bulkOp()
-		if !ok {
-			return dbc.Row{}, fmt.Errorf("isa: unhandled opcode %v", in.Op)
-		}
+		op, _ := in.Op.bulkOp()
 		return c.Unit.BulkBitwise(op, operands)
 	}
 }

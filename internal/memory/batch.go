@@ -49,9 +49,14 @@ type batchGroup struct {
 // deterministically: each group records into a private capture
 // recorder, and after the barrier the captured streams are replayed
 // into the memory's recorder in first-request order, so cycle totals,
-// energy and metrics equal the serial run's exactly. With a fault
-// injector attached the batch runs serially in program order (the
-// injector's random stream is order-dependent).
+// energy and metrics equal the serial run's exactly. With a global
+// fault injector attached (SetFaultInjector) the batch runs serially in
+// program order — that injector's random stream is order-dependent —
+// while a per-DBC fault profile (SetFaultProfile) keeps full
+// parallelism: each cluster's stream depends only on its own operation
+// order, which grouping preserves. Recovery (SetRecovery) runs inside
+// the groups; quarantines triggered by the batch are processed after
+// the barrier.
 func (m *Memory) ExecuteBatch(reqs []Request) []Result {
 	results := make([]Result, len(reqs))
 	plans := make([]execPlan, len(reqs))
@@ -88,9 +93,10 @@ func (m *Memory) ExecuteBatch(reqs []Request) []Result {
 				results[i].Err = err
 				continue
 			}
-			results[i].Row, results[i].Err = runPlan(plans[i], shards)
+			results[i].Row, results[i].Err = m.runPlan(plans[i], shards)
 			unlock()
 		}
+		m.processQuarantines()
 		return results
 	}
 
@@ -129,6 +135,7 @@ func (m *Memory) ExecuteBatch(reqs []Request) []Result {
 			capturePool.Put(c)
 		}
 	}
+	m.processQuarantines()
 	return results
 }
 
@@ -161,7 +168,7 @@ func (m *Memory) runGroup(g batchGroup, plans []execPlan, results []Result) *tel
 		}
 	}()
 	for _, ri := range g.reqs {
-		results[ri].Row, results[ri].Err = runPlan(plans[ri], shards)
+		results[ri].Row, results[ri].Err = m.runPlan(plans[ri], shards)
 	}
 	return capture
 }

@@ -40,6 +40,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/params"
 	"repro/internal/pim"
+	"repro/internal/resilient"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -60,7 +61,8 @@ type shard struct {
 	mu   sync.Mutex
 	base isa.Addr
 	d    *dbc.DBC
-	u    *pim.Unit // non-nil iff the cluster is PIM-enabled
+	u    *pim.Unit           // non-nil iff the cluster is PIM-enabled
+	ex   *resilient.Executor // non-nil iff u != nil and recovery is enabled
 	// tr is the shard's slice of the memory-wide device accounting;
 	// trace.Tracer is plain counters, so sharing one across shards would
 	// race. Stats() folds the shards together.
@@ -95,7 +97,13 @@ type Memory struct {
 	cfgMu   sync.Mutex
 	rec     *telemetry.Recorder // always non-nil: metrics-only by default
 	inj     *device.FaultInjector
+	prof    *FaultProfile // per-shard deterministic injectors; excludes inj
+	pol     resilient.Policy
 	workers int // ExecuteBatch pool size; 0 = GOMAXPROCS
+
+	// health is the fault ledger behind quarantine and remapping
+	// (health.go); it has its own lock.
+	health healthLedger
 }
 
 // MoveStats counts row-granularity data movement inside the memory. It
@@ -112,11 +120,13 @@ func New(cfg params.Config) (*Memory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Memory{
+	m := &Memory{
 		cfg:    cfg,
 		shards: make(map[isa.Addr]*shard),
 		rec:    telemetry.NewRecorder(cfg),
-	}, nil
+	}
+	m.health.init()
+	return m, nil
 }
 
 // Config returns the memory's configuration.
@@ -175,6 +185,10 @@ func (m *Memory) Recorder() *telemetry.Recorder {
 // every materialized DBC to it. Passing nil installs a fresh
 // metrics-only recorder (the memory always records: MoveStats derives
 // from the recorder's counters), which also resets the counters.
+//
+// Deprecated: new code should attach the recorder at construction with
+// the façade's WithTelemetry option; the setter remains for call sites
+// that attach or swap telemetry after construction.
 func (m *Memory) SetTelemetry(rec *telemetry.Recorder) {
 	if rec == nil {
 		rec = telemetry.NewRecorder(m.cfg)
@@ -234,6 +248,9 @@ func (m *Memory) shardFor(a isa.Addr) (*shard, error) {
 		return nil, err
 	}
 	base := dbcBase(a)
+	if err := m.checkQuarantine(base); err != nil {
+		return nil, err
+	}
 	m.tableMu.RLock()
 	sh, ok := m.shards[base]
 	m.tableMu.RUnlock()
@@ -248,8 +265,9 @@ func (m *Memory) shardFor(a isa.Addr) (*shard, error) {
 	}
 	sh = &shard{base: base, tr: &trace.Tracer{}}
 	m.cfgMu.Lock()
-	rec, inj := m.rec, m.inj
+	rec, pol := m.rec, m.pol
 	m.cfgMu.Unlock()
+	inj := m.injectorFor(base)
 	if a.IsPIMEnabled(m.cfg.Geometry) {
 		u, err := pim.NewUnit(m.cfg)
 		if err != nil {
@@ -260,6 +278,13 @@ func (m *Memory) shardFor(a isa.Addr) (*shard, error) {
 		u.D.SetFaultInjector(inj)
 		u.SetTelemetry(rec, srcFor(base))
 		sh.u, sh.d = u, u.D
+		if pol.Enabled() {
+			ex, err := resilient.NewExecutor(u, pol)
+			if err != nil {
+				return nil, err
+			}
+			sh.ex = ex
+		}
 	} else {
 		d, err := dbc.New(m.cfg.Geometry.TrackWidth, m.cfg.Geometry.RowsPerDBC, m.cfg.TRD)
 		if err != nil {
@@ -405,15 +430,110 @@ func (m *Memory) CopyRow(src, dst isa.Addr) error {
 // injector attached, ExecuteBatch runs serially: the injector's random
 // stream is consumed in operation order, so parallel interleaving would
 // destroy the reproducibility fixed-seed experiments rely on.
+//
+// Deprecated: new code should attach the injector at construction with
+// the façade's WithFaults option (or use SetFaultProfile for per-DBC
+// injection that keeps batches parallel); the setter remains for call
+// sites that attach faults after construction.
 func (m *Memory) SetFaultInjector(f *device.FaultInjector) {
 	m.cfgMu.Lock()
 	m.inj = f
+	m.prof = nil
 	m.cfgMu.Unlock()
 	for _, sh := range m.snapshotShards() {
 		sh.mu.Lock()
 		sh.d.SetFaultInjector(f)
 		sh.mu.Unlock()
 	}
+}
+
+// FaultProfile describes statistically independent per-DBC fault
+// injection: every cluster gets its own injector, seeded from Seed and
+// the cluster's linear address, so its fault stream depends only on the
+// sequence of operations on that cluster — not on how operations on
+// other clusters interleave. This is what lets ExecuteBatch keep its
+// full bank parallelism under fault injection (unlike the single
+// order-dependent stream of SetFaultInjector, which forces the serial
+// path) while staying exactly reproducible for a fixed seed.
+type FaultProfile struct {
+	TRProb    float64 // per-sense probability of a ±1-level TR fault (§V-F)
+	ShiftProb float64 // per-step probability of an over-/under-shift
+	Seed      int64
+}
+
+// enabled reports whether the profile injects anything.
+func (p FaultProfile) enabled() bool { return p.TRProb > 0 || p.ShiftProb > 0 }
+
+// SetFaultProfile installs (or, with a zero profile, removes) per-DBC
+// fault injection on every current and future cluster. It replaces any
+// global SetFaultInjector injector.
+func (m *Memory) SetFaultProfile(p FaultProfile) {
+	m.cfgMu.Lock()
+	m.inj = nil
+	if p.enabled() {
+		m.prof = &p
+	} else {
+		m.prof = nil
+	}
+	m.cfgMu.Unlock()
+	for _, sh := range m.snapshotShards() {
+		sh.mu.Lock()
+		sh.d.SetFaultInjector(m.injectorFor(sh.base))
+		sh.mu.Unlock()
+	}
+}
+
+// injectorFor builds the injector a cluster at base should carry under
+// the current attachment state: the profile's per-shard injector, the
+// global injector, or none.
+func (m *Memory) injectorFor(base isa.Addr) *device.FaultInjector {
+	m.cfgMu.Lock()
+	prof, inj := m.prof, m.inj
+	m.cfgMu.Unlock()
+	if prof == nil {
+		return inj
+	}
+	return device.NewFaultInjector(prof.TRProb, prof.ShiftProb, prof.Seed^base.Linear(m.cfg.Geometry))
+}
+
+// SetRecovery installs a recovery policy (resilient.Policy) on every
+// current and future PIM-enabled cluster: cpim executions are verified,
+// retried and degraded per the policy, detected faults feed the health
+// ledger, and clusters crossing Policy.QuarantineAfter are remapped to
+// spares. A zero policy (or VerifyOff) disables recovery.
+func (m *Memory) SetRecovery(p resilient.Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Verify == resilient.VerifyNMR && p.NMR > int(m.cfg.TRD) {
+		return fmt.Errorf("memory: NMR degree %d exceeds %v window: %w", p.NMR, m.cfg.TRD, params.ErrBadTRD)
+	}
+	m.cfgMu.Lock()
+	m.pol = p
+	m.cfgMu.Unlock()
+	for _, sh := range m.snapshotShards() {
+		sh.mu.Lock()
+		if sh.u != nil {
+			sh.ex = nil
+			if p.Enabled() {
+				ex, err := resilient.NewExecutor(sh.u, p)
+				if err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				sh.ex = ex
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Recovery returns the installed recovery policy (zero when disabled).
+func (m *Memory) Recovery() resilient.Policy {
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	return m.pol
 }
 
 // execPlan is a fully validated cpim execution: every address checked,
@@ -472,9 +592,10 @@ func (m *Memory) planExecute(in isa.Instruction, operands []isa.Addr, dst isa.Ad
 }
 
 // runPlan executes a validated plan over its locked shards, in
-// program order: stage operands, run the PIM op, write the result.
-// shards holds the plan's lock set (all locks held by the caller).
-func runPlan(p execPlan, shards []*shard) (dbc.Row, error) {
+// program order: stage operands, run the PIM op (through the recovery
+// executor when one is installed), write the result. shards holds the
+// plan's lock set (all locks held by the caller).
+func (m *Memory) runPlan(p execPlan, shards []*shard) (dbc.Row, error) {
 	byBase := func(b isa.Addr) *shard {
 		for _, sh := range shards {
 			if sh.base == b {
@@ -501,20 +622,20 @@ func runPlan(p execPlan, shards []*shard) (dbc.Row, error) {
 
 	var result dbc.Row
 	var err error
-	switch p.in.Op {
-	case isa.OpAdd:
-		result, err = u.AddMulti(rows, p.in.Blocksize)
-	case isa.OpMult:
-		result, err = u.Multiply(rows[0], rows[1], p.in.Blocksize/2)
-	case isa.OpMax:
-		result, err = u.MaxTR(rows, p.in.Blocksize)
-	case isa.OpRelu:
-		result, err = u.ReLU(rows[0], p.in.Blocksize)
-	case isa.OpVote:
-		result, err = u.Vote(rows)
-	default:
-		op, _ := bulkOp(p.in.Op)
-		result, err = u.BulkBitwise(op, rows)
+	if ex := execSh.ex; ex != nil {
+		// Recovered path: the executor re-runs the op per its policy,
+		// prices retries into the shard tracer, and reports detected
+		// faults to the health ledger (quarantines are processed by the
+		// caller once all locks are released).
+		var out resilient.Outcome
+		result, out, err = ex.Do(p.in.Op.String(), func() (dbc.Row, error) {
+			return dispatchOp(u, p.in, rows)
+		})
+		if out.Detected > 0 {
+			m.noteFaults(execSh.base, out.Detected, ex.Policy.QuarantineAfter)
+		}
+	} else {
+		result, err = dispatchOp(u, p.in, rows)
 	}
 	if err != nil {
 		return dbc.Row{}, err
@@ -523,6 +644,27 @@ func runPlan(p execPlan, shards []*shard) (dbc.Row, error) {
 		return dbc.Row{}, err
 	}
 	return result, nil
+}
+
+// dispatchOp runs one cpim opcode on the unit. It is re-executable:
+// every operation rewrites the DBC window from the staged operand rows,
+// so the recovery executor can replay it verbatim.
+func dispatchOp(u *pim.Unit, in isa.Instruction, rows []dbc.Row) (dbc.Row, error) {
+	switch in.Op {
+	case isa.OpAdd:
+		return u.AddMulti(rows, in.Blocksize)
+	case isa.OpMult:
+		return u.Multiply(rows[0], rows[1], in.Blocksize/2)
+	case isa.OpMax:
+		return u.MaxTR(rows, in.Blocksize)
+	case isa.OpRelu:
+		return u.ReLU(rows[0], in.Blocksize)
+	case isa.OpVote:
+		return u.Vote(rows)
+	default:
+		op, _ := bulkOp(in.Op)
+		return u.BulkBitwise(op, rows)
+	}
 }
 
 // Execute runs a cpim instruction whose operands live at memory
@@ -542,12 +684,15 @@ func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) 
 	if err != nil {
 		return dbc.Row{}, err
 	}
+	// Quarantines scheduled by this execution are processed after the
+	// shard locks are released (defers run LIFO).
+	defer m.processQuarantines()
 	shards, unlock, err := m.lockOrdered(p.bases)
 	if err != nil {
 		return dbc.Row{}, err
 	}
 	defer unlock()
-	return runPlan(p, shards)
+	return m.runPlan(p, shards)
 }
 
 // bulkOp maps a bulk opcode to the PIM logic selector.

@@ -11,7 +11,17 @@
 //     calibrated constant documents its anchor.
 package params
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadTRD reports a transverse-read-distance violation: an unsupported
+// TRD value, or an operation that does not fit the TR window the TRD
+// defines (too many operands, an invalid redundancy degree). Wrapped by
+// the validation errors of this package, pim and isa; test with
+// errors.Is.
+var ErrBadTRD = errors.New("params: invalid TRD or TR-window constraint")
 
 // TRD is a transverse-read distance: the maximum number of domains that a
 // single transverse read can sense between two access ports (inclusive of
@@ -258,14 +268,14 @@ func DefaultConfig() Config {
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if !c.TRD.Valid() {
-		return fmt.Errorf("params: unsupported TRD %d (want 3, 5, or 7)", int(c.TRD))
+		return fmt.Errorf("params: unsupported TRD %d (want 3, 5, or 7): %w", int(c.TRD), ErrBadTRD)
 	}
 	g := c.Geometry
 	if g.TrackWidth <= 0 || g.RowsPerDBC <= 0 {
 		return fmt.Errorf("params: non-positive DBC dimensions %dx%d", g.TrackWidth, g.RowsPerDBC)
 	}
 	if g.RowsPerDBC < int(c.TRD) {
-		return fmt.Errorf("params: DBC rows %d smaller than TRD %d", g.RowsPerDBC, int(c.TRD))
+		return fmt.Errorf("params: DBC rows %d smaller than TRD %d: %w", g.RowsPerDBC, int(c.TRD), ErrBadTRD)
 	}
 	if c.TRFaultProb < 0 || c.TRFaultProb > 1 {
 		return fmt.Errorf("params: TR fault probability %v out of [0,1]", c.TRFaultProb)

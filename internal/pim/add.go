@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/params"
 )
 
 // AddMulti adds up to TRD−2 operand rows lane-wise (Fig. 6, §III-C).
@@ -31,7 +32,7 @@ func (u *Unit) AddMulti(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 		return dbc.Row{}, fmt.Errorf("pim: add needs at least 2 operands, got %d", k)
 	}
 	if max := u.maxAddOperands(); k > max {
-		return dbc.Row{}, fmt.Errorf("pim: add with %d operands exceeds limit %d for %v", k, max, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: add with %d operands exceeds limit %d for %v: %w", k, max, u.cfg.TRD, params.ErrBadTRD)
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
 		return dbc.Row{}, err

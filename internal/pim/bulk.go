@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/params"
 )
 
 // BulkBitwise computes a k-operand bulk-bitwise operation in a single
@@ -27,7 +28,7 @@ func (u *Unit) BulkBitwise(op dbc.Op, operands []dbc.Row) (dbc.Row, error) {
 		return dbc.Row{}, fmt.Errorf("pim: bulk %v with no operands", op)
 	}
 	if k > u.cfg.TRD.MaxBulkOperands() {
-		return dbc.Row{}, fmt.Errorf("pim: bulk %v with %d operands exceeds TRD %d", op, k, int(u.cfg.TRD))
+		return dbc.Row{}, fmt.Errorf("pim: bulk %v with %d operands exceeds TRD %d: %w", op, k, int(u.cfg.TRD), params.ErrBadTRD)
 	}
 	if op == dbc.OpNOT && k != 1 {
 		return dbc.Row{}, fmt.Errorf("pim: NOT takes exactly one operand, got %d", k)

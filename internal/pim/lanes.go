@@ -1,6 +1,7 @@
 package pim
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dbc"
@@ -13,6 +14,12 @@ const (
 	dbcRight = device.Right
 )
 
+// ErrLaneOverflow reports a lane-packing violation: a value that does
+// not fit its lane, more values than the row has lanes, or a row width
+// the lane size does not divide. Wrapped by PackLanes and the lane-wise
+// operand checks; test with errors.Is.
+var ErrLaneOverflow = errors.New("pim: value or lane count overflows the lane layout")
+
 // PackLanes packs vals into a row of the given total width, one value per
 // lane of lane bits. Bit j of vals[l] lands on wire l·lane+j, i.e. each
 // lane is little-endian along the wire index — matching the carry chain,
@@ -24,14 +31,14 @@ const (
 // shift-or, and lanes of 64 bits or wider land with one word store.
 func PackLanes(vals []uint64, lane, width int) (dbc.Row, error) {
 	if lane <= 0 || width%lane != 0 {
-		return dbc.Row{}, fmt.Errorf("pim: width %d not divisible by lane %d", width, lane)
+		return dbc.Row{}, fmt.Errorf("pim: width %d not divisible by lane %d: %w", width, lane, ErrLaneOverflow)
 	}
 	if len(vals) > width/lane {
-		return dbc.Row{}, fmt.Errorf("pim: %d values exceed %d lanes", len(vals), width/lane)
+		return dbc.Row{}, fmt.Errorf("pim: %d values exceed %d lanes: %w", len(vals), width/lane, ErrLaneOverflow)
 	}
 	for _, v := range vals {
 		if lane < 64 && v >= 1<<uint(lane) {
-			return dbc.Row{}, fmt.Errorf("pim: value %d does not fit in %d-bit lane", v, lane)
+			return dbc.Row{}, fmt.Errorf("pim: value %d does not fit in %d-bit lane: %w", v, lane, ErrLaneOverflow)
 		}
 	}
 	row := dbc.NewRow(width)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/params"
 	"repro/internal/telemetry"
 )
 
@@ -25,7 +26,7 @@ func (u *Unit) MaxTR(candidates []dbc.Row, blocksize int) (dbc.Row, error) {
 		return dbc.Row{}, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
 	}
 	if k > u.cfg.TRD.MaxBulkOperands() {
-		return dbc.Row{}, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
+		return dbc.Row{}, fmt.Errorf("pim: max with %d candidates exceeds TRD %d: %w", k, int(u.cfg.TRD), params.ErrBadTRD)
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
 		return dbc.Row{}, err

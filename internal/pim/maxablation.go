@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/params"
 )
 
 // MaxTRFullShift computes the same lane-wise maximum as MaxTR but
@@ -23,7 +24,7 @@ func (u *Unit) MaxTRFullShift(candidates []dbc.Row, blocksize int) (dbc.Row, err
 		return dbc.Row{}, fmt.Errorf("pim: max needs at least 2 candidates, got %d", k)
 	}
 	if k > u.cfg.TRD.MaxBulkOperands() {
-		return dbc.Row{}, fmt.Errorf("pim: max with %d candidates exceeds TRD %d", k, int(u.cfg.TRD))
+		return dbc.Row{}, fmt.Errorf("pim: max with %d candidates exceeds TRD %d: %w", k, int(u.cfg.TRD), params.ErrBadTRD)
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
 		return dbc.Row{}, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/params"
 	"repro/internal/telemetry"
 )
 
@@ -25,7 +26,7 @@ func (u *Unit) Vote(replicas []dbc.Row) (dbc.Row, error) {
 	defer u.Span("vote")()
 	n := len(replicas)
 	if !u.ValidNMR(n) {
-		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v: %w", n, u.cfg.TRD, params.ErrBadTRD)
 	}
 	width := u.D.Width()
 	for _, r := range replicas {
@@ -61,7 +62,7 @@ func (u *Unit) Vote(replicas []dbc.Row) (dbc.Row, error) {
 func (u *Unit) AddMultiNMR(n int, operands []dbc.Row, blocksize int) (dbc.Row, error) {
 	defer u.Span("add-nmr")()
 	if !u.ValidNMR(n) {
-		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v: %w", n, u.cfg.TRD, params.ErrBadTRD)
 	}
 	k := len(operands)
 	if k < 2 {
@@ -139,7 +140,7 @@ func majBit(votes, n int) uint8 {
 // runs once per replica so injected faults differ between replicas.
 func (u *Unit) RunNMR(n int, op func() (dbc.Row, error)) (dbc.Row, error) {
 	if !u.ValidNMR(n) {
-		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v", n, u.cfg.TRD)
+		return dbc.Row{}, fmt.Errorf("pim: unsupported redundancy degree %d for %v: %w", n, u.cfg.TRD, params.ErrBadTRD)
 	}
 	replicas := make([]dbc.Row, n)
 	for i := range replicas {

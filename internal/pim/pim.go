@@ -144,7 +144,7 @@ func (u *Unit) recenter() error {
 func (u *Unit) placeWindow(rows []dbc.Row, pad uint8, finalShift bool) error {
 	trd := int(u.cfg.TRD)
 	if len(rows) > trd {
-		return fmt.Errorf("pim: %d operands exceed window of %d", len(rows), trd)
+		return fmt.Errorf("pim: %d operands exceed window of %d: %w", len(rows), trd, params.ErrBadTRD)
 	}
 	if err := u.recenter(); err != nil {
 		return err

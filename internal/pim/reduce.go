@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dbc"
+	"repro/internal/params"
 )
 
 // Reduction is the output of a carry-save reduction step (§III-D3): three
@@ -42,7 +43,7 @@ func (u *Unit) Reduce(operands []dbc.Row, blocksize int) (Reduction, error) {
 		return Reduction{}, fmt.Errorf("pim: reduce needs at least 2 operands, got %d", k)
 	}
 	if k > u.cfg.TRD.MaxBulkOperands() {
-		return Reduction{}, fmt.Errorf("pim: reduce with %d operands exceeds TRD %d", k, int(u.cfg.TRD))
+		return Reduction{}, fmt.Errorf("pim: reduce with %d operands exceeds TRD %d: %w", k, int(u.cfg.TRD), params.ErrBadTRD)
 	}
 	if err := u.checkBlocksize(blocksize); err != nil {
 		return Reduction{}, err

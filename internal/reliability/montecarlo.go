@@ -19,6 +19,11 @@ type MonteCarlo struct {
 	FaultP float64
 	Trials int
 	Seed   int64
+	// Base, when non-zero, is the configuration the trial units derive
+	// from (TRD and a narrow 8-wire track are still overridden per
+	// trial); the zero value falls back to params.DefaultConfig, so
+	// existing sweeps keep their behavior.
+	Base params.Config
 }
 
 // MCResult summarizes one estimated rate.
@@ -31,9 +36,14 @@ type MCResult struct {
 // Rate returns the observed failure fraction.
 func (r MCResult) Rate() float64 { return float64(r.Failures) / float64(r.Trials) }
 
-// newUnit builds a narrow faulty unit for one trial batch.
+// newUnit builds a narrow faulty unit for one trial batch, derived from
+// the caller-supplied base configuration (timing, energy, geometry)
+// when one is set.
 func (m MonteCarlo) newUnit(seed int64) *pim.Unit {
-	cfg := params.DefaultConfig()
+	cfg := m.Base
+	if cfg == (params.Config{}) {
+		cfg = params.DefaultConfig()
+	}
 	cfg.TRD = m.TRD
 	cfg.Geometry.TrackWidth = 8
 	u := pim.MustNewUnit(cfg)

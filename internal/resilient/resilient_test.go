@@ -1,0 +1,272 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/dbc"
+	"repro/internal/params"
+	"repro/internal/pim"
+	"repro/internal/telemetry"
+)
+
+func testUnit(t *testing.T) *pim.Unit {
+	t.Helper()
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 8
+	u, err := pim.NewUnit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func row8(v uint64) dbc.Row { return pim.MustPackLanes([]uint64{v}, 8, 8) }
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		p  Policy
+		ok bool
+	}{
+		{Policy{}, true},
+		{Policy{Verify: VerifyDup, MaxRetries: 3}, true},
+		{Policy{Verify: VerifyNMR, NMR: 3}, true},
+		{Policy{Verify: VerifyNMR, NMR: 5}, true},
+		{Policy{Verify: VerifyNMR, NMR: 7}, true},
+		{Policy{Verify: VerifyNMR, NMR: 4}, false},
+		{Policy{Verify: VerifyNMR, NMR: 9}, false},
+		{Policy{Verify: VerifyDup, MaxRetries: -1}, false},
+		{Policy{Verify: VerifyDup, BackoffCycles: -1}, false},
+		{Policy{Verify: VerifyDup, QuarantineAfter: -1}, false},
+		{Policy{Verify: VerifyMode(42)}, false},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%+v: unexpected error %v", c.p, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%+v: error expected", c.p)
+		}
+	}
+	if err := (Policy{Verify: VerifyNMR, NMR: 4}).Validate(); !errors.Is(err, params.ErrBadTRD) {
+		t.Errorf("bad NMR degree should wrap ErrBadTRD, got %v", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, spec := range []string{"off", "dup", "nmr3", "nmr5", "nmr7"} {
+		p, err := ParsePolicy(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if spec != "off" && p.String() != spec {
+			t.Errorf("ParsePolicy(%q).String() = %q", spec, p.String())
+		}
+		if spec == "off" && p.Enabled() {
+			t.Errorf("ParsePolicy(off) should be disabled")
+		}
+	}
+	if _, err := ParsePolicy("nmr4"); err == nil {
+		t.Error("nmr4 should not parse")
+	}
+	if p, err := ParsePolicy(""); err != nil || p.Enabled() {
+		t.Errorf("empty spec should parse to off, got %+v, %v", p, err)
+	}
+}
+
+func TestNewExecutorRejectsNMRAboveTRD(t *testing.T) {
+	cfg := params.DefaultConfig()
+	cfg.TRD = params.TRD3
+	cfg.Geometry.TrackWidth = 8
+	u, err := pim.NewUnit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewExecutor(u, Policy{Verify: VerifyNMR, NMR: 5})
+	if !errors.Is(err, params.ErrBadTRD) {
+		t.Fatalf("NMR 5 on TRD3 should wrap ErrBadTRD, got %v", err)
+	}
+}
+
+func TestDoOffIsPassThrough(t *testing.T) {
+	u := testUnit(t)
+	ex, err := NewExecutor(u, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	row, out, err := ex.Do("op", func() (dbc.Row, error) { calls++; return row8(42), nil })
+	if err != nil || calls != 1 {
+		t.Fatalf("off path: calls=%d err=%v", calls, err)
+	}
+	if out != (Outcome{Attempts: 1}) {
+		t.Fatalf("off outcome = %+v", out)
+	}
+	if pim.UnpackLanes(row, 8)[0] != 42 {
+		t.Fatalf("wrong row delivered")
+	}
+}
+
+func TestDoUnanimousAcceptsFirstAttempt(t *testing.T) {
+	u := testUnit(t)
+	ex, err := NewExecutor(u, Policy{Verify: VerifyNMR, NMR: 3, MaxRetries: 2, BackoffCycles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	row, out, err := ex.Do("op", func() (dbc.Row, error) { calls++; return row8(7), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("NMR3 should execute 3 replicas, got %d", calls)
+	}
+	if out.Detected != 0 || out.Retries != 0 || out.GaveUp || out.Voted || out.StallCycles != 0 {
+		t.Fatalf("clean outcome = %+v", out)
+	}
+	if pim.UnpackLanes(row, 8)[0] != 7 {
+		t.Fatal("wrong row delivered")
+	}
+	if st := u.Stats(); st.StallSteps != 0 {
+		t.Fatalf("clean run priced %d stall cycles", st.StallSteps)
+	}
+}
+
+func TestDoTransientFaultRetriesAndPricesBackoff(t *testing.T) {
+	u := testUnit(t)
+	ring := telemetry.NewRingSink(256)
+	rec := telemetry.NewRecorder(u.Config(), ring)
+	u.SetTelemetry(rec, "unit")
+	ex, err := NewExecutor(u, Policy{Verify: VerifyNMR, NMR: 3, MaxRetries: 2, BackoffCycles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	// Replica 2 of attempt 1 is wrong; attempt 2 is clean.
+	row, out, err := ex.Do("add", func() (dbc.Row, error) {
+		calls++
+		if calls == 2 {
+			return row8(99), nil
+		}
+		return row8(7), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pim.UnpackLanes(row, 8)[0] != 7 {
+		t.Fatal("wrong row delivered after retry")
+	}
+	want := Outcome{Attempts: 2, Detected: 1, Retries: 1, StallCycles: 8}
+	if out != want {
+		t.Fatalf("outcome = %+v, want %+v", out, want)
+	}
+	if st := u.Stats(); st.StallSteps != 8 {
+		t.Fatalf("backoff priced %d stall cycles, want 8", st.StallSteps)
+	}
+	var detects, retries, stalls int
+	for _, e := range ring.Events() {
+		switch {
+		case e.Op == telemetry.OpFault && e.Src == Source && e.Name == "detect:add":
+			detects++
+		case e.Op == telemetry.OpMark && e.Src == Source && e.Name == "retry:add":
+			retries++
+		case e.Op == telemetry.OpStall && e.Src == Source:
+			stalls++
+		}
+	}
+	if detects != 1 || retries != 1 || stalls != 8 {
+		t.Fatalf("telemetry detects=%d retries=%d stalls=%d, want 1/1/8", detects, retries, stalls)
+	}
+}
+
+func TestDoBackoffIsExponential(t *testing.T) {
+	u := testUnit(t)
+	ex, err := NewExecutor(u, Policy{Verify: VerifyDup, MaxRetries: 3, BackoffCycles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	// Never agrees: replica 2 of each attempt differs.
+	_, out, err := ex.Do("op", func() (dbc.Row, error) {
+		calls++
+		return row8(uint64(calls)), nil
+	})
+	if !errors.Is(err, ErrUnverified) {
+		t.Fatalf("persistent dup disagreement should be ErrUnverified, got %v", err)
+	}
+	// Backoffs: 4, 8, 16 (<<0, <<1, <<2) = 28 cycles total.
+	if out.StallCycles != 28 {
+		t.Fatalf("stall cycles = %d, want 28", out.StallCycles)
+	}
+	if out.Attempts != 4 || out.Retries != 3 || !out.GaveUp || out.Voted {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if st := u.Stats(); st.StallSteps != 28 {
+		t.Fatalf("trace priced %d stalls, want 28", st.StallSteps)
+	}
+}
+
+func TestDoNMRGiveUpVotes(t *testing.T) {
+	u := testUnit(t)
+	ring := telemetry.NewRingSink(1024)
+	rec := telemetry.NewRecorder(u.Config(), ring)
+	u.SetTelemetry(rec, "unit")
+	ex, err := NewExecutor(u, Policy{Verify: VerifyNMR, NMR: 3, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	// Every attempt: replicas {7, 99, 7} — majority 7, never unanimous.
+	row, out, err := ex.Do("add", func() (dbc.Row, error) {
+		calls++
+		if calls%3 == 2 {
+			return row8(99), nil
+		}
+		return row8(7), nil
+	})
+	if err != nil {
+		t.Fatalf("NMR give-up should still deliver the vote: %v", err)
+	}
+	if !out.GaveUp || !out.Voted || out.Attempts != 2 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if got := pim.UnpackLanes(row, 8)[0]; got != 7 {
+		t.Fatalf("vote delivered %d, want majority 7", got)
+	}
+	giveups := 0
+	for _, e := range ring.Events() {
+		if e.Op == telemetry.OpMark && e.Name == "giveup:add" {
+			giveups++
+		}
+	}
+	if giveups != 1 {
+		t.Fatalf("giveup marks = %d, want 1", giveups)
+	}
+}
+
+func TestDoPropagatesOpError(t *testing.T) {
+	u := testUnit(t)
+	ex, err := NewExecutor(u, Policy{Verify: VerifyNMR, NMR: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	_, _, err = ex.Do("op", func() (dbc.Row, error) { return dbc.Row{}, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("op error should propagate, got %v", err)
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	if n := (Policy{Verify: VerifyNMR, NMR: 5}).Replicas(); n != 5 {
+		t.Errorf("nmr5 replicas = %d", n)
+	}
+	if n := (Policy{Verify: VerifyDup}).Replicas(); n != 2 {
+		t.Errorf("dup replicas = %d", n)
+	}
+	if n := (Policy{}).Replicas(); n != 1 {
+		t.Errorf("off replicas = %d", n)
+	}
+}

@@ -119,8 +119,11 @@ func (s *ChromeSink) Emit(e Event) {
 			name += ":" + e.Name
 		}
 		cat := "move"
-		if e.Op == OpFault {
+		switch e.Op {
+		case OpFault:
 			cat = "fault"
+		case OpMark:
+			cat = "mark"
 		}
 		s.write(chromeEvent{
 			Name: name, Cat: cat, Ph: "i", Ts: e.Cycle, Pid: chromePid, Tid: t,

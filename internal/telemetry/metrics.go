@@ -79,7 +79,7 @@ type SrcMetrics struct {
 // Cycles returns the control-step cycles attributed to the source.
 func (s SrcMetrics) Cycles() uint64 {
 	var n uint64
-	for op := OpShift; op <= OpLogic; op++ {
+	for op := OpShift; op <= OpStall; op++ {
 		n += s.Steps[op]
 	}
 	return n

@@ -38,7 +38,7 @@ import (
 // movement inside a memory, and higher-level spans.
 type Op uint8
 
-// Event kinds. The first seven mirror the control-step counters of
+// Event kinds. The first eight mirror the control-step counters of
 // trace.Stats one-to-one.
 const (
 	OpShift    Op = iota // DBC-wide domain-wall shift step
@@ -48,18 +48,20 @@ const (
 	OpTW                 // transverse-write step
 	OpCopy               // laterally shifted read/write step
 	OpLogic              // PIM-logic / row-buffer-only step
-	OpFault              // injected fault (zero-duration, tagged)
+	OpStall              // idle cycle (recovery backoff); costs latency, no energy
+	OpFault              // injected or detected fault (zero-duration, tagged)
 	OpRowRead            // memory row read (row movement, not a cycle)
 	OpRowWrite           // memory row write
 	OpRowCopy            // row-buffer transfer between DBCs
+	OpMark               // zero-duration tagged control event (retry, giveup, quarantine)
 	OpSpan               // higher-level operation span (Begin/End pair)
 
 	numOps
 )
 
 var opNames = [numOps]string{
-	"shift", "tr", "write", "read", "tw", "copy", "logic",
-	"fault", "row-read", "row-write", "row-copy", "span",
+	"shift", "tr", "write", "read", "tw", "copy", "logic", "stall",
+	"fault", "row-read", "row-write", "row-copy", "mark", "span",
 }
 
 func (o Op) String() string {
@@ -211,6 +213,19 @@ func (r *Recorder) stepEnergy(op Op, wires int) float64 {
 	return 0
 }
 
+// Stall records n idle cycles at src: the clock advances by n, one
+// OpStall step per cycle (so SrcMetrics cycle sums and the trace.Stats
+// contract stay exact), and no energy accrues. Recovery backoff is the
+// canonical emitter.
+func (r *Recorder) Stall(src Source, n int) {
+	if r == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		r.step(src, OpStall, 0)
+	}
+}
+
 // Fault records an injected fault as a zero-duration tagged event at
 // the current cycle: detail names the fault mode (e.g. "tr",
 // "shift-overshoot") and wires how many nanowires were perturbed. The
@@ -220,6 +235,16 @@ func (r *Recorder) Fault(src Source, detail string, wires int) {
 		return
 	}
 	r.instant(src, OpFault, detail, wires)
+}
+
+// Mark records a zero-duration tagged control event at src — a named
+// instant that is neither a fault nor a row movement (recovery retries
+// and give-ups, quarantine decisions). The clock does not advance.
+func (r *Recorder) Mark(src Source, detail string, wires int) {
+	if r == nil {
+		return
+	}
+	r.instant(src, OpMark, detail, wires)
 }
 
 // Move records a row-granularity data movement (OpRowRead, OpRowWrite

@@ -30,6 +30,7 @@ type Stats struct {
 	TWSteps    int // transverse-write (write + segmented shift) control steps
 	CopySteps  int // laterally shifted read/write steps (Fig. 4(a) brown path)
 	LogicSteps int // PIM-logic / row-buffer-only steps (predication, mux reconfig)
+	StallSteps int // idle cycles (recovery backoff, controller stalls); no energy
 
 	// Per-wire event counts: energy accrues per affected nanowire.
 	ShiftWires int // nanowire·step shift events
@@ -49,6 +50,7 @@ func (s *Stats) Add(other Stats) {
 	s.TWSteps += other.TWSteps
 	s.CopySteps += other.CopySteps
 	s.LogicSteps += other.LogicSteps
+	s.StallSteps += other.StallSteps
 	s.ShiftWires += other.ShiftWires
 	s.TRWires += other.TRWires
 	s.WriteBits += other.WriteBits
@@ -68,6 +70,7 @@ func (s Stats) Scale(n int) Stats {
 		TWSteps:    s.TWSteps * n,
 		CopySteps:  s.CopySteps * n,
 		LogicSteps: s.LogicSteps * n,
+		StallSteps: s.StallSteps * n,
 		ShiftWires: s.ShiftWires * n,
 		TRWires:    s.TRWires * n,
 		WriteBits:  s.WriteBits * n,
@@ -80,7 +83,7 @@ func (s Stats) Scale(n int) Stats {
 // Cycles returns the device-cycle latency of the traced operation
 // sequence: one cycle per control step.
 func (s Stats) Cycles() int {
-	return s.ShiftSteps + s.TRSteps + s.WriteSteps + s.ReadSteps + s.TWSteps + s.CopySteps + s.LogicSteps
+	return s.ShiftSteps + s.TRSteps + s.WriteSteps + s.ReadSteps + s.TWSteps + s.CopySteps + s.LogicSteps + s.StallSteps
 }
 
 // EnergyPJ returns the energy in picojoules of the traced sequence under
@@ -98,8 +101,8 @@ func (s Stats) EnergyPJ(e params.Energy, trd params.TRD) float64 {
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cycles=%d", s.Cycles())
-	fmt.Fprintf(&b, " shifts=%d trs=%d writes=%d reads=%d tws=%d copies=%d logic=%d",
-		s.ShiftSteps, s.TRSteps, s.WriteSteps, s.ReadSteps, s.TWSteps, s.CopySteps, s.LogicSteps)
+	fmt.Fprintf(&b, " shifts=%d trs=%d writes=%d reads=%d tws=%d copies=%d logic=%d stalls=%d",
+		s.ShiftSteps, s.TRSteps, s.WriteSteps, s.ReadSteps, s.TWSteps, s.CopySteps, s.LogicSteps, s.StallSteps)
 	fmt.Fprintf(&b, " (wire events: shift=%d tr=%d w=%d r=%d tw=%d)",
 		s.ShiftWires, s.TRWires, s.WriteBits, s.ReadBits, s.TWBits)
 	return b.String()
@@ -174,6 +177,16 @@ func (t *Tracer) Logic() {
 		return
 	}
 	t.stats.LogicSteps++
+}
+
+// Stall records n idle cycles in which the controller holds the DBC
+// quiescent (recovery backoff between retry attempts). Stalls cost
+// latency but no energy.
+func (t *Tracer) Stall(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.stats.StallSteps += n
 }
 
 // Stats returns a copy of the accumulated counters.
