@@ -5,9 +5,9 @@
 GO ?= go
 BIN := bin
 
-.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-parallel bench-resilient
+.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-parallel bench-resilient bench-compile
 
-ci: lint build race race-obs fuzz bench bench-obs bench-parallel bench-resilient
+ci: lint build race race-obs fuzz bench bench-obs bench-parallel bench-resilient bench-compile
 
 vet:
 	$(GO) vet ./...
@@ -15,8 +15,10 @@ vet:
 # lint runs the stock vet analyzers, then the repository's own
 # coruscantvet suite (internal/analysis: rowalias, scratchescape,
 # masktail, seededrand, panicmsg, facadeerr — see DESIGN.md "Invariants
-# & static analysis"), then checks formatting. third_party/ carries vendored upstream code
-# and is exempt from gofmt drift.
+# & static analysis"), then checks formatting. The ./... sweep covers
+# every package including the pimc compiler (internal/isa/compile).
+# third_party/ carries vendored upstream code and is exempt from gofmt
+# drift.
 lint: vet
 	$(GO) build -o $(BIN)/coruscantvet ./cmd/coruscantvet
 	$(GO) vet -vettool=$(BIN)/coruscantvet ./...
@@ -88,3 +90,12 @@ bench-resilient:
 # BENCH_obs.json.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' -benchmem .
+
+# bench-compile measures the pimc compiler on a fixed three-program
+# corpus: compile latency per optimization level, and the measured cost
+# of running the compiled plans — row-buffer moves, racetrack shift
+# steps and device cycles as custom metrics, -O1 vs the naive -O0
+# layout. Reference numbers (and the -O1 fewer-moves/fewer-cycles
+# acceptance deltas) are recorded in BENCH_compile.json.
+bench-compile:
+	$(GO) test -run '^$$' -bench 'BenchmarkCompile' -benchmem .

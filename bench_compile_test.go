@@ -1,0 +1,179 @@
+// pimc compiler benchmarks (recorded in BENCH_compile.json): a fixed
+// three-program corpus compiled at -O0 (naive single-DBC staging) and
+// -O1 (placement-aware), measuring compile latency and the measured
+// cost of running the compiled plans — row-buffer moves, racetrack
+// shift steps and device cycles, reported as custom metrics. The -O1
+// rows must come in under naive on moves and cycles; the differential
+// tests in internal/isa/compile prove the results are bit-identical.
+package coruscant
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/isa/compile"
+	"repro/internal/memory"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// benchCorpus is the fixed program set: mixed arithmetic on one bank,
+// the PIRM-style ops (div/mod/shifts/fma), and cross-bank traffic that
+// forces staging moves.
+var benchCorpus = []string{
+	`; mixed arithmetic, single bank, heavy operand reuse
+%a = load b0.s0.t1.d0.r0
+%b = load b0.s0.t1.d0.r1
+%c = load b0.s0.t1.d0.r2
+%e = load b0.s0.t1.d0.r3
+%k = li 7 bs=8
+%s = add %a, %b, %c bs=8
+%d = sub %s, %k bs=8
+%na = shr %a bs=8 imm=4
+%nb = shr %b bs=8 imm=4
+%p = mult %na, %nb bs=8
+%q = xor %d, %p bs=8
+%t = and %q, %e bs=8
+%u = or %t, %a bs=8
+%v = add %u, %b, %k bs=8
+%w = max %v, %c bs=8
+%x = xor %w, %e bs=8
+store %q, b0.s0.t2.d0.r0
+store %d, b0.s0.t2.d0.r1
+store %x, b0.s0.t2.d0.r2
+`,
+	`; PIRM ops: division, modulo, shifts, fused multiply-add
+%a = load b0.s0.t1.d1.r0
+%b = load b0.s0.t1.d1.r1
+%c = load b0.s0.t1.d1.r2
+%e = load b0.s0.t1.d1.r3
+%q = div %a, %b bs=8
+%r = mod %a, %b bs=8
+%h = shr %c bs=8 imm=3
+%l = shl %c bs=8 imm=2
+%na = shr %a bs=8 imm=4
+%nb = shr %b bs=8 imm=4
+%f = fma %na, %nb, %c bs=8
+%x = or %q, %r bs=8
+%y = xor %h, %l bs=8
+%z = add %x, %y, %f bs=8
+%g = div %z, %e bs=8
+%m = mod %z, %e bs=8
+%n = add %g, %m, %h bs=8
+store %z, b0.s0.t2.d1.r0
+store %n, b0.s0.t2.d1.r1
+`,
+	`; cross-bank operands force explicit staging moves
+%a = load b0.s0.t1.d0.r4
+%b = load b1.s0.t1.d0.r5
+%c = load b0.s1.t1.d0.r6
+%e = load b0.s0.t1.d0.r7
+%s = add %a, %b bs=8
+%t = max %s, %c bs=8
+%u = not %t bs=8
+%v = and %u, %e bs=8
+%w = add %v, %a, %s bs=8
+%x = xor %w, %t bs=8
+store %u, b1.s0.t2.d0.r6
+store %t, b0.s0.t2.d2.r7
+store %x, b0.s0.t2.d2.r8
+`,
+}
+
+func benchCompileConfig() params.Config {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	return cfg
+}
+
+// seedInputs writes deterministic lane values into every load row of a
+// compiled program.
+func seedInputs(tb testing.TB, m *memory.Memory, res *compile.Result, prog int) {
+	tb.Helper()
+	for i, in := range res.Inputs {
+		vals := make([]uint64, 8)
+		for l := range vals {
+			vals[l] = uint64((7*i + 3*l + 11*prog + 1) % 256)
+		}
+		row, err := pim.PackLanes(vals, 8, 64)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := m.WriteRow(in.Addr, row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileProgram measures compile latency over the corpus at
+// both optimization levels (at -O1 this includes pricing the naive
+// layout for the moves/shifts-saved telemetry).
+func BenchmarkCompileProgram(b *testing.B) {
+	cfg := benchCompileConfig()
+	for _, level := range []int{0, 1} {
+		b.Run(fmt.Sprintf("O%d", level), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, src := range benchCorpus {
+					if _, err := compile.Compile(src, cfg, compile.Options{Level: level}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompiledExec measures running the compiled corpus. The
+// moves/shifts/cycles metrics are the measured totals of one corpus
+// pass on a fresh memory — the numbers the acceptance criterion
+// compares across levels; ns/op times repeated plan execution (plans
+// are idempotent: stores never alias loads).
+func BenchmarkCompiledExec(b *testing.B) {
+	cfg := benchCompileConfig()
+	for _, level := range []int{0, 1} {
+		b.Run(fmt.Sprintf("O%d", level), func(b *testing.B) {
+			var plans []*compile.Plan
+			var results []*compile.Result
+			for _, src := range benchCorpus {
+				res, err := compile.Compile(src, cfg, compile.Options{Level: level})
+				if err != nil {
+					b.Fatal(err)
+				}
+				plans = append(plans, res.Plan)
+				results = append(results, res)
+			}
+
+			// One instrumented corpus pass for the cost metrics.
+			mm, err := memory.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, res := range results {
+				seedInputs(b, mm, res, i)
+			}
+			for _, p := range plans {
+				if err := p.Run(mm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			moves := mm.Moves()
+			stats := mm.Stats()
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range plans {
+					if err := p.Run(mm); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			// ResetTimer deletes user metrics, so report them after the
+			// timed loop.
+			b.ReportMetric(float64(moves.RowCopies), "moves/corpus")
+			b.ReportMetric(float64(stats.ShiftSteps), "shifts/corpus")
+			b.ReportMetric(float64(stats.Cycles()), "cycles/corpus")
+		})
+	}
+}

@@ -1,23 +1,30 @@
-// Command pimasm assembles, disassembles and executes cpim instruction
-// words (§III-E), the binary form a CPU writes to the memory
-// controller.
+// Command pimasm assembles, disassembles, compiles and executes cpim
+// programs (§III-E), the instruction-set extension a CPU drives the
+// memory controller with.
 //
 // Usage:
 //
 //	pimasm asm "add b2.s10.t0.d15.r0 bs=8 k=3"
-//	pimasm dis 0x20078142a
+//	pimasm dis <hexword>
 //	pimasm ops                     # list mnemonics and limits
 //	pimasm exec "add ... k=3" ...  # run instructions on a PIM unit
+//	pimasm compile prog.pim        # compile a pimasm program (pimc)
+//	pimasm exec prog.pim           # compile and run it on a memory
 //
-// exec drives each instruction on a cpim controller lane with
-// deterministic operand lanes and reports the result values plus the
-// cycle/energy accounting. Independent instructions spread across
-// -workers parallel lanes (§IV-B high-throughput mode); output order,
-// costs and telemetry are identical for any worker count. Telemetry
-// flags apply to exec:
+// exec with instruction strings drives each one on a cpim controller
+// lane with deterministic operand lanes and reports the result values
+// plus the cycle/energy accounting. Independent instructions spread
+// across -workers parallel lanes (§IV-B high-throughput mode); output
+// order, costs and telemetry are identical for any worker count.
+//
+// exec with a program file (or compile, which stops before running)
+// feeds the pimc compiler: -O selects the placement level (0 = naive
+// hand-placed layout, 1 = placement-aware; default 1) and -dump prints
+// each compiler pass's output. Telemetry flags apply to both modes:
 //
 //	pimasm -trace out.json exec "add b2.s10.t0.d15.r0 bs=8 k=3"
-//	pimasm -metrics -workers 4 exec "mult b2.s10.t0.d15.r0 bs=16 k=2"
+//	pimasm -metrics -O 1 -dump compile prog.pim
+//	pimasm -metrics exec prog.pim
 package main
 
 import (
@@ -30,6 +37,8 @@ import (
 
 	"repro/internal/dbc"
 	"repro/internal/isa"
+	"repro/internal/isa/compile"
+	"repro/internal/memory"
 	"repro/internal/params"
 	"repro/internal/pim"
 	"repro/internal/telemetry"
@@ -48,8 +57,10 @@ func run(args []string) error {
 	jsonlPath := fs.String("jsonl", "", "write exec telemetry events as JSON lines")
 	metrics := fs.Bool("metrics", false, "print the telemetry metrics report after exec")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel controller lanes for exec")
+	level := fs.Int("O", 1, "pimc placement level: 0 naive, 1 placement-aware")
+	dump := fs.Bool("dump", false, "print each pimc compiler pass's output")
 	fs.Usage = func() {
-		fmt.Println("usage: pimasm [flags] asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops | exec <instr>...")
+		fmt.Println("usage: pimasm [flags] asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops | compile <file> | exec <instr>...|<file>")
 		fmt.Println("flags:")
 		fs.PrintDefaults()
 	}
@@ -92,18 +103,154 @@ func run(args []string) error {
 		fmt.Println(isa.FormatInstruction(in))
 		return nil
 	case "ops":
-		fmt.Println("mnemonics: nop read write and or nand nor xor xnor not add mult max relu vote")
+		fmt.Println("mnemonics: nop read write and or nand nor xor xnor not add mult max relu vote div mod shl shr fma")
+		fmt.Println("pimc-only: sub (lowered to not + add-with-one); shl/shr carry imm=<amount>")
 		fmt.Printf("blocksizes: %v\n", params.BlockSizes)
 		fmt.Printf("operands: 1..%d (TRD=%d)\n", cfg.TRD.MaxBulkOperands(), int(cfg.TRD))
 		return nil
+	case "compile":
+		if len(args) < 2 {
+			return fmt.Errorf("compile needs a program file")
+		}
+		return compileProg(cfg, args[1], *level, *dump, *tracePath, *jsonlPath, *metrics, false)
 	case "exec":
 		if len(args) < 2 {
-			return fmt.Errorf("exec needs at least one instruction string")
+			return fmt.Errorf("exec needs instruction strings or a program file")
+		}
+		if len(args) == 2 {
+			if _, err := os.Stat(args[1]); err == nil {
+				return compileProg(cfg, args[1], *level, *dump, *tracePath, *jsonlPath, *metrics, true)
+			}
 		}
 		return exec(cfg, args[1:], *tracePath, *jsonlPath, *metrics, *workers)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// newRecorder wires the telemetry flags into a recorder (nil when no
+// flag asked for one) plus the files to close afterwards.
+func newRecorder(cfg params.Config, tracePath, jsonlPath string, metrics bool) (*telemetry.Recorder, []*os.File, error) {
+	var sinks []telemetry.Sink
+	var files []*os.File
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		sinks = append(sinks, telemetry.NewChromeSink(f))
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			for _, f := range files {
+				f.Close()
+			}
+			return nil, nil, err
+		}
+		files = append(files, f)
+		sinks = append(sinks, telemetry.NewJSONLSink(f))
+	}
+	var rec *telemetry.Recorder
+	if len(sinks) > 0 || metrics {
+		rec = telemetry.NewRecorder(cfg, sinks...)
+	}
+	return rec, files, nil
+}
+
+// compileProg compiles a pimasm program file through pimc and, when run
+// is set, executes the plan on a fresh memory with deterministic input
+// rows and prints every stored output.
+func compileProg(cfg params.Config, path string, level int, dump bool, tracePath, jsonlPath string, metrics, run bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rec, files, err := newRecorder(cfg, tracePath, jsonlPath, metrics)
+	if err != nil {
+		return err
+	}
+	runErr := func() error {
+		opts := compile.Options{Level: level, Recorder: rec}
+		if dump {
+			opts.Dump = func(pass, text string) {
+				fmt.Printf("--- %s ---\n%s", pass, text)
+			}
+		}
+		res, err := compile.Compile(string(src), cfg, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan (-O%d): %d steps, %d requests in %d batches\n",
+			level, len(res.Plan.Steps), res.Stats.Requests, res.Stats.Batches)
+		fmt.Printf("cost model: %d cross-DBC moves, %d port shifts\n",
+			res.Stats.CrossDBCMoves, res.Stats.PortShifts)
+		if level >= 1 {
+			fmt.Printf("vs naive:   %d cross-DBC moves, %d port shifts (saved %d moves, %d shifts)\n",
+				res.Naive.CrossDBCMoves, res.Naive.PortShifts,
+				res.Naive.CrossDBCMoves-res.Stats.CrossDBCMoves,
+				res.Naive.PortShifts-res.Stats.PortShifts)
+		}
+		if !run {
+			if !dump {
+				fmt.Print(res.Plan.String())
+			}
+			return nil
+		}
+		m, err := memory.New(cfg)
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			m.SetTelemetry(rec)
+		}
+		width := cfg.Geometry.TrackWidth
+		for i, in := range res.Inputs {
+			lanes := make([]uint64, width/8)
+			for j := range lanes {
+				lanes[j] = uint64(7*i+3*j+1) % 256
+			}
+			row, err := pim.PackLanes(lanes, 8, width)
+			if err != nil {
+				return err
+			}
+			if err := m.WriteRow(in.Addr, row); err != nil {
+				return err
+			}
+		}
+		if err := res.Plan.Run(m); err != nil {
+			return err
+		}
+		for _, out := range res.Outputs {
+			row, err := m.ReadRow(out.Addr)
+			if err != nil {
+				return err
+			}
+			if out.Blocksize > 0 {
+				vals := pim.UnpackLanes(row, out.Blocksize)
+				fmt.Printf("%%%s @ %s (bs=%d): %v\n", out.Name, isa.FormatAddr(out.Addr), out.Blocksize, preview(vals, 8))
+			} else {
+				fmt.Printf("%%%s @ %s: raw row\n", out.Name, isa.FormatAddr(out.Addr))
+			}
+		}
+		moves, stats := m.Moves(), m.Stats()
+		fmt.Printf("measured: %d row copies, %d shift steps, %d cycles\n",
+			moves.RowCopies, stats.ShiftSteps, stats.Cycles())
+		return nil
+	}()
+	if err := rec.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr == nil && metrics && rec != nil {
+		runErr = rec.Metrics().WriteText(os.Stdout)
+	}
+	return runErr
 }
 
 // exec parses each instruction string and runs the stream across a pool
@@ -113,27 +260,9 @@ func run(args []string) error {
 // replayed in program order, so any -workers value produces identical
 // output.
 func exec(cfg params.Config, instrs []string, tracePath, jsonlPath string, metrics bool, workers int) error {
-	var sinks []telemetry.Sink
-	var files []*os.File
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return err
-		}
-		files = append(files, f)
-		sinks = append(sinks, telemetry.NewChromeSink(f))
-	}
-	if jsonlPath != "" {
-		f, err := os.Create(jsonlPath)
-		if err != nil {
-			return err
-		}
-		files = append(files, f)
-		sinks = append(sinks, telemetry.NewJSONLSink(f))
-	}
-	var rec *telemetry.Recorder
-	if len(sinks) > 0 || metrics {
-		rec = telemetry.NewRecorder(cfg, sinks...)
+	rec, files, err := newRecorder(cfg, tracePath, jsonlPath, metrics)
+	if err != nil {
+		return err
 	}
 
 	runErr := func() error {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/telemetry"
@@ -12,7 +13,7 @@ func TestRunAsmDis(t *testing.T) {
 	if err := run([]string{"asm", "add", "b2.s10.t0.d15.r0", "bs=8", "k=3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"dis", "0x20078142a"}); err != nil {
+	if err := run([]string{"dis", "0x00400f0284a"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := run([]string{"ops"}); err != nil {
@@ -66,6 +67,73 @@ func TestRunExec(t *testing.T) {
 	}
 	if !sawCpim {
 		t.Error("no cpim-add span in exec trace")
+	}
+}
+
+const testProg = `; pimc smoke program
+%a = load b0.s0.t1.d0.r0
+%b = load b0.s0.t1.d0.r1
+%k = li 3 bs=8
+%s = add %a, %b bs=8
+%d = sub %s, %k bs=8
+%h = shr %d bs=8 imm=1
+store %h, b0.s0.t2.d0.r3
+`
+
+func TestRunCompileProgram(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.pim")
+	if err := os.WriteFile(path, []byte(testProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"compile", path},
+		{"-O", "0", "compile", path},
+		{"-dump", "compile", path},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+	}
+}
+
+func TestRunExecProgram(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.pim")
+	if err := os.WriteFile(path, []byte(testProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "exec.json")
+	if err := run([]string{"-trace", tracePath, "-metrics", "exec", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := make(map[string]bool)
+	for _, r := range records {
+		if r.Ph == "B" {
+			saw[r.Name] = true
+		}
+	}
+	for _, want := range []string{"pimc-parse", "pimc-legalize", "pimc-place", "pimc-schedule"} {
+		if !saw[want] {
+			t.Errorf("no %s span in exec trace", want)
+		}
+	}
+
+	// Bad program: error carries the line number.
+	bad := filepath.Join(dir, "bad.pim")
+	if err := os.WriteFile(bad, []byte("%a = li 1 bs=8\n%a = li 2 bs=8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"exec", bad}); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("bad program: err = %v, want line 2", err)
 	}
 }
 

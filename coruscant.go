@@ -43,6 +43,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/isa"
+	"repro/internal/isa/compile"
 	"repro/internal/mem"
 	"repro/internal/memory"
 	"repro/internal/params"
@@ -174,7 +175,42 @@ const (
 	OpcodeMax   = isa.OpMax
 	OpcodeRelu  = isa.OpRelu
 	OpcodeVote  = isa.OpVote
+	// PIRM-style arithmetic extension: restoring division/modulo,
+	// variable logical shifts priced as racetrack shifts, and fused
+	// multiply-add on the multiplier's partial-product planes.
+	OpcodeDiv = isa.OpDiv
+	OpcodeMod = isa.OpMod
+	OpcodeShl = isa.OpShl
+	OpcodeShr = isa.OpShr
+	OpcodeFma = isa.OpFma
 )
+
+// pimc: the placement-aware compiler from pimasm programs to memory
+// execution plans (parse → legalize → place → schedule).
+type (
+	// CompileOptions selects the placement level, telemetry recorder
+	// and per-pass dump hook of a compilation.
+	CompileOptions = compile.Options
+	// CompileResult carries the executable plan, its input/output rows
+	// and the placement cost model.
+	CompileResult = compile.Result
+	// CompiledPlan is an executable schedule over a Memory.
+	CompiledPlan = compile.Plan
+	// CompiledStep is one schedulable unit of a plan.
+	CompiledStep = compile.Step
+	// PlanStats is the placement pass's cost model accounting.
+	PlanStats = compile.PlanStats
+	// ProgramOutput names one load or store row of a compiled program.
+	ProgramOutput = compile.Output
+)
+
+// CompileProgram compiles a pimasm program into an executable plan.
+// The compiled plan is result-identical to naive hand-placed execution;
+// at Level >= 1 it needs fewer cross-DBC row-buffer moves and shorter
+// port-alignment shifts.
+func CompileProgram(src string, cfg Config, opts CompileOptions) (*CompileResult, error) {
+	return compile.Compile(src, cfg, opts)
+}
 
 // System model.
 type (

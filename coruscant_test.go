@@ -237,3 +237,57 @@ func TestFacadeLanePool(t *testing.T) {
 		t.Errorf("job 1 = %v", got)
 	}
 }
+
+func TestFacadeCompileProgram(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	const src = `
+%a = load b0.s0.t1.d0.r0
+%k = li 10 bs=8
+%s = add %a, %k bs=8
+store %s, b0.s0.t2.d0.r5
+`
+	rec := coruscant.NewRecorder(cfg)
+	res, err := coruscant.CompileProgram(src, cfg, coruscant.CompileOptions{
+		Level:    1,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inputs) != 1 || len(res.Outputs) != 1 {
+		t.Fatalf("inputs=%d outputs=%d, want 1/1", len(res.Inputs), len(res.Outputs))
+	}
+
+	m, err := coruscant.NewMemory(cfg, coruscant.WithTelemetry(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := coruscant.PackLanes([]uint64{1, 2, 3}, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRow(res.Inputs[0].Addr, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Run(m); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ReadRow(res.Outputs[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := coruscant.UnpackLanes(out, 8)
+	if got[0] != 11 || got[1] != 12 || got[2] != 13 {
+		t.Errorf("compiled add = %v, want 11 12 13...", got[:3])
+	}
+
+	// Compilation at level 1 publishes the placement savings as marks.
+	met := rec.Metrics()
+	if mk := met.Mark("moves-saved"); mk.Count == 0 {
+		t.Error("no moves-saved mark recorded")
+	}
+	if sp := met.Span("pimc-place"); sp.Count == 0 {
+		t.Error("no pimc-place span recorded")
+	}
+}

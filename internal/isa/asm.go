@@ -4,16 +4,31 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/params"
 )
 
 // Assembly syntax for cpim instructions, used by the pimasm tool:
 //
-//	<op> b<bank>.s<subarray>.t<tile>.d<dbc>.r<row> [bs=<blocksize>] [k=<operands>]
+//	<op> b<bank>.s<subarray>.t<tile>.d<dbc>.r<row> [bs=<blocksize>] [k=<operands>] [imm=<amount>]
 //
 // for example:
 //
 //	add b2.s10.t0.d15.r0 bs=8 k=3
+//	shl b2.s10.t0.d15.r0 bs=8 k=1 imm=3
 //	read b0.s0.t1.d4.r7
+
+// ParseError wraps an assembly parse failure with its 1-based source
+// line. Test with errors.As; Unwrap exposes the underlying error (e.g.
+// an *AddrRangeError).
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %v", e.Line, e.Err) }
+
+func (e *ParseError) Unwrap() error { return e.Err }
 
 // opByName maps mnemonics to opcodes.
 var opByName = func() map[string]OpCode {
@@ -57,11 +72,66 @@ func ParseInstruction(s string) (Instruction, error) {
 			in.Blocksize = n
 		case "k":
 			in.Operands = n
+		case "imm":
+			in.Imm = n
 		default:
 			return Instruction{}, fmt.Errorf("isa: unknown argument %q", key)
 		}
 	}
 	return in, nil
+}
+
+// ParseInstructionIn is ParseInstruction validating the parsed address
+// against the configured geometry: out-of-range fields fail here, at
+// parse time, with a typed *AddrRangeError instead of surfacing at
+// execution.
+func ParseInstructionIn(s string, g params.Geometry) (Instruction, error) {
+	in, err := ParseInstruction(s)
+	if err != nil {
+		return Instruction{}, err
+	}
+	if err := in.Src.CheckGeometry(g); err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// ParseProgram parses one instruction per line, skipping blank lines
+// and ';'/'#' comments, validating every address against the geometry.
+// Errors carry the 1-based line number as a *ParseError.
+func ParseProgram(src string, g params.Geometry) ([]Instruction, error) {
+	var prog []Instruction
+	for i, line := range strings.Split(src, "\n") {
+		if t := strings.TrimSpace(line); t == "" || t[0] == ';' || t[0] == '#' {
+			continue
+		}
+		text := line
+		if j := strings.IndexAny(text, ";#"); j >= 0 {
+			text = text[:j]
+		}
+		in, err := ParseInstructionIn(text, g)
+		if err != nil {
+			return nil, &ParseError{Line: i + 1, Err: err}
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}
+
+// ParseAddr parses the "b<bank>.s<sub>.t<tile>.d<dbc>.r<row>" address
+// form shared by the assembly syntax and the pimc source language.
+func ParseAddr(s string) (Addr, error) { return parseAddr(s) }
+
+// FormatAddr renders the assembly address form (the inverse of
+// ParseAddr for in-range addresses).
+func FormatAddr(a Addr) string {
+	return fmt.Sprintf("b%d.s%d.t%d.d%d.r%d", a.Bank, a.Subarray, a.Tile, a.DBC, a.Row)
+}
+
+// OpByName resolves an assembly mnemonic to its opcode.
+func OpByName(name string) (OpCode, bool) {
+	op, ok := opByName[strings.ToLower(name)]
+	return op, ok
 }
 
 // parseAddr parses "b<bank>.s<sub>.t<tile>.d<dbc>.r<row>".
@@ -98,6 +168,8 @@ func FormatInstruction(in Instruction) string {
 	switch in.Op {
 	case OpRead, OpWrite, OpNop:
 		return base
+	case OpShl, OpShr:
+		return fmt.Sprintf("%s bs=%d k=%d imm=%d", base, in.Blocksize, in.Operands, in.Imm)
 	}
 	return fmt.Sprintf("%s bs=%d k=%d", base, in.Blocksize, in.Operands)
 }

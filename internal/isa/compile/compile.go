@@ -1,0 +1,206 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/params"
+	"repro/internal/telemetry"
+)
+
+// Source tags the compiler's telemetry events (pass spans and the
+// moves-saved / shifts-saved marks).
+const Source = telemetry.Source("pimc")
+
+// DefaultExecDBCs is how many PIM-enabled DBCs the -O1 placement
+// spreads each DAG level across when Options.ExecDBCs is zero.
+const DefaultExecDBCs = 4
+
+// Options configures a compilation.
+type Options struct {
+	// Level selects the placement strategy: 0 compiles the naive
+	// hand-placed layout (one PIM DBC, everything staged), 1 the
+	// placement-aware layout. Higher levels behave like 1.
+	Level int
+	// ExecDBCs bounds the PIM DBCs the -O1 placement uses per level
+	// (default DefaultExecDBCs, clamped to the geometry).
+	ExecDBCs int
+	// Recorder, when non-nil, receives per-pass spans and — at -O1 —
+	// "moves-saved" / "shifts-saved" marks quantifying the placement
+	// win over the naive layout.
+	Recorder *telemetry.Recorder
+	// Dump, when non-nil, is called after each pass with its name
+	// ("parse", "legalize", "levels", "place", "schedule") and a
+	// textual rendering of the pass output.
+	Dump func(pass, text string)
+}
+
+// Output describes one store of the compiled program: after Plan.Run
+// the row at Addr holds the lanes of the named register. Blocksize is
+// the lane width, or 0 when the stored value is a raw loaded row.
+type Output struct {
+	Name      string
+	Addr      isa.Addr
+	Blocksize int
+}
+
+// Result is a compiled program.
+type Result struct {
+	Plan    *Plan
+	Inputs  []Output // the program's live load rows (Blocksize 0: raw)
+	Outputs []Output
+	Stats   PlanStats // cost model of the emitted plan
+	Naive   PlanStats // cost model of the naive layout (Level >= 1 only)
+}
+
+// Compile parses, legalizes, places and schedules a pimasm program
+// into an executable Plan. The compiled plan is result-identical to
+// naive hand-placed execution; at Level >= 1 it needs fewer cross-DBC
+// row-buffer moves and shorter port alignment shifts.
+func Compile(src string, cfg params.Config, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rec := opt.Recorder
+	pass := func(name string) func() {
+		if rec == nil {
+			return func() {}
+		}
+		return rec.Span(Source, "pimc-"+name)
+	}
+	dump := func(name string, text func() string) {
+		if opt.Dump != nil {
+			opt.Dump(name, text())
+		}
+	}
+
+	done := pass("parse")
+	prog, err := Parse(src, cfg.Geometry)
+	done()
+	if err != nil {
+		return nil, err
+	}
+	dump("parse", prog.String)
+
+	done = pass("legalize")
+	err = prog.legalize(cfg.TRD)
+	done()
+	if err != nil {
+		return nil, err
+	}
+	dump("legalize", prog.String)
+	dump("levels", func() string { return dumpLevels(prog) })
+
+	execDBCs := opt.ExecDBCs
+	if execDBCs <= 0 {
+		execDBCs = DefaultExecDBCs
+	}
+	done = pass("place")
+	lay, err := prog.place(cfg, opt.Level >= 1, execDBCs)
+	done()
+	if err != nil {
+		return nil, err
+	}
+	dump("place", func() string { return dumpPlacement(prog, lay) })
+
+	done = pass("schedule")
+	plan := buildPlan(prog, lay)
+	done()
+	dump("schedule", plan.String)
+
+	res := &Result{Plan: plan, Stats: plan.Stats}
+	for _, n := range prog.nodes {
+		switch n.kind {
+		case nLoad:
+			res.Inputs = append(res.Inputs, Output{Name: n.name, Addr: n.addr})
+		case nStore:
+			res.Outputs = append(res.Outputs, Output{Name: n.srcName, Addr: n.addr, Blocksize: n.args[0].bs})
+		}
+	}
+	if opt.Level >= 1 {
+		// Price the same program under the naive layout so the
+		// placement win is visible in telemetry without running both.
+		naive, err := prog.cloneShape().priceNaive(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Naive = naive
+		if rec != nil {
+			rec.Mark(Source, "moves-saved", max(0, naive.CrossDBCMoves-plan.Stats.CrossDBCMoves))
+			rec.Mark(Source, "shifts-saved", max(0, naive.PortShifts-plan.Stats.PortShifts))
+		}
+	}
+	return res, nil
+}
+
+// cloneShape deep-copies the DAG so a second placement cannot disturb
+// the homes already assigned to the primary one.
+func (p *Program) cloneShape() *Program {
+	cp := &Program{byName: make(map[string]*node, len(p.byName)), geo: p.geo}
+	remap := make(map[*node]*node, len(p.nodes))
+	for _, n := range p.nodes {
+		c := &node{}
+		*c = *n
+		c.home, c.exec, c.direct = isa.Addr{}, isa.Addr{}, false
+		c.args = make([]*node, len(n.args))
+		for i, a := range n.args {
+			c.args[i] = remap[a]
+		}
+		remap[n] = c
+		cp.nodes = append(cp.nodes, c)
+		if c.name != "" {
+			cp.byName[c.name] = c
+		}
+	}
+	return cp
+}
+
+func (p *Program) priceNaive(cfg params.Config) (PlanStats, error) {
+	lay, err := p.place(cfg, false, 1)
+	if err != nil {
+		return PlanStats{}, err
+	}
+	return lay.stats, nil
+}
+
+func dumpLevels(p *Program) string {
+	var b strings.Builder
+	deepest := p.levelize()
+	for lv := 0; lv <= deepest; lv++ {
+		var names []string
+		for _, n := range p.nodes {
+			if n.kind != nStore && n.level == lv {
+				names = append(names, "%"+n.name)
+			}
+		}
+		fmt.Fprintf(&b, "L%d: %s\n", lv, strings.Join(names, " "))
+	}
+	return b.String()
+}
+
+func dumpPlacement(p *Program, lay *layout) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec bank %d, pool:", lay.execBank)
+	for _, e := range lay.pool {
+		fmt.Fprintf(&b, " %s", isa.FormatAddr(e))
+	}
+	b.WriteByte('\n')
+	for _, n := range p.nodes {
+		switch n.kind {
+		case nLoad, nConst:
+			fmt.Fprintf(&b, "%%%s: home %s\n", n.name, isa.FormatAddr(n.home))
+		case nOp:
+			fmt.Fprintf(&b, "%%%s: exec %s home %s\n", n.name, isa.FormatAddr(n.exec), isa.FormatAddr(n.home))
+		case nStore:
+			mode := "copy"
+			if n.direct {
+				mode = "direct"
+			}
+			fmt.Fprintf(&b, "store %%%s -> %s (%s)\n", n.args[0].name, isa.FormatAddr(n.addr), mode)
+		}
+	}
+	fmt.Fprintf(&b, "cost: %d cross-DBC moves, %d port shifts\n",
+		lay.stats.CrossDBCMoves, lay.stats.PortShifts)
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/params"
+)
+
+// legalize lowers the DAG onto operations the PIM unit executes
+// directly: the sub pseudo-op becomes not + add-with-one on the carry
+// chain, and associative operations whose operand lists exceed the
+// TR-window capacity are split into chains. Unreachable values are
+// dropped (they feed no store). The pass rewrites p.nodes in place.
+func (p *Program) legalize(trd params.TRD) error {
+	out := &Program{byName: p.byName, geo: p.geo}
+	ones := make(map[int]*node) // shared "li 1" per blocksize
+	synth := 0
+	fresh := func(op isa.OpCode, bs int, args []*node) *node {
+		synth++
+		return out.add(&node{kind: nOp, name: fmt.Sprintf("·%d", synth), op: op, bs: bs, args: args})
+	}
+	one := func(bs int) *node {
+		if n, ok := ones[bs]; ok {
+			return n
+		}
+		synth++
+		n := out.add(&node{kind: nConst, name: fmt.Sprintf("·%d", synth), val: 1, bs: bs})
+		ones[bs] = n
+		return n
+	}
+	// chain folds args through repeated at-most-max-operand ops,
+	// returning the final value.
+	chain := func(op isa.OpCode, bs int, args []*node, max int) *node {
+		t := args[0]
+		if len(args) > 1 {
+			head := min(len(args), max)
+			t = fresh(op, bs, args[:head])
+			for i := head; i < len(args); i += max - 1 {
+				t = fresh(op, bs, append([]*node{t}, args[i:min(i+max-1, len(args))]...))
+			}
+		}
+		return t
+	}
+
+	replaced := make(map[*node]*node) // original def -> legalized def
+	resolve := func(args []*node) []*node {
+		rs := make([]*node, len(args))
+		for i, a := range args {
+			r, ok := replaced[a]
+			if !ok {
+				r = a
+			}
+			rs[i] = r
+		}
+		return rs
+	}
+
+	live := liveSet(p.nodes)
+	for _, n := range p.nodes {
+		if n.kind != nStore && !live[n] {
+			continue
+		}
+		switch n.kind {
+		case nLoad, nConst:
+			out.add(n)
+			continue
+		case nStore:
+			n.args = resolve(n.args)
+			out.add(n)
+			continue
+		}
+		if err := checkOp(n, trd); err != nil {
+			return err
+		}
+		n.args = resolve(n.args)
+		maxAdd, maxBulk := trd.MaxAddOperands(), trd.MaxBulkOperands()
+		switch n.op {
+		case opSub:
+			// a - b = a + ~b + 1 on the carry chain.
+			nb := fresh(isa.OpNot, n.bs, n.args[1:2])
+			var t *node
+			if maxAdd >= 3 {
+				t = fresh(isa.OpAdd, n.bs, []*node{n.args[0], nb, one(n.bs)})
+			} else {
+				t = fresh(isa.OpAdd, n.bs, []*node{fresh(isa.OpAdd, n.bs, []*node{n.args[0], nb}), one(n.bs)})
+			}
+			replaced[n] = t
+			p.byName[n.name] = t
+		case isa.OpAdd:
+			if len(n.args) <= maxAdd {
+				out.add(n)
+				continue
+			}
+			t := chain(isa.OpAdd, n.bs, n.args, maxAdd)
+			replaced[n] = t
+			p.byName[n.name] = t
+		case isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMax:
+			if len(n.args) <= maxBulk {
+				out.add(n)
+				continue
+			}
+			t := chain(n.op, n.bs, n.args, maxBulk)
+			replaced[n] = t
+			p.byName[n.name] = t
+		default:
+			out.add(n)
+		}
+	}
+	p.nodes = out.nodes
+	return nil
+}
+
+// checkOp validates operand cardinality and immediates against the op
+// and the TR window, before legalization rewrites the lists.
+func checkOp(n *node, trd params.TRD) error {
+	k, maxBulk := len(n.args), trd.MaxBulkOperands()
+	want := -1 // -1: variadic
+	switch n.op {
+	case isa.OpNot, isa.OpRelu:
+		want = 1
+	case opSub, isa.OpMult, isa.OpDiv, isa.OpMod:
+		want = 2
+	case isa.OpFma:
+		want = 3
+	case isa.OpShl, isa.OpShr:
+		want = 1
+		if n.imm < 0 || n.imm > n.bs {
+			return lineErr(n.line, "shift amount %d outside 0..%d", n.imm, n.bs)
+		}
+	case isa.OpAdd, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMax:
+		if k < 2 {
+			return lineErr(n.line, "%v wants at least 2 operands, got %d", n.op, k)
+		}
+	case isa.OpNand, isa.OpNor, isa.OpXnor, isa.OpVote:
+		// Not associative: the window capacity is a hard limit.
+		if k < 2 || k > maxBulk {
+			return lineErr(n.line, "%v wants 2..%d operands (not associative), got %d", n.op, maxBulk, k)
+		}
+	default:
+		return lineErr(n.line, "opcode %v is not compilable", n.op)
+	}
+	if want >= 0 && k != want {
+		return lineErr(n.line, "%v wants %d operand(s), got %d", opName(n.op), want, k)
+	}
+	if n.imm != 0 && n.op != isa.OpShl && n.op != isa.OpShr {
+		return lineErr(n.line, "%v takes no immediate", n.op)
+	}
+	return nil
+}
+
+func opName(op isa.OpCode) string {
+	if op == opSub {
+		return "sub"
+	}
+	return op.String()
+}
+
+// liveSet marks every node reachable backwards from a store.
+func liveSet(nodes []*node) map[*node]bool {
+	live := make(map[*node]bool)
+	var mark func(n *node)
+	mark = func(n *node) {
+		if live[n] {
+			return
+		}
+		live[n] = true
+		for _, a := range n.args {
+			mark(a)
+		}
+	}
+	for _, n := range nodes {
+		if n.kind == nStore {
+			mark(n)
+		}
+	}
+	return live
+}
+
+// levelize assigns ASAP DAG depths: loads and constants are level 0,
+// each op is one past its deepest argument, and a store rides at its
+// producer's level. Each non-zero level becomes one ExecuteBatch group.
+// Returns the deepest level.
+func (p *Program) levelize() int {
+	deepest := 0
+	for _, n := range p.nodes {
+		switch n.kind {
+		case nLoad, nConst:
+			n.level = 0
+		case nOp:
+			lv := 0
+			for _, a := range n.args {
+				lv = max(lv, a.level)
+			}
+			n.level = lv + 1
+			deepest = max(deepest, n.level)
+		case nStore:
+			n.level = n.args[0].level
+		}
+	}
+	return deepest
+}

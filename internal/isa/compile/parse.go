@@ -1,0 +1,311 @@
+// Package compile implements pimc, the placement-aware compiler from
+// pimasm programs to memory execution plans.
+//
+// A pimasm program is a straight-line sequence of virtual-register
+// statements over memory rows:
+//
+//	%a = load b0.s0.t1.d2.r3
+//	%k = li 17 bs=8
+//	%s = add %a, %k bs=8
+//	%q = div %s, %k bs=8
+//	store %q, b0.s0.t2.d0.r1
+//
+// The compiler parses the program into a dependency DAG, legalizes
+// pseudo-ops and over-wide operand lists onto the primitive cpim
+// sequences the PIM unit executes, assigns every value a physical home
+// row respecting the §III-A staging rule (every operand of a cpim
+// instruction must reach the executing DBC's bank over the shared row
+// buffer), and schedules independent DAG levels as ExecuteBatch groups.
+// The placement pass minimizes cross-DBC row-buffer moves and the
+// racetrack shift distance between home rows and the DBC access ports.
+package compile
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/params"
+)
+
+type nodeKind int
+
+const (
+	nLoad  nodeKind = iota // read of a memory row into a vreg
+	nConst                 // lane-broadcast immediate
+	nOp                    // cpim compute operation
+	nStore                 // write of a vreg to a memory row
+)
+
+// node is one value (or store effect) in the program DAG.
+type node struct {
+	id      int
+	kind    nodeKind
+	name    string // vreg defined here; "" for stores
+	srcName string // nStore: the stored vreg's source-level name
+	line    int    // 1-based source line (0 for legalizer-inserted nodes)
+
+	op   isa.OpCode // nOp
+	bs   int        // blocksize (nConst, nOp)
+	imm  int        // shift amount (shl/shr)
+	val  uint64     // nConst
+	addr isa.Addr   // nLoad source / nStore destination
+
+	args  []*node
+	level int // DAG depth: loads/consts 0, ops 1+max(args)
+
+	// Placement results (place.go).
+	home   isa.Addr // row where the value lives once defined
+	exec   isa.Addr // executing PIM DBC (nOp)
+	direct bool     // nStore folded into the producer's request Dst
+}
+
+// Program is a parsed (and, after passes, legalized and placed) pimasm
+// program.
+type Program struct {
+	nodes  []*node
+	byName map[string]*node
+	geo    params.Geometry
+}
+
+var vregRe = regexp.MustCompile(`^%[A-Za-z_][A-Za-z0-9_]*$`)
+
+func lineErr(line int, format string, args ...any) error {
+	return &isa.ParseError{Line: line, Err: fmt.Errorf("pimc: "+format, args...)}
+}
+
+// Parse parses pimasm source, enforcing single assignment,
+// define-before-use, and geometry-valid addresses. Errors carry 1-based
+// line numbers as *isa.ParseError.
+func Parse(src string, g params.Geometry) (*Program, error) {
+	p := &Program{byName: make(map[string]*node), geo: g}
+	for i, raw := range strings.Split(src, "\n") {
+		ln := i + 1
+		text := raw
+		if j := strings.IndexAny(text, ";#"); j >= 0 {
+			text = text[:j]
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		fields := strings.Fields(strings.ReplaceAll(text, ",", " "))
+		var err error
+		switch {
+		case fields[0] == "store":
+			err = p.parseStore(fields, ln)
+		case strings.HasPrefix(fields[0], "%"):
+			err = p.parseAssign(fields, ln)
+		default:
+			err = lineErr(ln, "want \"%%reg = ...\" or \"store %%reg, <addr>\", got %q", strings.TrimSpace(text))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (p *Program) add(n *node) *node {
+	n.id = len(p.nodes)
+	p.nodes = append(p.nodes, n)
+	if n.name != "" {
+		p.byName[n.name] = n
+	}
+	return n
+}
+
+func (p *Program) lookup(field string, line int) (*node, error) {
+	if !vregRe.MatchString(field) {
+		return nil, lineErr(line, "want a %%register, got %q", field)
+	}
+	n, ok := p.byName[field[1:]]
+	if !ok {
+		return nil, lineErr(line, "use of undefined register %s", field)
+	}
+	return n, nil
+}
+
+func (p *Program) parseAddrIn(field string, line int) (isa.Addr, error) {
+	a, err := isa.ParseAddr(field)
+	if err != nil {
+		return isa.Addr{}, &isa.ParseError{Line: line, Err: err}
+	}
+	if err := a.CheckGeometry(p.geo); err != nil {
+		return isa.Addr{}, &isa.ParseError{Line: line, Err: err}
+	}
+	return a, nil
+}
+
+// parseStore handles "store %x, <addr>".
+func (p *Program) parseStore(fields []string, line int) error {
+	if len(fields) != 3 {
+		return lineErr(line, "want \"store %%reg, <addr>\"")
+	}
+	arg, err := p.lookup(fields[1], line)
+	if err != nil {
+		return err
+	}
+	addr, err := p.parseAddrIn(fields[2], line)
+	if err != nil {
+		return err
+	}
+	for _, n := range p.nodes {
+		if n.kind == nStore && n.addr == addr {
+			return lineErr(line, "duplicate store to %s", isa.FormatAddr(addr))
+		}
+		if n.kind == nLoad && n.addr == addr {
+			return lineErr(line, "store to loaded address %s (loads read initial memory)", isa.FormatAddr(addr))
+		}
+	}
+	p.add(&node{kind: nStore, srcName: arg.name, line: line, addr: addr, args: []*node{arg}})
+	return nil
+}
+
+// parseAssign handles "%x = load <addr>", "%x = li <val> [bs=N]" and
+// "%x = <op> %a[, %b ...] [bs=N] [imm=N]".
+func (p *Program) parseAssign(fields []string, line int) error {
+	if len(fields) < 3 || fields[1] != "=" {
+		return lineErr(line, "want \"%%reg = <expr>\"")
+	}
+	if !vregRe.MatchString(fields[0]) {
+		return lineErr(line, "bad register name %q", fields[0])
+	}
+	name := fields[0][1:]
+	if _, dup := p.byName[name]; dup {
+		return lineErr(line, "register %%%s assigned twice", name)
+	}
+	expr, rest := fields[2], fields[3:]
+
+	switch expr {
+	case "load":
+		if len(rest) != 1 {
+			return lineErr(line, "want \"load <addr>\"")
+		}
+		addr, err := p.parseAddrIn(rest[0], line)
+		if err != nil {
+			return err
+		}
+		for _, n := range p.nodes {
+			if n.kind == nStore && n.addr == addr {
+				return lineErr(line, "load of stored address %s (loads read initial memory)", isa.FormatAddr(addr))
+			}
+		}
+		p.add(&node{kind: nLoad, name: name, line: line, addr: addr})
+		return nil
+
+	case "li":
+		if len(rest) < 1 {
+			return lineErr(line, "want \"li <value> [bs=N]\"")
+		}
+		val, err := strconv.ParseUint(rest[0], 0, 64)
+		if err != nil {
+			return lineErr(line, "bad immediate %q: %v", rest[0], err)
+		}
+		bs, _, err := parseArgs(rest[1:], line, false)
+		if err != nil {
+			return err
+		}
+		if bs > 64 {
+			return lineErr(line, "li blocksize %d exceeds 64", bs)
+		}
+		if bs < 64 && val>>uint(bs) != 0 {
+			return lineErr(line, "immediate %d does not fit %d bits", val, bs)
+		}
+		p.add(&node{kind: nConst, name: name, line: line, val: val, bs: bs})
+		return nil
+	}
+
+	op, ok := isa.OpByName(expr)
+	if !ok && expr != "sub" {
+		return lineErr(line, "unknown operation %q", expr)
+	}
+	if ok {
+		switch op {
+		case isa.OpRead, isa.OpWrite, isa.OpNop:
+			return lineErr(line, "%v is not a compute operation (use load/store)", op)
+		}
+	}
+	var args []*node
+	i := 0
+	for ; i < len(rest) && strings.HasPrefix(rest[i], "%"); i++ {
+		a, err := p.lookup(rest[i], line)
+		if err != nil {
+			return err
+		}
+		args = append(args, a)
+	}
+	if len(args) == 0 {
+		return lineErr(line, "%s wants at least one %%register operand", expr)
+	}
+	bs, imm, err := parseArgs(rest[i:], line, true)
+	if err != nil {
+		return err
+	}
+	n := &node{kind: nOp, name: name, line: line, op: op, bs: bs, imm: imm, args: args}
+	if expr == "sub" {
+		n.op = opSub
+	}
+	p.add(n)
+	return nil
+}
+
+// opSub is the two's-complement subtraction pseudo-op, lowered by
+// legalize onto not + add-with-one.
+const opSub isa.OpCode = -1
+
+// parseArgs parses trailing "bs=N" / "imm=N" arguments.
+func parseArgs(fields []string, line int, allowImm bool) (bs, imm int, err error) {
+	bs = 8
+	for _, f := range fields {
+		key, val, found := strings.Cut(f, "=")
+		n, aerr := strconv.Atoi(val)
+		if !found || aerr != nil {
+			return 0, 0, lineErr(line, "bad argument %q", f)
+		}
+		switch {
+		case key == "bs":
+			bs = n
+		case key == "imm" && allowImm:
+			imm = n
+		default:
+			return 0, 0, lineErr(line, "unknown argument %q", key)
+		}
+	}
+	if !params.ValidBlockSize(bs) {
+		return 0, 0, lineErr(line, "invalid blocksize %d", bs)
+	}
+	return bs, imm, nil
+}
+
+// String renders the program one statement per line, in the source
+// syntax (legalizer-inserted registers are numbered ·N).
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, n := range p.nodes {
+		switch n.kind {
+		case nLoad:
+			fmt.Fprintf(&b, "%%%s = load %s\n", n.name, isa.FormatAddr(n.addr))
+		case nConst:
+			fmt.Fprintf(&b, "%%%s = li %d bs=%d\n", n.name, n.val, n.bs)
+		case nOp:
+			regs := make([]string, len(n.args))
+			for i, a := range n.args {
+				regs[i] = "%" + a.name
+			}
+			opName := "sub"
+			if n.op != opSub {
+				opName = n.op.String()
+			}
+			fmt.Fprintf(&b, "%%%s = %s %s bs=%d", n.name, opName, strings.Join(regs, ", "), n.bs)
+			if n.imm != 0 {
+				fmt.Fprintf(&b, " imm=%d", n.imm)
+			}
+			b.WriteByte('\n')
+		case nStore:
+			fmt.Fprintf(&b, "store %%%s, %s\n", n.args[0].name, isa.FormatAddr(n.addr))
+		}
+	}
+	return b.String()
+}

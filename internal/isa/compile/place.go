@@ -1,0 +1,324 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/params"
+)
+
+// PlanStats is the placement pass's cost-model accounting for one plan:
+// predicted cross-DBC row-buffer transfers and the estimated racetrack
+// shift distance between the rows the plan touches and their DBC access
+// ports. The bench harness compares these predictions against the
+// memory's measured MoveStats / trace counters.
+type PlanStats struct {
+	CrossDBCMoves int // row-buffer transfers (explicit copies + exec-time staging)
+	PortShifts    int // estimated shift steps aligning touched rows with ports
+	Batches       int // ExecuteBatch groups issued (0 for the naive serial plan)
+	Requests      int // cpim operations issued
+}
+
+// layout is the placement result: every value has a home row, every op
+// an executing PIM DBC, all in one bank so the §III-A staging rule
+// holds with the fewest row-buffer crossings.
+type layout struct {
+	opt      bool
+	geo      params.Geometry
+	trd      params.TRD
+	execBank int
+	pool     []isa.Addr         // executing PIM DBC bases, assignment order
+	free     map[isa.Addr][]int // per pool base: unused non-window rows, port-sorted
+	userDBC  map[isa.Addr]bool  // DBC bases the program names; off-limits to allocators
+
+	stageRows []isa.Addr // allocated-but-unused rows of the current staging DBC
+	stageSeq  int        // enumeration cursor over candidate staging DBCs
+
+	stats PlanStats
+}
+
+func dbcBase(a isa.Addr) isa.Addr {
+	a.Row = 0
+	return a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// portDist is the shift distance from a row to its nearest access port.
+func portDist(row, rows int, trd params.TRD) int {
+	l, r := params.PortPlacement(rows, trd)
+	return min(abs(row-l), abs(row-r))
+}
+
+// portOrder returns the given rows sorted by access-port distance
+// (nearest first, ties by lower index).
+func portOrder(rows []int, total int, trd params.TRD) []int {
+	out := append([]int(nil), rows...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			di, dj := portDist(out[j], total, trd), portDist(out[j-1], total, trd)
+			if di < dj || (di == dj && out[j] < out[j-1]) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// sideOrder orders rows nearest-port-first but grouped by which port is
+// nearest: all left-port rows, then all right-port rows. Shift cost is
+// relative to the head's current offset, so a strict distance sort that
+// alternates between the two ends of the track pays a near-full-track
+// shift on every consecutive allocation; grouping by side keeps
+// consecutively handed-out rows physically close.
+func sideOrder(rows []int, total int, trd params.TRD) []int {
+	l, r := params.PortPlacement(total, trd)
+	var lefts, rights []int
+	for _, row := range rows {
+		if abs(row-l) <= abs(row-r) {
+			lefts = append(lefts, row)
+		} else {
+			rights = append(rights, row)
+		}
+	}
+	return append(portOrder(lefts, total, trd), portOrder(rights, total, trd)...)
+}
+
+// place assigns every value a home row and every op an executing DBC.
+//
+// The optimizing layout (opt) keeps same-bank loads in place, homes
+// results in the executing DBC's non-window rows nearest the access
+// ports, folds first stores into request destinations, and spreads each
+// DAG level over execDBCs PIM DBCs. The naive layout models hand-placed
+// execution: one PIM DBC, every input copied to sequential staging rows
+// (far from the ports), every store an explicit copy — the baseline the
+// differential harness and the bench compare against.
+func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, error) {
+	g := cfg.Geometry
+	lay := &layout{
+		opt:     opt,
+		geo:     g,
+		trd:     cfg.TRD,
+		free:    make(map[isa.Addr][]int),
+		userDBC: make(map[isa.Addr]bool),
+	}
+
+	// The program's own rows (and their whole DBCs) are off-limits to
+	// the allocators, so a home can never alias a load or store address.
+	bankVotes := make(map[int]int)
+	for _, n := range p.nodes {
+		if n.kind == nLoad || n.kind == nStore {
+			lay.userDBC[dbcBase(n.addr)] = true
+			bankVotes[n.addr.Bank]++
+		}
+	}
+	lay.execBank = 0
+	bestVotes := -1
+	for b := 0; b < g.Banks; b++ {
+		if v := bankVotes[b]; v > bestVotes {
+			lay.execBank, bestVotes = b, v
+		}
+	}
+
+	if !opt {
+		execDBCs = 1
+	}
+	execDBCs = max(1, min(execDBCs, g.SubarraysPerBank*g.PIMTilesPerSub*g.PIMDBCsPerTile))
+	for sub := 0; sub < g.SubarraysPerBank && len(lay.pool) < execDBCs; sub++ {
+		for tile := 0; tile < g.PIMTilesPerSub && len(lay.pool) < execDBCs; tile++ {
+			for d := g.DBCsPerTile - g.PIMDBCsPerTile; d < g.DBCsPerTile && len(lay.pool) < execDBCs; d++ {
+				base := isa.Addr{Bank: lay.execBank, Subarray: sub, Tile: tile, DBC: d}
+				if lay.userDBC[base] {
+					continue
+				}
+				lay.pool = append(lay.pool, base)
+			}
+		}
+	}
+	if len(lay.pool) == 0 {
+		return nil, fmt.Errorf("pimc: no free PIM-enabled DBC in bank %d", lay.execBank)
+	}
+	// Non-window rows of each executing DBC: rows the op window never
+	// clobbers, so results parked there survive later operations.
+	left, right := params.PortPlacement(g.RowsPerDBC, cfg.TRD)
+	loClobber, hiClobber := left-int(cfg.TRD), right+int(cfg.TRD)
+	for _, base := range lay.pool {
+		var rows []int
+		for r := 0; r < g.RowsPerDBC; r++ {
+			if r < loClobber || r > hiClobber {
+				rows = append(rows, r)
+			}
+		}
+		lay.free[base] = sideOrder(rows, g.RowsPerDBC, cfg.TRD)
+	}
+
+	// Pass 1: level-0 values (loads, constants).
+	for _, n := range p.nodes {
+		switch n.kind {
+		case nLoad:
+			if opt && n.addr.Bank == lay.execBank {
+				n.home = n.addr // read in place: no staging copy at all
+				continue
+			}
+			home, err := lay.stageRow()
+			if err != nil {
+				return nil, err
+			}
+			n.home = home
+			lay.stats.CrossDBCMoves++
+			lay.stats.PortShifts += lay.dist(n.addr.Row) + lay.dist(home.Row)
+		case nConst:
+			home, err := lay.stageRow()
+			if err != nil {
+				return nil, err
+			}
+			n.home = home
+			lay.stats.PortShifts += lay.dist(home.Row)
+		}
+	}
+
+	// First same-bank store of each op can become the request Dst.
+	directFor := make(map[*node]*node)
+	if opt {
+		for _, n := range p.nodes {
+			if n.kind != nStore {
+				continue
+			}
+			prod := n.args[0]
+			if prod.kind == nOp && n.addr.Bank == lay.execBank && directFor[prod] == nil {
+				directFor[prod] = n
+			}
+		}
+	}
+
+	// Pass 2: op levels, cheapest executing DBC first.
+	levels := p.levelize()
+	for lv := 1; lv <= levels; lv++ {
+		assigned := make(map[isa.Addr]int, len(lay.pool))
+		reqs := 0
+		for _, n := range p.nodes {
+			if n.kind != nOp || n.level != lv {
+				continue
+			}
+			reqs++
+			best, bestCost := lay.pool[0], 1<<30
+			for _, e := range lay.pool {
+				c := 2 * assigned[e] // spread a level across the pool
+				for _, a := range n.args {
+					if dbcBase(a.home) == e {
+						c += lay.dist(a.home.Row)
+					} else {
+						c += 8 // row-buffer staging into the window
+					}
+				}
+				if c < bestCost {
+					best, bestCost = e, c
+				}
+			}
+			n.exec = best
+			assigned[best]++
+			for _, a := range n.args {
+				lay.stats.PortShifts += lay.dist(a.home.Row)
+				if dbcBase(a.home) != best {
+					lay.stats.CrossDBCMoves++
+				}
+			}
+			if s := directFor[n]; s != nil {
+				n.home, s.direct = s.addr, true
+			} else {
+				var home isa.Addr
+				var ok bool
+				if opt {
+					// Results live in the executing DBC's own non-window
+					// rows, nearest port first; the naive layout parks
+					// everything in far staging rows instead.
+					home, ok = lay.takeFree(best)
+				}
+				if !ok {
+					var err error
+					if home, err = lay.stageRow(); err != nil {
+						return nil, err
+					}
+				}
+				n.home = home
+			}
+			lay.stats.PortShifts += lay.dist(n.home.Row)
+		}
+		if reqs > 0 {
+			lay.stats.Requests += reqs
+			if opt {
+				lay.stats.Batches++
+			}
+		}
+	}
+
+	// Pass 3: remaining stores are explicit row-buffer copies.
+	for _, n := range p.nodes {
+		if n.kind == nStore && !n.direct {
+			lay.stats.CrossDBCMoves++
+			lay.stats.PortShifts += lay.dist(n.args[0].home.Row) + lay.dist(n.addr.Row)
+		}
+	}
+	return lay, nil
+}
+
+func (lay *layout) dist(row int) int {
+	return portDist(row, lay.geo.RowsPerDBC, lay.trd)
+}
+
+// takeFree pops the port-nearest unused non-window row of the DBC.
+func (lay *layout) takeFree(base isa.Addr) (isa.Addr, bool) {
+	rows := lay.free[base]
+	if len(rows) == 0 {
+		return isa.Addr{}, false
+	}
+	lay.free[base] = rows[1:]
+	base.Row = rows[0]
+	return base, true
+}
+
+// stageRow allocates a row in a non-PIM staging DBC of the exec bank.
+// The optimizing layout hands rows out nearest-port-first; the naive
+// layout sequentially from row 0, modeling placement-unaware staging.
+func (lay *layout) stageRow() (isa.Addr, error) {
+	for len(lay.stageRows) == 0 {
+		g := lay.geo
+		perSub := g.TilesPerSubarray * g.DBCsPerTile
+		if lay.stageSeq >= g.SubarraysPerBank*perSub {
+			return isa.Addr{}, fmt.Errorf("pimc: staging rows exhausted in bank %d", lay.execBank)
+		}
+		seq := lay.stageSeq
+		lay.stageSeq++
+		base := isa.Addr{
+			Bank:     lay.execBank,
+			Subarray: seq / perSub,
+			Tile:     seq % perSub / g.DBCsPerTile,
+			DBC:      seq % g.DBCsPerTile,
+		}
+		if base.IsPIMEnabled(g) || lay.userDBC[base] {
+			continue
+		}
+		rows := make([]int, g.RowsPerDBC)
+		for r := range rows {
+			rows[r] = r
+		}
+		if lay.opt {
+			rows = sideOrder(rows, g.RowsPerDBC, lay.trd)
+		}
+		for _, r := range rows {
+			a := base
+			a.Row = r
+			lay.stageRows = append(lay.stageRows, a)
+		}
+	}
+	a := lay.stageRows[0]
+	lay.stageRows = lay.stageRows[1:]
+	return a, nil
+}

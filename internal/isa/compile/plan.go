@@ -1,0 +1,151 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dbc"
+	"repro/internal/isa"
+	"repro/internal/memory"
+	"repro/internal/pim"
+)
+
+// StepKind discriminates the operations of a compiled plan.
+type StepKind int
+
+const (
+	StepWrite StepKind = iota // materialize a lane-broadcast constant
+	StepCopy                  // row-buffer transfer between two rows
+	StepBatch                 // one DAG level as an ExecuteBatch group
+	StepExec                  // one serial cpim operation (naive plan)
+)
+
+// Step is one schedulable unit of a plan.
+type Step struct {
+	Kind StepKind
+
+	// StepWrite: broadcast Val into every Bs-bit lane of the row at Addr.
+	Addr isa.Addr
+	Val  uint64
+	Bs   int
+
+	// StepCopy: CopyRow Src -> Dst.
+	Src, Dst isa.Addr
+
+	// StepBatch: independent requests of one DAG level.
+	Reqs []memory.Request
+
+	// StepExec: one serial instruction.
+	In       isa.Instruction
+	Operands []isa.Addr
+	DstA     isa.Addr
+}
+
+// Plan is an executable schedule over a Memory: constants and staging
+// copies first, then the DAG levels (batched under -O1, serial program
+// order naive), then the store copies placement could not fold away.
+type Plan struct {
+	Steps []Step
+	Stats PlanStats
+	Opt   bool // placement-aware (-O1) vs naive hand-placed layout
+}
+
+// buildPlan schedules the placed program.
+func buildPlan(p *Program, lay *layout) *Plan {
+	pl := &Plan{Stats: lay.stats, Opt: lay.opt}
+	for _, n := range p.nodes {
+		switch n.kind {
+		case nConst:
+			pl.Steps = append(pl.Steps, Step{Kind: StepWrite, Addr: n.home, Val: n.val, Bs: n.bs})
+		case nLoad:
+			if n.home != n.addr {
+				pl.Steps = append(pl.Steps, Step{Kind: StepCopy, Src: n.addr, Dst: n.home})
+			}
+		}
+	}
+	levels := p.levelize()
+	for lv := 1; lv <= levels; lv++ {
+		var reqs []memory.Request
+		for _, n := range p.nodes {
+			if n.kind != nOp || n.level != lv {
+				continue
+			}
+			in := isa.Instruction{Op: n.op, Src: n.exec, Blocksize: n.bs, Operands: len(n.args), Imm: n.imm}
+			operands := make([]isa.Addr, len(n.args))
+			for i, a := range n.args {
+				operands[i] = a.home
+			}
+			if lay.opt {
+				reqs = append(reqs, memory.Request{In: in, Operands: operands, Dst: n.home})
+			} else {
+				pl.Steps = append(pl.Steps, Step{Kind: StepExec, In: in, Operands: operands, DstA: n.home})
+			}
+		}
+		if len(reqs) > 0 {
+			pl.Steps = append(pl.Steps, Step{Kind: StepBatch, Reqs: reqs})
+		}
+	}
+	for _, n := range p.nodes {
+		if n.kind == nStore && !n.direct {
+			pl.Steps = append(pl.Steps, Step{Kind: StepCopy, Src: n.args[0].home, Dst: n.addr})
+		}
+	}
+	return pl
+}
+
+// Run executes the plan against the memory. The memory's rows at the
+// program's load addresses are the plan's inputs; after Run returns,
+// every store address holds its program value.
+func (pl *Plan) Run(m *memory.Memory) error {
+	width := m.Config().Geometry.TrackWidth
+	for i, st := range pl.Steps {
+		var err error
+		switch st.Kind {
+		case StepWrite:
+			lanes := make([]uint64, width/st.Bs)
+			for l := range lanes {
+				lanes[l] = st.Val
+			}
+			var row dbc.Row
+			if row, err = pim.PackLanes(lanes, st.Bs, width); err == nil {
+				err = m.WriteRow(st.Addr, row)
+			}
+		case StepCopy:
+			err = m.CopyRow(st.Src, st.Dst)
+		case StepBatch:
+			for r, res := range m.ExecuteBatch(st.Reqs) {
+				if res.Err != nil {
+					err = fmt.Errorf("request %d (%v): %w", r, st.Reqs[r].In.Op, res.Err)
+					break
+				}
+			}
+		case StepExec:
+			_, err = m.Execute(st.In, st.Operands, st.DstA)
+		}
+		if err != nil {
+			return fmt.Errorf("pimc: step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the schedule one step per line for -dump output.
+func (pl *Plan) String() string {
+	var b strings.Builder
+	for i, st := range pl.Steps {
+		switch st.Kind {
+		case StepWrite:
+			fmt.Fprintf(&b, "%3d: write %s <- %d bs=%d\n", i, isa.FormatAddr(st.Addr), st.Val, st.Bs)
+		case StepCopy:
+			fmt.Fprintf(&b, "%3d: copy  %s -> %s\n", i, isa.FormatAddr(st.Src), isa.FormatAddr(st.Dst))
+		case StepBatch:
+			fmt.Fprintf(&b, "%3d: batch %d requests\n", i, len(st.Reqs))
+			for _, r := range st.Reqs {
+				fmt.Fprintf(&b, "       %v @ %s -> %s\n", r.In.Op, isa.FormatAddr(r.In.Src), isa.FormatAddr(r.Dst))
+			}
+		case StepExec:
+			fmt.Fprintf(&b, "%3d: exec  %v @ %s -> %s\n", i, st.In.Op, isa.FormatAddr(st.In.Src), isa.FormatAddr(st.DstA))
+		}
+	}
+	return b.String()
+}

@@ -12,18 +12,22 @@ import (
 //
 // Layout (LSB first):
 //
-//	[0:4]   opcode
-//	[4:9]   bank
-//	[9:15]  subarray
-//	[15:19] tile
-//	[19:23] DBC
-//	[23:29] row
-//	[29:32] log2(blocksize)−3 (8..512)
-//	[32:35] operand count − 1
+//	[0:5]   opcode
+//	[5:10]  bank
+//	[10:16] subarray
+//	[16:20] tile
+//	[20:24] DBC
+//	[24:30] row
+//	[30:33] log2(blocksize)−3 (8..512)
+//	[33:36] operand count − 1
+//	[36:46] immediate (shift amount, 0..blocksize)
 //
-// The remaining bits are reserved and must be zero.
+// The remaining bits are reserved and must be zero. The opcode field
+// grew from 4 to 5 bits and the immediate field was appended when the
+// PIRM arithmetic extension (div/mod/shl/shr/fma) pushed the opcode
+// count past 16.
 const (
-	opBits   = 4
+	opBits   = 5
 	bankBits = 5
 	subBits  = 6
 	tileBits = 4
@@ -31,6 +35,7 @@ const (
 	rowBits  = 6
 	bsBits   = 3
 	kBits    = 3
+	immBits  = 10
 )
 
 // Encode packs the instruction into its binary form. Encoding fails for
@@ -58,6 +63,7 @@ func (in Instruction) Encode(g params.Geometry, trd params.TRD) (uint64, error) 
 		{in.Src.Row, 1<<rowBits - 1, rowBits},
 		{bits.TrailingZeros(uint(bs)) - 3, 1<<bsBits - 1, bsBits},
 		{k - 1, 1<<kBits - 1, kBits},
+		{in.Imm, 1<<immBits - 1, immBits},
 	}
 	var word uint64
 	shift := 0
@@ -87,5 +93,6 @@ func Decode(word uint64) Instruction {
 	in.Src.Row = take(rowBits)
 	in.Blocksize = 8 << uint(take(bsBits))
 	in.Operands = take(kBits) + 1
+	in.Imm = take(immBits)
 	return in
 }

@@ -50,8 +50,9 @@ func TestEncodeKnownWord(t *testing.T) {
 	if got != in {
 		t.Errorf("decode = %+v, want %+v", got, in)
 	}
-	// Reserved bits must stay clear.
-	if word>>35 != 0 {
+	// Reserved bits must stay clear (46 bits of payload since the
+	// 5-bit opcode and the immediate field landed).
+	if word>>46 != 0 {
 		t.Errorf("reserved bits set: %#x", word)
 	}
 }

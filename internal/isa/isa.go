@@ -36,6 +36,14 @@ const (
 	OpMax
 	OpRelu
 	OpVote
+	// PIRM-style arithmetic extension: restoring division/modulo on the
+	// carry chain, variable logical shifts priced as racetrack shifts
+	// (XDWM), and fused multiply-add on the Multiply reduction planes.
+	OpDiv
+	OpMod
+	OpShl
+	OpShr
+	OpFma
 )
 
 var opNames = map[OpCode]string{
@@ -43,6 +51,7 @@ var opNames = map[OpCode]string{
 	OpAnd: "and", OpOr: "or", OpNand: "nand", OpNor: "nor",
 	OpXor: "xor", OpXnor: "xnor", OpNot: "not",
 	OpAdd: "add", OpMult: "mult", OpMax: "max", OpRelu: "relu", OpVote: "vote",
+	OpDiv: "div", OpMod: "mod", OpShl: "shl", OpShr: "shr", OpFma: "fma",
 }
 
 func (o OpCode) String() string {
@@ -79,14 +88,40 @@ type Addr struct {
 	Bank, Subarray, Tile, DBC, Row int
 }
 
-// Valid reports whether the address is inside the geometry.
-func (a Addr) Valid(g params.Geometry) bool {
-	return a.Bank >= 0 && a.Bank < g.Banks &&
-		a.Subarray >= 0 && a.Subarray < g.SubarraysPerBank &&
-		a.Tile >= 0 && a.Tile < g.TilesPerSubarray &&
-		a.DBC >= 0 && a.DBC < g.DBCsPerTile &&
-		a.Row >= 0 && a.Row < g.RowsPerDBC
+// AddrRangeError reports one address field outside the configured
+// geometry; Max is the exclusive upper bound. Test with errors.As.
+type AddrRangeError struct {
+	Field string // "bank", "subarray", "tile", "dbc" or "row"
+	Value int
+	Max   int
 }
+
+func (e *AddrRangeError) Error() string {
+	return fmt.Sprintf("isa: %s %d outside geometry (want 0..%d)", e.Field, e.Value, e.Max-1)
+}
+
+// CheckGeometry validates the address against the geometry, returning a
+// typed *AddrRangeError naming the first out-of-range field.
+func (a Addr) CheckGeometry(g params.Geometry) error {
+	for _, f := range []struct {
+		name     string
+		val, max int
+	}{
+		{"bank", a.Bank, g.Banks},
+		{"subarray", a.Subarray, g.SubarraysPerBank},
+		{"tile", a.Tile, g.TilesPerSubarray},
+		{"dbc", a.DBC, g.DBCsPerTile},
+		{"row", a.Row, g.RowsPerDBC},
+	} {
+		if f.val < 0 || f.val >= f.max {
+			return &AddrRangeError{Field: f.name, Value: f.val, Max: f.max}
+		}
+	}
+	return nil
+}
+
+// Valid reports whether the address is inside the geometry.
+func (a Addr) Valid(g params.Geometry) bool { return a.CheckGeometry(g) == nil }
 
 // Linear returns the flat row index of the address (row-interleaved
 // within DBC, DBC within tile, and so on).
@@ -128,12 +163,13 @@ type Instruction struct {
 	Src       Addr
 	Blocksize int
 	Operands  int // operand cardinality k (padded to TRD as needed)
+	Imm       int // shift amount for shl/shr (0..Blocksize); zero otherwise
 }
 
 // Validate reports instruction encoding errors.
 func (in Instruction) Validate(g params.Geometry, trd params.TRD) error {
-	if !in.Src.Valid(g) {
-		return fmt.Errorf("isa: address %+v outside geometry", in.Src)
+	if err := in.Src.CheckGeometry(g); err != nil {
+		return err
 	}
 	switch in.Op {
 	case OpRead, OpWrite, OpNop:
@@ -144,6 +180,27 @@ func (in Instruction) Validate(g params.Geometry, trd params.TRD) error {
 	}
 	if in.Operands < 1 || in.Operands > trd.MaxBulkOperands() {
 		return fmt.Errorf("isa: operand count %d out of range for %v: %w", in.Operands, trd, params.ErrBadTRD)
+	}
+	switch in.Op {
+	case OpShl, OpShr:
+		if in.Operands != 1 {
+			return fmt.Errorf("isa: %v expects 1 operand, got %d", in.Op, in.Operands)
+		}
+		if in.Imm < 0 || in.Imm > in.Blocksize {
+			return fmt.Errorf("isa: shift amount %d outside 0..%d", in.Imm, in.Blocksize)
+		}
+		return nil
+	case OpDiv, OpMod:
+		if in.Operands != 2 {
+			return fmt.Errorf("isa: %v expects 2 operands, got %d", in.Op, in.Operands)
+		}
+	case OpFma:
+		if in.Operands != 3 {
+			return fmt.Errorf("isa: fma expects 3 operands, got %d", in.Operands)
+		}
+	}
+	if in.Imm != 0 {
+		return fmt.Errorf("isa: %v takes no immediate, got %d", in.Op, in.Imm)
 	}
 	return nil
 }
@@ -238,8 +295,9 @@ func (c *Controller) Execute(in Instruction, operands []dbc.Row) (dbc.Row, error
 		if len(operands) != 2 {
 			return dbc.Row{}, fmt.Errorf("isa: mult expects 2 operands, got %d", len(operands))
 		}
+	case OpAdd, OpMax, OpRelu, OpVote, OpDiv, OpMod, OpShl, OpShr, OpFma:
 	default:
-		if _, ok := in.Op.bulkOp(); !ok && in.Op != OpAdd && in.Op != OpMax && in.Op != OpRelu && in.Op != OpVote {
+		if _, ok := in.Op.bulkOp(); !ok {
 			return dbc.Row{}, fmt.Errorf("isa: unhandled opcode %v", in.Op)
 		}
 	}
@@ -265,6 +323,18 @@ func (c *Controller) dispatch(in Instruction, operands []dbc.Row) (dbc.Row, erro
 		return c.Unit.ReLU(operands[0], in.Blocksize)
 	case OpVote:
 		return c.Unit.Vote(operands)
+	case OpDiv:
+		q, _, err := c.Unit.DivMod(operands[0], operands[1], in.Blocksize)
+		return q, err
+	case OpMod:
+		_, r, err := c.Unit.DivMod(operands[0], operands[1], in.Blocksize)
+		return r, err
+	case OpShl:
+		return c.Unit.LogicalShift(operands[0], in.Imm, in.Blocksize, true)
+	case OpShr:
+		return c.Unit.LogicalShift(operands[0], in.Imm, in.Blocksize, false)
+	case OpFma:
+		return c.Unit.FMA(operands[0], operands[1], operands[2], in.Blocksize/2)
 	default:
 		op, _ := in.Op.bulkOp()
 		return c.Unit.BulkBitwise(op, operands)

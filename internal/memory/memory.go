@@ -564,6 +564,7 @@ func (m *Memory) planExecute(in isa.Instruction, operands []isa.Addr, dst isa.Ad
 			return execPlan{}, fmt.Errorf("memory: mult expects 2 operands, got %d", len(operands))
 		}
 	case isa.OpAdd, isa.OpMax, isa.OpRelu, isa.OpVote,
+		isa.OpDiv, isa.OpMod, isa.OpShl, isa.OpShr, isa.OpFma,
 		isa.OpAnd, isa.OpOr, isa.OpNand, isa.OpNor, isa.OpXor, isa.OpXnor, isa.OpNot:
 	default:
 		return execPlan{}, fmt.Errorf("memory: opcode %v is not a PIM operation", in.Op)
@@ -661,6 +662,18 @@ func dispatchOp(u *pim.Unit, in isa.Instruction, rows []dbc.Row) (dbc.Row, error
 		return u.ReLU(rows[0], in.Blocksize)
 	case isa.OpVote:
 		return u.Vote(rows)
+	case isa.OpDiv:
+		q, _, err := u.DivMod(rows[0], rows[1], in.Blocksize)
+		return q, err
+	case isa.OpMod:
+		_, r, err := u.DivMod(rows[0], rows[1], in.Blocksize)
+		return r, err
+	case isa.OpShl:
+		return u.LogicalShift(rows[0], in.Imm, in.Blocksize, true)
+	case isa.OpShr:
+		return u.LogicalShift(rows[0], in.Imm, in.Blocksize, false)
+	case isa.OpFma:
+		return u.FMA(rows[0], rows[1], rows[2], in.Blocksize/2)
 	default:
 		op, _ := bulkOp(in.Op)
 		return u.BulkBitwise(op, rows)

@@ -65,9 +65,23 @@ func (u *Unit) AddMulti(operands []dbc.Row, blocksize int) (dbc.Row, error) {
 // the trace records the same per-wire event counts as the historical
 // scalar scatter.
 func (u *Unit) addPlaced(blocksize int, hasCp bool) (dbc.Row, error) {
+	sum := dbc.NewRow(u.D.Width())
+	if err := u.addPlacedInto(sum, blocksize, hasCp); err != nil {
+		return dbc.Row{}, err
+	}
+	return sum, nil
+}
+
+// addPlacedInto is addPlaced accumulating into a caller-owned row of the
+// DBC width (cleared first), so iterative users of the chain — the
+// restoring divider runs it once per quotient bit — stay on the scratch
+// arena instead of allocating a fresh sum row per step.
+func (u *Unit) addPlacedInto(sum dbc.Row, blocksize int, hasCp bool) error {
 	width := u.D.Width()
 	b := blocksize
-	sum := dbc.NewRow(width)
+	for i := range sum.Words {
+		sum.Words[i] = 0
+	}
 	words := len(sum.Words)
 	scratch := scratchWords(&u.scratch.addWords, 5*words)
 	mask := scratch[:words]
@@ -121,7 +135,7 @@ func (u *Unit) addPlaced(blocksize int, hasCp bool) (dbc.Row, error) {
 		u.D.WriteScatterPlanes(left, leftMask, rBits, rMask, count)
 	}
 	sum.MaskTail()
-	return sum, nil
+	return nil
 }
 
 // shiftWordsUp sets dst to src shifted k bit positions toward higher

@@ -32,6 +32,13 @@ func TestAllocsPerOpSteadyState(t *testing.T) {
 	ma := MustPackLanes(mvals, 16, width)
 	mb := MustPackLanes(mvals, 16, width)
 
+	dvals := make([]uint64, width/8)
+	for l := range dvals {
+		dvals[l] = uint64(5*l+3) % 256 // divisor row, some small, none huge
+	}
+	da := operands[0]
+	dd := MustPackLanes(dvals, 8, width)
+
 	cases := []struct {
 		name string
 		max  float64
@@ -40,6 +47,12 @@ func TestAllocsPerOpSteadyState(t *testing.T) {
 		{"AddMulti", 1, func() error { _, err := u.AddMulti(operands, 8); return err }},
 		{"Multiply", 1, func() error { _, err := u.Multiply(ma, mb, 8); return err }},
 		{"MaxTR", 1, func() error { _, err := u.MaxTR(operands, 8); return err }},
+		// The new ops return owned rows too: DivMod q+r, DivModSigned
+		// q+r, one result row each for shift and FMA.
+		{"DivMod", 2, func() error { _, _, err := u.DivMod(da, dd, 8); return err }},
+		{"DivModSigned", 2, func() error { _, _, err := u.DivModSigned(da, dd, 8); return err }},
+		{"LogicalShift", 1, func() error { _, err := u.LogicalShift(da, 3, 8, true); return err }},
+		{"FMA", 1, func() error { _, err := u.FMA(ma, mb, operands[1], 8); return err }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,171 @@
+package pim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/params"
+)
+
+// TestDivModDifferential checks the restoring divider bit-identically
+// against Go integer division, across TRDs, lane widths and randomized
+// operands, with divide-by-zero lanes mixed in (quotient all-ones,
+// remainder = dividend — the RISC-V convention).
+func TestDivModDifferential(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD5, params.TRD7} {
+		for _, bs := range []int{8, 16, 32, 64} {
+			width := 4 * bs
+			u := unitFor(t, trd, width)
+			rng := rand.New(rand.NewSource(int64(trd)*1000 + int64(bs)))
+			lanes := width / bs
+			mask := uint64(1)<<uint(bs) - 1
+			if bs == 64 {
+				mask = ^uint64(0)
+			}
+			for iter := 0; iter < 8; iter++ {
+				a := make([]uint64, lanes)
+				d := make([]uint64, lanes)
+				for l := range a {
+					a[l] = rng.Uint64() & mask
+					switch rng.Intn(4) {
+					case 0:
+						d[l] = 0 // divide-by-zero lane
+					case 1:
+						d[l] = rng.Uint64() & mask >> (uint(rng.Intn(bs)) % 64) // small divisor
+					default:
+						d[l] = rng.Uint64() & mask
+					}
+				}
+				q, r, err := u.DivModValues(a, d, bs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for l := range a {
+					wantQ, wantR := mask, a[l]
+					if d[l] != 0 {
+						wantQ, wantR = a[l]/d[l], a[l]%d[l]
+					}
+					if q[l] != wantQ || r[l] != wantR {
+						t.Fatalf("trd=%v bs=%d lane %d: %d /%% %d = (%d,%d), want (%d,%d)",
+							trd, bs, l, a[l], d[l], q[l], r[l], wantQ, wantR)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDivModSignedDifferential checks truncated signed division against
+// Go's native semantics, including MinInt/−1 overflow wrap and negative
+// operands on both sides, plus divide-by-zero lanes.
+func TestDivModSignedDifferential(t *testing.T) {
+	for _, trd := range []params.TRD{params.TRD3, params.TRD7} {
+		for _, bs := range []int{8, 16, 32} {
+			width := 4 * bs
+			u := unitFor(t, trd, width)
+			rng := rand.New(rand.NewSource(int64(trd)*2000 + int64(bs)))
+			lanes := width / bs
+			minInt := int64(-1) << uint(bs-1)
+			maxInt := -minInt - 1
+			clamp := func(v int64) int64 { // wrap into the lane's range
+				m := uint64(1)<<uint(bs) - 1
+				uv := uint64(v) & m
+				if uv>>(uint(bs)-1) != 0 {
+					return int64(uv | ^m)
+				}
+				return int64(uv)
+			}
+			for iter := 0; iter < 8; iter++ {
+				a := make([]int64, lanes)
+				d := make([]int64, lanes)
+				for l := range a {
+					a[l] = clamp(rng.Int63n(maxInt+1) - rng.Int63n(maxInt+1))
+					switch rng.Intn(5) {
+					case 0:
+						d[l] = 0
+					case 1:
+						a[l], d[l] = minInt, -1 // overflow wrap lane
+					default:
+						d[l] = clamp(rng.Int63n(maxInt+1) - rng.Int63n(maxInt+1))
+					}
+				}
+				q, r, err := u.DivModSignedValues(a, d, bs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for l := range a {
+					var wantQ, wantR int64
+					switch {
+					case d[l] == 0:
+						wantQ, wantR = -1, a[l]
+					case a[l] == minInt && d[l] == -1:
+						wantQ, wantR = minInt, 0
+					default:
+						wantQ, wantR = a[l]/d[l], a[l]%d[l]
+					}
+					if q[l] != wantQ || r[l] != wantR {
+						t.Fatalf("trd=%v bs=%d lane %d: %d /%% %d = (%d,%d), want (%d,%d)",
+							trd, bs, l, a[l], d[l], q[l], r[l], wantQ, wantR)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDivModWideLanes exercises lanes wider than a word (the generic
+// bit paths of the lane helpers).
+func TestDivModWideLanes(t *testing.T) {
+	u := unitFor(t, params.TRD7, 256)
+	a := MustPackLanes([]uint64{1<<63 + 12345, 999}, 128, 256)
+	d := MustPackLanes([]uint64{1 << 20, 7}, 128, 256)
+	q, r, err := u.DivMod(a, d, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := UnpackLanes(q, 128)
+	rs := UnpackLanes(r, 128)
+	wantQ0 := (uint64(1)<<63 + 12345) / (1 << 20)
+	wantR0 := (uint64(1)<<63 + 12345) % (1 << 20)
+	if qs[0] != wantQ0 || rs[0] != wantR0 || qs[1] != 999/7 || rs[1] != 999%7 {
+		t.Fatalf("wide-lane divide: got q=%v r=%v", qs[:2], rs[:2])
+	}
+}
+
+// TestDivModErrors covers argument validation.
+func TestDivModErrors(t *testing.T) {
+	u := unitFor(t, params.TRD7, 64)
+	a := MustPackLanes([]uint64{1}, 8, 64)
+	if _, _, err := u.DivMod(a, a, 5); err == nil {
+		t.Fatal("invalid blocksize accepted")
+	}
+	short := MustPackLanes([]uint64{1}, 8, 8)
+	if _, _, err := u.DivMod(a, short, 8); err == nil {
+		t.Fatal("mismatched width accepted")
+	}
+	if _, _, err := u.DivModValues([]uint64{1}, []uint64{1, 2}, 8); err == nil {
+		t.Fatal("mismatched counts accepted")
+	}
+	if _, _, err := u.DivModSignedValues([]int64{1}, []int64{1}, 128); !errors.Is(err, ErrLaneOverflow) {
+		t.Fatalf("128-bit signed wrapper: got %v, want ErrLaneOverflow", err)
+	}
+}
+
+// TestDivModCharges pins the divider to the device cost model: every
+// quotient bit costs one doubling shift, one predicated copy and one
+// carry-chain subtraction, so shifts and TRs must scale with the lane
+// width.
+func TestDivModCharges(t *testing.T) {
+	u := unitFor(t, params.TRD7, 64)
+	a := MustPackLanes([]uint64{200}, 8, 64)
+	d := MustPackLanes([]uint64{7}, 8, 64)
+	u.ResetStats()
+	if _, _, err := u.DivMod(a, d, 8); err != nil {
+		t.Fatal(err)
+	}
+	st := u.Stats()
+	if st.TRSteps < 8 || st.ShiftSteps < 8 || st.CopySteps < 8 {
+		t.Fatalf("divider under-charged: %+v", st)
+	}
+}

@@ -127,8 +127,11 @@ func laneShiftLeftK(r dbc.Row, lane, k int) dbc.Row {
 }
 
 // laneShiftLeftKInto is laneShiftLeftK writing into a caller-owned row
-// of the same width. out == r is allowed (in-place shift): each word is
-// read before it is overwritten and the carry walks low to high.
+// of the same width. out == r is allowed (in-place shift): words are
+// filled from the high index down, so every source word is read before
+// it can be overwritten. Any k ≥ 0 is supported (k ≥ lane zeroes the
+// lanes); shifts wider than a word decompose into a whole-word move
+// plus a sub-word carry chain.
 func laneShiftLeftKInto(out, r dbc.Row, lane, k int) {
 	if k >= lane {
 		for i := range out.Words {
@@ -136,12 +139,25 @@ func laneShiftLeftKInto(out, r dbc.Row, lane, k int) {
 		}
 		return
 	}
-	var carry uint64
-	for i, w := range r.Words {
-		out.Words[i] = w<<uint(k) | carry
-		carry = w >> uint(64-k)
+	kw, kb := k/64, uint(k%64)
+	for i := len(r.Words) - 1; i >= 0; i-- {
+		var w uint64
+		if i-kw >= 0 {
+			w = r.Words[i-kw] << kb
+			if kb > 0 && i-kw-1 >= 0 {
+				w |= r.Words[i-kw-1] >> (64 - kb)
+			}
+		}
+		out.Words[i] = w
 	}
+	clearLaneLow(out, lane, k)
+	out.MaskTail()
+}
+
+// clearLaneLow zeroes the k low bits of every lane of out in place.
+func clearLaneLow(out dbc.Row, lane, k int) {
 	switch {
+	case k == 0:
 	case 64%lane == 0:
 		// Clear the k low bits of every lane in one mask per word.
 		var low uint64
@@ -152,18 +168,80 @@ func laneShiftLeftKInto(out, r dbc.Row, lane, k int) {
 			out.Words[i] &^= low
 		}
 	case lane%64 == 0:
-		wpl := lane / 64
-		for base := 0; base < len(out.Words); base += wpl {
-			out.Words[base] &^= 1<<uint(k) - 1
+		for base := 0; base < len(out.Words); base += lane / 64 {
+			for i := 0; i < k/64; i++ {
+				out.Words[base+i] = 0
+			}
+			if kb := uint(k % 64); kb > 0 {
+				out.Words[base+k/64] &^= 1<<kb - 1
+			}
 		}
 	default:
-		for base := 0; base < r.N; base += lane {
+		for base := 0; base < out.N; base += lane {
 			for b := 0; b < k; b++ {
 				out.Set(base+b, 0)
 			}
 		}
 	}
+}
+
+// laneShiftRightKInto writes r logically shifted right by k bit
+// positions within each lane into out: bit j moves to bit j−k, the
+// lane's bottom k bits are discarded, the top k bits become zero.
+// out == r is allowed: words fill from the low index up, reading only
+// indices at or above the one being written.
+func laneShiftRightKInto(out, r dbc.Row, lane, k int) {
+	if k >= lane {
+		for i := range out.Words {
+			out.Words[i] = 0
+		}
+		return
+	}
+	kw, kb := k/64, uint(k%64)
+	n := len(r.Words)
+	for i := 0; i < n; i++ {
+		var w uint64
+		if i+kw < n {
+			w = r.Words[i+kw] >> kb
+			if kb > 0 && i+kw+1 < n {
+				w |= r.Words[i+kw+1] << (64 - kb)
+			}
+		}
+		out.Words[i] = w
+	}
+	clearLaneHigh(out, lane, k)
 	out.MaskTail()
+}
+
+// clearLaneHigh zeroes the k high bits of every lane of out in place.
+func clearLaneHigh(out dbc.Row, lane, k int) {
+	switch {
+	case k == 0:
+	case 64%lane == 0:
+		var high uint64
+		for b := lane - k; b < lane; b++ {
+			high |= lanePattern(lane, b)
+		}
+		for i := range out.Words {
+			out.Words[i] &^= high
+		}
+	case lane%64 == 0:
+		wpl := lane / 64
+		for base := 0; base < len(out.Words); base += wpl {
+			for i := 0; i < k/64; i++ {
+				out.Words[base+wpl-1-i] = 0
+			}
+			if kb := uint(k % 64); kb > 0 {
+				out.Words[base+wpl-1-k/64] &^= ((1 << kb) - 1) << (64 - kb)
+			}
+		}
+	default:
+		for base := 0; base < out.N; base += lane {
+			for b := lane - k; b < lane; b++ {
+				out.Set(base+b, 0)
+			}
+		}
+	}
 }
 
 func laneShiftLeft(r dbc.Row, lane int) dbc.Row { return laneShiftLeftK(r, lane, 1) }

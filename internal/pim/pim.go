@@ -172,6 +172,30 @@ func (u *Unit) placeWindow(rows []dbc.Row, pad uint8, finalShift bool) error {
 	return nil
 }
 
+// chargeStep charges one device control step of the given kind across
+// width wires to both cost sinks: the primitive tracer (latency/energy
+// derivation) and the telemetry recorder (cycle clock). Operations whose
+// functional result is computed word-parallel use it to account the
+// device steps the hardware would issue, exactly as Multiply charges its
+// predicated copy/shift pairs.
+func (u *Unit) chargeStep(op telemetry.Op, width int) {
+	switch op {
+	case telemetry.OpShift:
+		u.tr.Shift(width)
+	case telemetry.OpTR:
+		u.tr.TR(width)
+	case telemetry.OpTW:
+		u.tr.TW(width)
+	case telemetry.OpRead:
+		u.tr.Read(width)
+	case telemetry.OpWrite:
+		u.tr.Write(width)
+	case telemetry.OpCopy:
+		u.tr.Copy(width)
+	}
+	u.rec.Step(u.src, op, width)
+}
+
 // trAll performs a traced whole-DBC transverse read into the unit's
 // scratch planes. The returned planes alias the scratch buffer and are
 // valid only until the next transverse read; consumers copy what they

@@ -94,15 +94,22 @@ type SpanMetrics struct {
 	EnergyHist  Hist // span energy in rounded pJ
 }
 
+// MarkMetrics aggregates the tagged control events of one mark name.
+type MarkMetrics struct {
+	Count      uint64
+	WiresTotal uint64 // sum of the marks' wires payloads (e.g. rows saved)
+}
+
 // Metrics is the aggregate view of a telemetry stream: counters and
-// histograms per op kind, per source and per span name. The zero value
-// is not ready; use NewMetrics. All methods are safe for concurrent
-// use.
+// histograms per op kind, per source, per span name and per mark name.
+// The zero value is not ready; use NewMetrics. All methods are safe for
+// concurrent use.
 type Metrics struct {
 	mu     sync.Mutex
 	perOp  [numOps]OpMetrics
 	perSrc map[Source]*SrcMetrics
 	spans  map[string]*SpanMetrics
+	marks  map[string]*MarkMetrics
 }
 
 // NewMetrics returns an empty metrics aggregate.
@@ -110,6 +117,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		perSrc: make(map[Source]*SrcMetrics),
 		spans:  make(map[string]*SpanMetrics),
+		marks:  make(map[string]*MarkMetrics),
 	}
 }
 
@@ -133,6 +141,15 @@ func (m *Metrics) record(e Event) {
 	}
 	sm.Steps[e.Op]++
 	sm.EnergyPJ += e.EnergyPJ
+	if e.Op == OpMark && e.Name != "" {
+		mk := m.marks[e.Name]
+		if mk == nil {
+			mk = &MarkMetrics{}
+			m.marks[e.Name] = mk
+		}
+		mk.Count++
+		mk.WiresTotal += uint64(e.Wires)
+	}
 	m.mu.Unlock()
 }
 
@@ -178,6 +195,29 @@ func (m *Metrics) Sources() map[Source]SrcMetrics {
 		out[s] = *v
 	}
 	return out
+}
+
+// Mark returns the aggregate for one mark name (zero value when the
+// name was never marked).
+func (m *Metrics) Mark(name string) MarkMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mk := m.marks[name]; mk != nil {
+		return *mk
+	}
+	return MarkMetrics{}
+}
+
+// MarkNames returns the names of all recorded marks, sorted.
+func (m *Metrics) MarkNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.marks))
+	for n := range m.marks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Span returns a copy of the aggregate for one span name (zero value
@@ -255,6 +295,22 @@ func (m *Metrics) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	if len(m.marks) > 0 {
+		if _, err := fmt.Fprintf(w, "\n## marks\n"); err != nil {
+			return err
+		}
+		names = names[:0]
+		for n := range m.marks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			mk := m.marks[n]
+			if _, err := fmt.Fprintf(w, "%-24s count=%d total=%d\n", n, mk.Count, mk.WiresTotal); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -287,7 +343,15 @@ func (m *Metrics) snapshot() any {
 	for n, sp := range m.spans {
 		spans[n] = spanJSON{Count: sp.Count, Cycles: sp.TotalCycles, EnergyPJ: sp.TotalPJ}
 	}
-	return map[string]any{"ops": ops, "sources": srcs, "spans": spans}
+	type markJSON struct {
+		Count uint64 `json:"count"`
+		Total uint64 `json:"total"`
+	}
+	marks := make(map[string]markJSON)
+	for n, mk := range m.marks {
+		marks[n] = markJSON{Count: mk.Count, Total: mk.WiresTotal}
+	}
+	return map[string]any{"ops": ops, "sources": srcs, "spans": spans, "marks": marks}
 }
 
 var expvarMu sync.Mutex

@@ -169,3 +169,26 @@ func TestPublishExpvarIsIdempotent(t *testing.T) {
 	m.PublishExpvar("telemetry.test")
 	NewMetrics().PublishExpvar("telemetry.test")
 }
+
+func TestMarksAggregateByName(t *testing.T) {
+	r := NewRecorder(testConfig())
+	r.Mark("pimc", "moves-saved", 5)
+	r.Mark("pimc", "moves-saved", 2)
+	r.Mark("pimc", "shifts-saved", 40)
+	r.Mark("pimc", "", 9) // unnamed marks are not aggregated
+
+	m := r.Metrics()
+	if mk := m.Mark("moves-saved"); mk.Count != 2 || mk.WiresTotal != 7 {
+		t.Errorf("moves-saved = %+v, want count 2 total 7", mk)
+	}
+	if mk := m.Mark("shifts-saved"); mk.Count != 1 || mk.WiresTotal != 40 {
+		t.Errorf("shifts-saved = %+v, want count 1 total 40", mk)
+	}
+	if mk := m.Mark("absent"); mk != (MarkMetrics{}) {
+		t.Errorf("absent mark = %+v, want zero", mk)
+	}
+	names := m.MarkNames()
+	if len(names) != 2 || names[0] != "moves-saved" || names[1] != "shifts-saved" {
+		t.Errorf("MarkNames = %v", names)
+	}
+}
