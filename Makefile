@@ -12,20 +12,30 @@ ci: lint build race race-obs fuzz bench bench-obs bench-parallel bench-resilient
 vet:
 	$(GO) vet ./...
 
+# bin/coruscantvet rebuilds only when the checker's inputs change: the
+# command itself, the analyzers under internal/analysis, and the
+# vendored x/tools analysis framework they build on.
+VET_SRCS := $(shell find cmd/coruscantvet internal/analysis third_party -name '*.go' -not -path '*/testdata/*')
+
+$(BIN)/coruscantvet: $(VET_SRCS) go.mod
+	$(GO) build -o $@ ./cmd/coruscantvet
+
 # lint runs the stock vet analyzers, then the repository's own
 # coruscantvet suite (internal/analysis: rowalias, scratchescape,
-# masktail, seededrand, panicmsg, facadeerr — see DESIGN.md "Invariants
-# & static analysis"), then checks formatting. The ./... sweep covers
-# every package including the pimc compiler (internal/isa/compile).
-# third_party/ carries vendored upstream code and is exempt from gofmt
-# drift.
-lint: vet
-	$(GO) build -o $(BIN)/coruscantvet ./cmd/coruscantvet
+# masktail, seededrand, panicmsg, facadeerr, and the CFG-based
+# spanbalance and lockorder — see DESIGN.md "Invariants & static
+# analysis"), then checks formatting, then runs the pimasm IR verifier
+# over every .pimasm program in the tree (the examples and the
+# bench-compile corpus). The ./... sweep covers every package including
+# the pimc compiler (internal/isa/compile). third_party/ carries
+# vendored upstream code and is exempt from gofmt drift.
+lint: vet $(BIN)/coruscantvet
 	$(GO) vet -vettool=$(BIN)/coruscantvet ./...
 	@fmt_out=$$(gofmt -l . | grep -v '^third_party/' || true); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
+	$(GO) run ./cmd/pimasm vet $(shell find examples -name '*.pimasm')
 
 # audit is advisory, not a gate: it runs govulncheck when the tool is
 # installed and succeeds with a notice otherwise (the build environment
@@ -61,6 +71,7 @@ race-obs:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzRowRoundTrip -fuzztime 5s ./internal/dbc
 	$(GO) test -run '^$$' -fuzz FuzzEncodeDecode -fuzztime 5s ./internal/isa
+	$(GO) test -run '^$$' -fuzz FuzzParseProgram -fuzztime 5s ./internal/isa/compile
 
 # Benchmarks of the word-packed bit-plane engine: DBC primitives, the
 # bulk/multi-operand PIM operations built on them, and the add carry

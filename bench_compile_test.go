@@ -9,6 +9,9 @@ package coruscant
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 
 	"repro/internal/isa/compile"
@@ -17,67 +20,30 @@ import (
 	"repro/internal/pim"
 )
 
-// benchCorpus is the fixed program set: mixed arithmetic on one bank,
-// the PIRM-style ops (div/mod/shifts/fma), and cross-bank traffic that
-// forces staging moves.
-var benchCorpus = []string{
-	`; mixed arithmetic, single bank, heavy operand reuse
-%a = load b0.s0.t1.d0.r0
-%b = load b0.s0.t1.d0.r1
-%c = load b0.s0.t1.d0.r2
-%e = load b0.s0.t1.d0.r3
-%k = li 7 bs=8
-%s = add %a, %b, %c bs=8
-%d = sub %s, %k bs=8
-%na = shr %a bs=8 imm=4
-%nb = shr %b bs=8 imm=4
-%p = mult %na, %nb bs=8
-%q = xor %d, %p bs=8
-%t = and %q, %e bs=8
-%u = or %t, %a bs=8
-%v = add %u, %b, %k bs=8
-%w = max %v, %c bs=8
-%x = xor %w, %e bs=8
-store %q, b0.s0.t2.d0.r0
-store %d, b0.s0.t2.d0.r1
-store %x, b0.s0.t2.d0.r2
-`,
-	`; PIRM ops: division, modulo, shifts, fused multiply-add
-%a = load b0.s0.t1.d1.r0
-%b = load b0.s0.t1.d1.r1
-%c = load b0.s0.t1.d1.r2
-%e = load b0.s0.t1.d1.r3
-%q = div %a, %b bs=8
-%r = mod %a, %b bs=8
-%h = shr %c bs=8 imm=3
-%l = shl %c bs=8 imm=2
-%na = shr %a bs=8 imm=4
-%nb = shr %b bs=8 imm=4
-%f = fma %na, %nb, %c bs=8
-%x = or %q, %r bs=8
-%y = xor %h, %l bs=8
-%z = add %x, %y, %f bs=8
-%g = div %z, %e bs=8
-%m = mod %z, %e bs=8
-%n = add %g, %m, %h bs=8
-store %z, b0.s0.t2.d1.r0
-store %n, b0.s0.t2.d1.r1
-`,
-	`; cross-bank operands force explicit staging moves
-%a = load b0.s0.t1.d0.r4
-%b = load b1.s0.t1.d0.r5
-%c = load b0.s1.t1.d0.r6
-%e = load b0.s0.t1.d0.r7
-%s = add %a, %b bs=8
-%t = max %s, %c bs=8
-%u = not %t bs=8
-%v = and %u, %e bs=8
-%w = add %v, %a, %s bs=8
-%x = xor %w, %t bs=8
-store %u, b1.s0.t2.d0.r6
-store %t, b0.s0.t2.d2.r7
-store %x, b0.s0.t2.d2.r8
-`,
+// benchCorpus loads the fixed program set from examples/pimasm in
+// filename order: mixed arithmetic on one bank, the PIRM-style ops
+// (div/mod/shifts/fma), and cross-bank traffic that forces staging
+// moves. Keeping the corpus on disk gives `pimasm vet` (and make
+// lint's sweep) the same programs the benchmarks measure.
+func benchCorpus(tb testing.TB) []string {
+	tb.Helper()
+	paths, err := filepath.Glob(filepath.Join("examples", "pimasm", "*.pimasm"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) != 3 {
+		tb.Fatalf("examples/pimasm holds %d programs, want the fixed 3-program corpus", len(paths))
+	}
+	progs := make([]string, len(paths))
+	for i, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		progs[i] = string(src)
+	}
+	return progs
 }
 
 func benchCompileConfig() params.Config {
@@ -110,11 +76,12 @@ func seedInputs(tb testing.TB, m *memory.Memory, res *compile.Result, prog int) 
 // layout for the moves/shifts-saved telemetry).
 func BenchmarkCompileProgram(b *testing.B) {
 	cfg := benchCompileConfig()
+	corpus := benchCorpus(b)
 	for _, level := range []int{0, 1} {
 		b.Run(fmt.Sprintf("O%d", level), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				for _, src := range benchCorpus {
+				for _, src := range corpus {
 					if _, err := compile.Compile(src, cfg, compile.Options{Level: level}); err != nil {
 						b.Fatal(err)
 					}
@@ -131,11 +98,12 @@ func BenchmarkCompileProgram(b *testing.B) {
 // are idempotent: stores never alias loads).
 func BenchmarkCompiledExec(b *testing.B) {
 	cfg := benchCompileConfig()
+	corpus := benchCorpus(b)
 	for _, level := range []int{0, 1} {
 		b.Run(fmt.Sprintf("O%d", level), func(b *testing.B) {
 			var plans []*compile.Plan
 			var results []*compile.Result
-			for _, src := range benchCorpus {
+			for _, src := range corpus {
 				res, err := compile.Compile(src, cfg, compile.Options{Level: level})
 				if err != nil {
 					b.Fatal(err)

@@ -20,20 +20,24 @@ import (
 	"golang.org/x/tools/go/analysis/unitchecker"
 
 	"repro/internal/analysis/facadeerr"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/masktail"
 	"repro/internal/analysis/panicmsg"
 	"repro/internal/analysis/rowalias"
 	"repro/internal/analysis/scratchescape"
 	"repro/internal/analysis/seededrand"
+	"repro/internal/analysis/spanbalance"
 )
 
 func main() {
 	unitchecker.Main(
 		facadeerr.Analyzer,
+		lockorder.Analyzer,
 		masktail.Analyzer,
 		panicmsg.Analyzer,
 		rowalias.Analyzer,
 		scratchescape.Analyzer,
 		seededrand.Analyzer,
+		spanbalance.Analyzer,
 	)
 }

@@ -8,6 +8,7 @@
 //	pimasm dis <hexword>
 //	pimasm ops                     # list mnemonics and limits
 //	pimasm exec "add ... k=3" ...  # run instructions on a PIM unit
+//	pimasm vet prog.pim ...        # verify programs without compiling
 //	pimasm compile prog.pim        # compile a pimasm program (pimc)
 //	pimasm exec prog.pim           # compile and run it on a memory
 //
@@ -16,6 +17,12 @@
 // plus the cycle/energy accounting. Independent instructions spread
 // across -workers parallel lanes (§IV-B high-throughput mode); output
 // order, costs and telemetry are identical for any worker count.
+//
+// vet runs only the pimc front end and dataflow verifier over each
+// file, printing every line-numbered diagnostic (use-before-def and
+// width-overflow are errors; dead stores and unreachable results are
+// warnings) and exits non-zero if any file has an error. compile runs
+// the same verifier automatically and fails on its errors.
 //
 // exec with a program file (or compile, which stops before running)
 // feeds the pimc compiler: -O selects the placement level (0 = naive
@@ -60,7 +67,7 @@ func run(args []string) error {
 	level := fs.Int("O", 1, "pimc placement level: 0 naive, 1 placement-aware")
 	dump := fs.Bool("dump", false, "print each pimc compiler pass's output")
 	fs.Usage = func() {
-		fmt.Println("usage: pimasm [flags] asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops | compile <file> | exec <instr>...|<file>")
+		fmt.Println("usage: pimasm [flags] asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops | vet <file>... | compile <file> | exec <instr>...|<file>")
 		fmt.Println("flags:")
 		fs.PrintDefaults()
 	}
@@ -108,6 +115,11 @@ func run(args []string) error {
 		fmt.Printf("blocksizes: %v\n", params.BlockSizes)
 		fmt.Printf("operands: 1..%d (TRD=%d)\n", cfg.TRD.MaxBulkOperands(), int(cfg.TRD))
 		return nil
+	case "vet":
+		if len(args) < 2 {
+			return fmt.Errorf("vet needs program files")
+		}
+		return vetProgs(cfg, args[1:])
 	case "compile":
 		if len(args) < 2 {
 			return fmt.Errorf("compile needs a program file")
@@ -126,6 +138,30 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// vetProgs verifies each program file and prints its diagnostics as
+// "file:line: class: severity: message". Warnings alone exit zero;
+// any error makes the whole run fail after every file has printed.
+func vetProgs(cfg params.Config, paths []string) error {
+	bad := 0
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		diags := compile.Vet(string(src), cfg.Geometry)
+		for _, d := range diags {
+			fmt.Printf("%s:%s\n", path, strings.TrimPrefix(d.String(), "line "))
+			if d.Err {
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("vet: %d error(s)", bad)
+	}
+	return nil
 }
 
 // newRecorder wires the telemetry flags into a recorder (nil when no

@@ -202,6 +202,11 @@ type (
 	PlanStats = compile.PlanStats
 	// ProgramOutput names one load or store row of a compiled program.
 	ProgramOutput = compile.Output
+	// VetDiag is one diagnostic from the pimasm IR verifier.
+	VetDiag = compile.Diag
+	// VetErrorClass labels a verifier or front-end rejection
+	// (use-before-def, width-overflow, dead-store, ...).
+	VetErrorClass = compile.ErrorClass
 )
 
 // CompileProgram compiles a pimasm program into an executable plan.
@@ -210,6 +215,16 @@ type (
 // port-alignment shifts.
 func CompileProgram(src string, cfg Config, opts CompileOptions) (*CompileResult, error) {
 	return compile.Compile(src, cfg, opts)
+}
+
+// VetProgram runs the pimasm front end and dataflow verifier without
+// compiling: every diagnostic — syntax and semantic rejections as well
+// as dead-store/unreachable-result warnings — comes back line-numbered
+// and classed. Compile runs the same verifier and fails on its errors;
+// VetProgram also surfaces the warnings Compile only reports through
+// Options.Diag.
+func VetProgram(src string, cfg Config) []VetDiag {
+	return compile.Vet(src, cfg.Geometry)
 }
 
 // System model.

@@ -1,0 +1,179 @@
+// Package mem exercises the lockorder analyzer with a self-contained
+// replica of the striped-locking memory: per-DBC shard mutexes, the
+// coarse cfg-class mutexes, and the ordered multi-lock helper.
+package mem
+
+import "sync"
+
+type shard struct {
+	mu   sync.Mutex
+	rows []int
+}
+
+type Memory struct {
+	tableMu sync.RWMutex
+	shards  map[int]*shard
+
+	cfgMu sync.Mutex
+	rec   int
+}
+
+// lockOrdered is the one sanctioned multi-shard acquisition path: the
+// caller's bases arrive deduplicated and sorted, so the pairwise
+// acquisition order is global.
+func (m *Memory) lockOrdered(bases []int) ([]*shard, func(), error) {
+	shards := make([]*shard, 0, len(bases))
+	m.tableMu.RLock()
+	for _, b := range bases {
+		sh := m.shards[b]
+		if sh == nil {
+			m.tableMu.RUnlock()
+			return nil, nil, errNoShard
+		}
+		shards = append(shards, sh)
+	}
+	m.tableMu.RUnlock()
+	for _, sh := range shards {
+		//coruscantvet:ignore lockorder -- the ordered helper itself: bases are sorted, the order is global
+		sh.mu.Lock()
+	}
+	return shards, func() {
+		for i := len(shards) - 1; i >= 0; i-- {
+			shards[i].mu.Unlock()
+		}
+	}, nil
+}
+
+type lockErr string
+
+func (e lockErr) Error() string { return string(e) }
+
+const errNoShard = lockErr("no such shard")
+
+// Recorder locks a cfg-class mutex; calling it under a shard lock
+// inverts the cfg-before-shard order.
+func (m *Memory) Recorder() int {
+	m.cfgMu.Lock()
+	defer m.cfgMu.Unlock()
+	return m.rec
+}
+
+// reportHealth reaches Recorder transitively, so it inherits the
+// cfg-locking summary.
+func (m *Memory) reportHealth() int { return m.Recorder() }
+
+func (m *Memory) directPair(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `second shard lock acquired directly`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (m *Memory) sequentialPairOK(a, b *shard) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func (m *Memory) deferredHold(a, b *shard) {
+	a.mu.Lock()
+	defer a.mu.Unlock() // runs at exit: the lock is held below
+	b.mu.Lock()         // want `second shard lock acquired directly`
+	b.mu.Unlock()
+}
+
+func (m *Memory) cfgUnderShard(a *shard) {
+	a.mu.Lock()
+	m.cfgMu.Lock() // want `cfg-class mutex cfgMu acquired while a shard lock is held`
+	m.cfgMu.Unlock()
+	a.mu.Unlock()
+}
+
+func (m *Memory) tableUnderOrdered(bases []int) {
+	_, unlock, _ := m.lockOrdered(bases)
+	defer unlock()
+	m.tableMu.RLock() // want `cfg-class mutex tableMu acquired while a shard lock is held`
+	m.tableMu.RUnlock()
+}
+
+func (m *Memory) callLocksCfgUnderShard(a *shard) {
+	a.mu.Lock()
+	_ = m.Recorder() // want `Recorder acquires a cfg-class mutex`
+	a.mu.Unlock()
+}
+
+func (m *Memory) transitiveCallUnderOrdered(bases []int) {
+	_, unlock, _ := m.lockOrdered(bases)
+	_ = m.reportHealth() // want `reportHealth acquires a cfg-class mutex`
+	unlock()
+}
+
+func (m *Memory) hoistedRecorderOK(a *shard) {
+	rec := m.Recorder() // cfg before shard: the sanctioned order
+	a.mu.Lock()
+	_ = rec
+	a.mu.Unlock()
+}
+
+func (m *Memory) unlockedBetweenOK(bases []int, a *shard) {
+	_, unlock, _ := m.lockOrdered(bases)
+	unlock() // set released: the call below is clean
+	_ = m.Recorder()
+}
+
+func (m *Memory) orderedThenDirect(bases []int, a *shard) {
+	_, unlock, _ := m.lockOrdered(bases)
+	defer unlock()
+	a.mu.Lock() // want `second shard lock acquired directly`
+	a.mu.Unlock()
+}
+
+func (m *Memory) cfgThenShardOK() {
+	m.cfgMu.Lock()
+	var sh shard
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	m.cfgMu.Unlock()
+}
+
+func (m *Memory) loopRelockOK(shards []*shard) {
+	for _, sh := range shards {
+		sh.mu.Lock()
+		sh.rows = nil
+		sh.mu.Unlock()
+	}
+}
+
+// errCheckedLoopOK mirrors the serial batch path: the error branch of
+// lockOrdered holds nothing, so continuing the loop (and calling a
+// cfg-locking function after it) is clean on every path.
+func (m *Memory) errCheckedLoopOK(basesList [][]int) {
+	for _, bases := range basesList {
+		_, unlock, err := m.lockOrdered(bases)
+		if err != nil {
+			continue
+		}
+		unlock()
+	}
+	_ = m.Recorder()
+}
+
+func (m *Memory) errCheckedEqlOK(bases []int) {
+	_, unlock, err := m.lockOrdered(bases)
+	if err == nil {
+		unlock()
+	}
+	_ = m.Recorder()
+}
+
+// errCheckedStillHeld: the non-error branch does hold the set, so a
+// cfg-locking call before unlock is still flagged.
+func (m *Memory) errCheckedStillHeld(bases []int) {
+	_, unlock, err := m.lockOrdered(bases)
+	if err != nil {
+		return
+	}
+	_ = m.Recorder() // want `Recorder acquires a cfg-class mutex`
+	unlock()
+}

@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/spanbalance"
+)
+
+func TestSpanBalance(t *testing.T) {
+	analyzertest.Run(t, "testdata", spanbalance.Analyzer, "telemetry", "a")
+}

@@ -1,0 +1,122 @@
+// Package a exercises the spanbalance analyzer: spans must be closed
+// on every control-flow path, including early returns and panics.
+package a
+
+import "telemetry"
+
+const src = telemetry.Source("a")
+
+// Unit mirrors the pim.Unit wrapper: a Span method returning the
+// closer of an inner recorder span. The opener escapes via return, so
+// the wrapper itself is balanced by construction.
+type Unit struct{ rec *telemetry.Recorder }
+
+func (u *Unit) Span(name string) func() { return u.rec.Span(src, name) }
+
+func deferredIdiom(rec *telemetry.Recorder) {
+	defer rec.Span(src, "ok")() // the safe idiom
+}
+
+func discarded(rec *telemetry.Recorder) {
+	rec.Span(src, "oops") // want `span closer is dropped`
+}
+
+func deferredOpener(rec *telemetry.Recorder) {
+	defer rec.Span(src, "oops") // want `span closer is dropped`
+}
+
+func closerAllPaths(rec *telemetry.Recorder, fail bool) error {
+	done := rec.Span(src, "ok")
+	if fail {
+		done()
+		return errEarly
+	}
+	done()
+	return nil
+}
+
+func closerLeaksOnEarlyReturn(rec *telemetry.Recorder, fail bool) error {
+	done := rec.Span(src, "oops") // want `not called on every path`
+	if fail {
+		return errEarly // leaks here
+	}
+	done()
+	return nil
+}
+
+func closerLeaksOnPanic(rec *telemetry.Recorder, fail bool) {
+	done := rec.Span(src, "oops") // want `not called on every path`
+	if fail {
+		panic("boom") // leaks here
+	}
+	done()
+}
+
+func closerReturned(rec *telemetry.Recorder) func() {
+	return rec.Span(src, "ok") // escapes: the caller owns it
+}
+
+func closerBoundAndReturned(rec *telemetry.Recorder) func() {
+	done := rec.Span(src, "ok")
+	return done
+}
+
+func closerReassigned(rec *telemetry.Recorder) {
+	done := rec.Span(src, "first")
+	done = rec.Span(src, "second") // want `reassigned before being called`
+	done()
+}
+
+func closerHandedOff(rec *telemetry.Recorder) {
+	done := rec.Span(src, "ok")
+	runLater(done) // consumption: the callee owns it now
+}
+
+func sequentialSpans(rec *telemetry.Recorder) {
+	done := rec.Span(src, "first")
+	done()
+	done = rec.Span(src, "second")
+	done()
+}
+
+func beginBalanced(rec *telemetry.Recorder) {
+	rec.Begin(src, "ok")
+	rec.End(src)
+}
+
+func beginDeferredEnd(rec *telemetry.Recorder, fail bool) error {
+	rec.Begin(src, "ok")
+	defer rec.End(src)
+	if fail {
+		return errEarly
+	}
+	return nil
+}
+
+func beginLeaksOnEarlyReturn(rec *telemetry.Recorder, fail bool) error {
+	rec.Begin(src, "oops") // want `Begin without a matching End`
+	if fail {
+		return errEarly // leaks here
+	}
+	rec.End(src)
+	return nil
+}
+
+func insideClosure(rec *telemetry.Recorder, fail bool) {
+	f := func() {
+		done := rec.Span(src, "oops") // want `not called on every path`
+		if fail {
+			return
+		}
+		done()
+	}
+	f()
+}
+
+var errEarly = errorString("early")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func runLater(f func()) { f() }

@@ -1,0 +1,22 @@
+// Package telemetry is a self-contained stand-in for the production
+// recorder: the analyzer matches its Span/Begin/End methods
+// structurally, so the fixture behaves exactly like the real type.
+package telemetry
+
+// Source tags an event stream.
+type Source string
+
+// Recorder keeps a per-source span stack.
+type Recorder struct{ depth int }
+
+// Begin opens a span.
+func (r *Recorder) Begin(src Source, name string) { r.depth++ }
+
+// End closes the innermost span.
+func (r *Recorder) End(src Source) { r.depth-- }
+
+// Span opens a span and returns its closer.
+func (r *Recorder) Span(src Source, name string) func() {
+	r.Begin(src, name)
+	return func() { r.End(src) }
+}

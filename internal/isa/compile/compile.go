@@ -26,10 +26,18 @@ type Options struct {
 	// ExecDBCs bounds the PIM DBCs the -O1 placement uses per level
 	// (default DefaultExecDBCs, clamped to the geometry).
 	ExecDBCs int
+	// NoRecycle disables liveness-driven home-row recycling at -O1
+	// (for ablation; recycling is what lets long programs fit the
+	// bank's free rows). The naive layout never recycles.
+	NoRecycle bool
 	// Recorder, when non-nil, receives per-pass spans and — at -O1 —
 	// "moves-saved" / "shifts-saved" marks quantifying the placement
 	// win over the naive layout.
 	Recorder *telemetry.Recorder
+	// Diag, when non-nil, receives every warning-severity verifier
+	// diagnostic (dead-store, unreachable-result). Error-severity
+	// diagnostics abort compilation regardless.
+	Diag func(Diag)
 	// Dump, when non-nil, is called after each pass with its name
 	// ("parse", "legalize", "levels", "place", "schedule") and a
 	// textual rendering of the pass output.
@@ -83,6 +91,18 @@ func Compile(src string, cfg params.Config, opt Options) (*Result, error) {
 	}
 	dump("parse", prog.String)
 
+	done = pass("verify")
+	diags := prog.Verify()
+	done()
+	if err := firstError(diags); err != nil {
+		return nil, err
+	}
+	if opt.Diag != nil {
+		for _, d := range diags {
+			opt.Diag(d)
+		}
+	}
+
 	done = pass("legalize")
 	err = prog.legalize(cfg.TRD)
 	done()
@@ -97,7 +117,7 @@ func Compile(src string, cfg params.Config, opt Options) (*Result, error) {
 		execDBCs = DefaultExecDBCs
 	}
 	done = pass("place")
-	lay, err := prog.place(cfg, opt.Level >= 1, execDBCs)
+	lay, err := prog.place(cfg, opt.Level >= 1, execDBCs, !opt.NoRecycle)
 	done()
 	if err != nil {
 		return nil, err
@@ -121,14 +141,16 @@ func Compile(src string, cfg params.Config, opt Options) (*Result, error) {
 	if opt.Level >= 1 {
 		// Price the same program under the naive layout so the
 		// placement win is visible in telemetry without running both.
-		naive, err := prog.cloneShape().priceNaive(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Naive = naive
-		if rec != nil {
-			rec.Mark(Source, "moves-saved", max(0, naive.CrossDBCMoves-plan.Stats.CrossDBCMoves))
-			rec.Mark(Source, "shifts-saved", max(0, naive.PortShifts-plan.Stats.PortShifts))
+		// The comparison is advisory: a program that only fits the
+		// bank's rows via recycling has no naive layout to price, so a
+		// pricing failure leaves Naive zero instead of failing the
+		// compilation that already succeeded.
+		if naive, err := prog.cloneShape().priceNaive(cfg); err == nil {
+			res.Naive = naive
+			if rec != nil {
+				rec.Mark(Source, "moves-saved", max(0, naive.CrossDBCMoves-plan.Stats.CrossDBCMoves))
+				rec.Mark(Source, "shifts-saved", max(0, naive.PortShifts-plan.Stats.PortShifts))
+			}
 		}
 	}
 	return res, nil
@@ -157,7 +179,7 @@ func (p *Program) cloneShape() *Program {
 }
 
 func (p *Program) priceNaive(cfg params.Config) (PlanStats, error) {
-	lay, err := p.place(cfg, false, 1)
+	lay, err := p.place(cfg, false, 1, false)
 	if err != nil {
 		return PlanStats{}, err
 	}

@@ -126,25 +126,25 @@ func checkOp(n *node, trd params.TRD) error {
 	case isa.OpShl, isa.OpShr:
 		want = 1
 		if n.imm < 0 || n.imm > n.bs {
-			return lineErr(n.line, "shift amount %d outside 0..%d", n.imm, n.bs)
+			return lineErr(n.line, ClassWidth, "shift amount %d outside 0..%d", n.imm, n.bs)
 		}
 	case isa.OpAdd, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMax:
 		if k < 2 {
-			return lineErr(n.line, "%v wants at least 2 operands, got %d", n.op, k)
+			return lineErr(n.line, ClassArity, "%v wants at least 2 operands, got %d", n.op, k)
 		}
 	case isa.OpNand, isa.OpNor, isa.OpXnor, isa.OpVote:
 		// Not associative: the window capacity is a hard limit.
 		if k < 2 || k > maxBulk {
-			return lineErr(n.line, "%v wants 2..%d operands (not associative), got %d", n.op, maxBulk, k)
+			return lineErr(n.line, ClassArity, "%v wants 2..%d operands (not associative), got %d", n.op, maxBulk, k)
 		}
 	default:
-		return lineErr(n.line, "opcode %v is not compilable", n.op)
+		return lineErr(n.line, ClassOpcode, "opcode %v is not compilable", n.op)
 	}
 	if want >= 0 && k != want {
-		return lineErr(n.line, "%v wants %d operand(s), got %d", opName(n.op), want, k)
+		return lineErr(n.line, ClassArity, "%v wants %d operand(s), got %d", opName(n.op), want, k)
 	}
 	if n.imm != 0 && n.op != isa.OpShl && n.op != isa.OpShr {
-		return lineErr(n.line, "%v takes no immediate", n.op)
+		return lineErr(n.line, ClassImmediate, "%v takes no immediate", n.op)
 	}
 	return nil
 }

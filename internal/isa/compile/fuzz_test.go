@@ -1,0 +1,76 @@
+package compile
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/params"
+)
+
+// FuzzParseProgram drives the pimasm front end with arbitrary source:
+// the parser must never panic, every rejection must carry an error
+// class, and an accepted program must round-trip — its canonical
+// String() form reparses to the same canonical form and the verifier
+// sees the same diagnostics (lines aside, since String drops comments
+// and blank lines).
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		"%a = load b0.s0.t1.d0.r0\n%k = li 7 bs=8\n%s = add %a, %k bs=8\nstore %s, b0.s0.t2.d0.r1\n",
+		"%a = load b0.s0.t1.d1.r0\n%b = load b0.s0.t1.d1.r1\n%q = div %a, %b bs=8\n%r = mod %a, %b bs=8\nstore %q, b0.s0.t2.d1.r0\nstore %r, b0.s0.t2.d1.r1\n",
+		"%c = load b0.s0.t1.d0.r2\n%h = shr %c bs=16 imm=3\n%l = shl %c bs=16 imm=2\n%y = xor %h, %l bs=16\nstore %y, b0.s0.t2.d0.r3\n",
+		"; comment\n%a = li 1 bs=8 ; trailing\n\nstore %a, b0.s0.t1.d0.r0\n",
+		"%a = li 300 bs=8",
+		"%a = add %b, %c bs=8",
+		"%a = li 1 bs=8\n%a = li 2 bs=8",
+		"%a = load b99.s0.t0.d0.r0",
+		"%a = frob %a bs=8",
+		"store %x",
+		"%dead = li 3 bs=8\n%a = load b0.s0.t1.d0.r0\nstore %a, b0.s0.t1.d0.r1\n",
+		"%a = li 1 bs=8\n%b = li 1 bs=16\n%c = add %a, %b bs=8\nstore %c, b0.s0.t1.d0.r0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	g := params.DefaultGeometry()
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src, g)
+		if err != nil {
+			if ClassOf(err) == "" {
+				t.Fatalf("unclassed parse error: %v", err)
+			}
+			return
+		}
+		canon := prog.String()
+		prog2, err := Parse(canon, g)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ncanonical:\n%s\noriginal:\n%s", err, canon, src)
+		}
+		if got := prog2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s", canon, got)
+		}
+		if d1, d2 := diagSet(prog.Verify()), diagSet(prog2.Verify()); !sameDiagSet(d1, d2) {
+			t.Fatalf("verifier diagnostics differ across round-trip:\n%v\nvs\n%v\nprogram:\n%s", d1, d2, canon)
+		}
+	})
+}
+
+// diagSet folds diagnostics into a line-independent multiset.
+func diagSet(diags []Diag) map[string]int {
+	set := make(map[string]int, len(diags))
+	for _, d := range diags {
+		set[fmt.Sprintf("%s|%t|%s", d.Class, d.Err, d.Msg)]++
+	}
+	return set
+}
+
+func sameDiagSet(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}

@@ -72,8 +72,11 @@ type Program struct {
 
 var vregRe = regexp.MustCompile(`^%[A-Za-z_][A-Za-z0-9_]*$`)
 
-func lineErr(line int, format string, args ...any) error {
-	return &isa.ParseError{Line: line, Err: fmt.Errorf("pimc: "+format, args...)}
+func lineErr(line int, class ErrorClass, format string, args ...any) error {
+	return &isa.ParseError{Line: line, Err: &classedError{
+		class: class,
+		err:   fmt.Errorf("pimc: "+format, args...),
+	}}
 }
 
 // Parse parses pimasm source, enforcing single assignment,
@@ -93,12 +96,14 @@ func Parse(src string, g params.Geometry) (*Program, error) {
 		fields := strings.Fields(strings.ReplaceAll(text, ",", " "))
 		var err error
 		switch {
+		case len(fields) == 0: // only commas and whitespace
+			err = lineErr(ln, ClassSyntax, "want \"%%reg = ...\" or \"store %%reg, <addr>\", got %q", strings.TrimSpace(text))
 		case fields[0] == "store":
 			err = p.parseStore(fields, ln)
 		case strings.HasPrefix(fields[0], "%"):
 			err = p.parseAssign(fields, ln)
 		default:
-			err = lineErr(ln, "want \"%%reg = ...\" or \"store %%reg, <addr>\", got %q", strings.TrimSpace(text))
+			err = lineErr(ln, ClassSyntax, "want \"%%reg = ...\" or \"store %%reg, <addr>\", got %q", strings.TrimSpace(text))
 		}
 		if err != nil {
 			return nil, err
@@ -118,11 +123,11 @@ func (p *Program) add(n *node) *node {
 
 func (p *Program) lookup(field string, line int) (*node, error) {
 	if !vregRe.MatchString(field) {
-		return nil, lineErr(line, "want a %%register, got %q", field)
+		return nil, lineErr(line, ClassSyntax, "want a %%register, got %q", field)
 	}
 	n, ok := p.byName[field[1:]]
 	if !ok {
-		return nil, lineErr(line, "use of undefined register %s", field)
+		return nil, lineErr(line, ClassUseBeforeDef, "use of undefined register %s", field)
 	}
 	return n, nil
 }
@@ -130,10 +135,10 @@ func (p *Program) lookup(field string, line int) (*node, error) {
 func (p *Program) parseAddrIn(field string, line int) (isa.Addr, error) {
 	a, err := isa.ParseAddr(field)
 	if err != nil {
-		return isa.Addr{}, &isa.ParseError{Line: line, Err: err}
+		return isa.Addr{}, &isa.ParseError{Line: line, Err: &classedError{class: ClassAddress, err: err}}
 	}
 	if err := a.CheckGeometry(p.geo); err != nil {
-		return isa.Addr{}, &isa.ParseError{Line: line, Err: err}
+		return isa.Addr{}, &isa.ParseError{Line: line, Err: &classedError{class: ClassAddress, err: err}}
 	}
 	return a, nil
 }
@@ -141,7 +146,7 @@ func (p *Program) parseAddrIn(field string, line int) (isa.Addr, error) {
 // parseStore handles "store %x, <addr>".
 func (p *Program) parseStore(fields []string, line int) error {
 	if len(fields) != 3 {
-		return lineErr(line, "want \"store %%reg, <addr>\"")
+		return lineErr(line, ClassSyntax, "want \"store %%reg, <addr>\"")
 	}
 	arg, err := p.lookup(fields[1], line)
 	if err != nil {
@@ -153,10 +158,10 @@ func (p *Program) parseStore(fields []string, line int) error {
 	}
 	for _, n := range p.nodes {
 		if n.kind == nStore && n.addr == addr {
-			return lineErr(line, "duplicate store to %s", isa.FormatAddr(addr))
+			return lineErr(line, ClassDeadStore, "duplicate store to %s", isa.FormatAddr(addr))
 		}
 		if n.kind == nLoad && n.addr == addr {
-			return lineErr(line, "store to loaded address %s (loads read initial memory)", isa.FormatAddr(addr))
+			return lineErr(line, ClassAddress, "store to loaded address %s (loads read initial memory)", isa.FormatAddr(addr))
 		}
 	}
 	p.add(&node{kind: nStore, srcName: arg.name, line: line, addr: addr, args: []*node{arg}})
@@ -167,21 +172,21 @@ func (p *Program) parseStore(fields []string, line int) error {
 // "%x = <op> %a[, %b ...] [bs=N] [imm=N]".
 func (p *Program) parseAssign(fields []string, line int) error {
 	if len(fields) < 3 || fields[1] != "=" {
-		return lineErr(line, "want \"%%reg = <expr>\"")
+		return lineErr(line, ClassSyntax, "want \"%%reg = <expr>\"")
 	}
 	if !vregRe.MatchString(fields[0]) {
-		return lineErr(line, "bad register name %q", fields[0])
+		return lineErr(line, ClassSyntax, "bad register name %q", fields[0])
 	}
 	name := fields[0][1:]
 	if _, dup := p.byName[name]; dup {
-		return lineErr(line, "register %%%s assigned twice", name)
+		return lineErr(line, ClassRedefinition, "register %%%s assigned twice", name)
 	}
 	expr, rest := fields[2], fields[3:]
 
 	switch expr {
 	case "load":
 		if len(rest) != 1 {
-			return lineErr(line, "want \"load <addr>\"")
+			return lineErr(line, ClassSyntax, "want \"load <addr>\"")
 		}
 		addr, err := p.parseAddrIn(rest[0], line)
 		if err != nil {
@@ -189,7 +194,7 @@ func (p *Program) parseAssign(fields []string, line int) error {
 		}
 		for _, n := range p.nodes {
 			if n.kind == nStore && n.addr == addr {
-				return lineErr(line, "load of stored address %s (loads read initial memory)", isa.FormatAddr(addr))
+				return lineErr(line, ClassAddress, "load of stored address %s (loads read initial memory)", isa.FormatAddr(addr))
 			}
 		}
 		p.add(&node{kind: nLoad, name: name, line: line, addr: addr})
@@ -197,21 +202,21 @@ func (p *Program) parseAssign(fields []string, line int) error {
 
 	case "li":
 		if len(rest) < 1 {
-			return lineErr(line, "want \"li <value> [bs=N]\"")
+			return lineErr(line, ClassSyntax, "want \"li <value> [bs=N]\"")
 		}
 		val, err := strconv.ParseUint(rest[0], 0, 64)
 		if err != nil {
-			return lineErr(line, "bad immediate %q: %v", rest[0], err)
+			return lineErr(line, ClassSyntax, "bad immediate %q: %v", rest[0], err)
 		}
 		bs, _, err := parseArgs(rest[1:], line, false)
 		if err != nil {
 			return err
 		}
 		if bs > 64 {
-			return lineErr(line, "li blocksize %d exceeds 64", bs)
+			return lineErr(line, ClassWidth, "li blocksize %d exceeds 64", bs)
 		}
 		if bs < 64 && val>>uint(bs) != 0 {
-			return lineErr(line, "immediate %d does not fit %d bits", val, bs)
+			return lineErr(line, ClassWidth, "immediate %d does not fit %d bits", val, bs)
 		}
 		p.add(&node{kind: nConst, name: name, line: line, val: val, bs: bs})
 		return nil
@@ -219,12 +224,12 @@ func (p *Program) parseAssign(fields []string, line int) error {
 
 	op, ok := isa.OpByName(expr)
 	if !ok && expr != "sub" {
-		return lineErr(line, "unknown operation %q", expr)
+		return lineErr(line, ClassOpcode, "unknown operation %q", expr)
 	}
 	if ok {
 		switch op {
 		case isa.OpRead, isa.OpWrite, isa.OpNop:
-			return lineErr(line, "%v is not a compute operation (use load/store)", op)
+			return lineErr(line, ClassOpcode, "%v is not a compute operation (use load/store)", op)
 		}
 	}
 	var args []*node
@@ -237,7 +242,7 @@ func (p *Program) parseAssign(fields []string, line int) error {
 		args = append(args, a)
 	}
 	if len(args) == 0 {
-		return lineErr(line, "%s wants at least one %%register operand", expr)
+		return lineErr(line, ClassArity, "%s wants at least one %%register operand", expr)
 	}
 	bs, imm, err := parseArgs(rest[i:], line, true)
 	if err != nil {
@@ -262,7 +267,7 @@ func parseArgs(fields []string, line int, allowImm bool) (bs, imm int, err error
 		key, val, found := strings.Cut(f, "=")
 		n, aerr := strconv.Atoi(val)
 		if !found || aerr != nil {
-			return 0, 0, lineErr(line, "bad argument %q", f)
+			return 0, 0, lineErr(line, ClassSyntax, "bad argument %q", f)
 		}
 		switch {
 		case key == "bs":
@@ -270,11 +275,11 @@ func parseArgs(fields []string, line int, allowImm bool) (bs, imm int, err error
 		case key == "imm" && allowImm:
 			imm = n
 		default:
-			return 0, 0, lineErr(line, "unknown argument %q", key)
+			return 0, 0, lineErr(line, ClassSyntax, "unknown argument %q", key)
 		}
 	}
 	if !params.ValidBlockSize(bs) {
-		return 0, 0, lineErr(line, "invalid blocksize %d", bs)
+		return 0, 0, lineErr(line, ClassWidth, "invalid blocksize %d", bs)
 	}
 	return bs, imm, nil
 }

@@ -17,6 +17,7 @@ type PlanStats struct {
 	PortShifts    int // estimated shift steps aligning touched rows with ports
 	Batches       int // ExecuteBatch groups issued (0 for the naive serial plan)
 	Requests      int // cpim operations issued
+	RowsRecycled  int // home rows returned to the allocators by liveness
 }
 
 // layout is the placement result: every value has a home row, every op
@@ -24,6 +25,7 @@ type PlanStats struct {
 // holds with the fewest row-buffer crossings.
 type layout struct {
 	opt      bool
+	recycle  bool
 	geo      params.Geometry
 	trd      params.TRD
 	execBank int
@@ -34,7 +36,16 @@ type layout struct {
 	stageRows []isa.Addr // allocated-but-unused rows of the current staging DBC
 	stageSeq  int        // enumeration cursor over candidate staging DBCs
 
+	head map[isa.Addr]int // per-DBC data offset of the racetrack head
+
 	stats PlanStats
+}
+
+// rowOwner remembers which allocator a recyclable home row came from,
+// so liveness can hand it back to the right pool.
+type rowOwner struct {
+	base   isa.Addr
+	staged bool
 }
 
 func dbcBase(a isa.Addr) isa.Addr {
@@ -100,14 +111,16 @@ func sideOrder(rows []int, total int, trd params.TRD) []int {
 // execution: one PIM DBC, every input copied to sequential staging rows
 // (far from the ports), every store an explicit copy — the baseline the
 // differential harness and the bench compare against.
-func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, error) {
+func (p *Program) place(cfg params.Config, opt bool, execDBCs int, recycle bool) (*layout, error) {
 	g := cfg.Geometry
 	lay := &layout{
 		opt:     opt,
+		recycle: opt && recycle,
 		geo:     g,
 		trd:     cfg.TRD,
 		free:    make(map[isa.Addr][]int),
 		userDBC: make(map[isa.Addr]bool),
+		head:    make(map[isa.Addr]int),
 	}
 
 	// The program's own rows (and their whole DBCs) are off-limits to
@@ -160,6 +173,7 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, err
 	}
 
 	// Pass 1: level-0 values (loads, constants).
+	owned := make(map[*node]rowOwner)
 	for _, n := range p.nodes {
 		switch n.kind {
 		case nLoad:
@@ -172,15 +186,17 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, err
 				return nil, err
 			}
 			n.home = home
+			owned[n] = rowOwner{base: dbcBase(home), staged: true}
 			lay.stats.CrossDBCMoves++
-			lay.stats.PortShifts += lay.dist(n.addr.Row) + lay.dist(home.Row)
+			lay.stats.PortShifts += lay.access(n.addr) + lay.access(home)
 		case nConst:
 			home, err := lay.stageRow()
 			if err != nil {
 				return nil, err
 			}
 			n.home = home
-			lay.stats.PortShifts += lay.dist(home.Row)
+			owned[n] = rowOwner{base: dbcBase(home), staged: true}
+			lay.stats.PortShifts += lay.access(home)
 		}
 	}
 
@@ -200,7 +216,48 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, err
 
 	// Pass 2: op levels, cheapest executing DBC first.
 	levels := p.levelize()
+
+	// lastUse marks the DAG level after which a value's home row is
+	// dead. Store operands stay live to the end (the trailing copy pass
+	// still reads their rows); everything else dies at its deepest
+	// consuming level. ExecuteBatch levels are sequential plan steps, so
+	// a row whose value was last read at level L is safely rewritable
+	// from level L+1 on.
+	lastUse := make(map[*node]int)
+	if lay.recycle {
+		for _, n := range p.nodes {
+			switch n.kind {
+			case nOp:
+				for _, a := range n.args {
+					lastUse[a] = max(lastUse[a], n.level)
+				}
+			case nStore:
+				lastUse[n.args[0]] = 1 << 30
+			}
+		}
+	}
+
 	for lv := 1; lv <= levels; lv++ {
+		// Recycle the home rows of values consumed for the last time by
+		// the previous level: hand each row back to the allocator it
+		// came from, front of the queue, so the next allocation lands
+		// on a row the head just visited.
+		for _, d := range p.nodes {
+			own, ok := owned[d]
+			if !lay.recycle || !ok || lastUse[d] != lv-1 {
+				continue
+			}
+			delete(owned, d)
+			lay.stats.RowsRecycled++
+			if own.staged {
+				a := own.base
+				a.Row = d.home.Row
+				lay.stageRows = append([]isa.Addr{a}, lay.stageRows...)
+			} else {
+				lay.free[own.base] = append([]int{d.home.Row}, lay.free[own.base]...)
+			}
+		}
+
 		assigned := make(map[isa.Addr]int, len(lay.pool))
 		reqs := 0
 		for _, n := range p.nodes {
@@ -225,7 +282,7 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, err
 			n.exec = best
 			assigned[best]++
 			for _, a := range n.args {
-				lay.stats.PortShifts += lay.dist(a.home.Row)
+				lay.stats.PortShifts += lay.access(a.home)
 				if dbcBase(a.home) != best {
 					lay.stats.CrossDBCMoves++
 				}
@@ -241,15 +298,18 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, err
 					// everything in far staging rows instead.
 					home, ok = lay.takeFree(best)
 				}
-				if !ok {
+				if ok {
+					owned[n] = rowOwner{base: best}
+				} else {
 					var err error
 					if home, err = lay.stageRow(); err != nil {
 						return nil, err
 					}
+					owned[n] = rowOwner{base: dbcBase(home), staged: true}
 				}
 				n.home = home
 			}
-			lay.stats.PortShifts += lay.dist(n.home.Row)
+			lay.stats.PortShifts += lay.access(n.home)
 		}
 		if reqs > 0 {
 			lay.stats.Requests += reqs
@@ -263,10 +323,30 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int) (*layout, err
 	for _, n := range p.nodes {
 		if n.kind == nStore && !n.direct {
 			lay.stats.CrossDBCMoves++
-			lay.stats.PortShifts += lay.dist(n.args[0].home.Row) + lay.dist(n.addr.Row)
+			lay.stats.PortShifts += lay.access(n.args[0].home) + lay.access(n.addr)
 		}
 	}
 	return lay, nil
+}
+
+// access prices aligning a.Row under the nearest feasible port of its
+// DBC, walking that DBC's head the same way Nanowire.NearestPort/Align
+// do at run time, and returns the step count. Pricing from the head's
+// current position (rather than the rest-position port distance) is
+// what makes consecutive accesses to adjacent rows cost ~1 step — the
+// effect the rest-position model overstates on small programs.
+func (lay *layout) access(a isa.Addr) int {
+	rows, trd := lay.geo.RowsPerDBC, int(lay.trd)
+	pl, pr := params.PortPlacement(rows, lay.trd)
+	base := dbcBase(a)
+	off := lay.head[base]
+	dl, dr := pl-a.Row-off, pr-a.Row-off
+	d := dr
+	if a.Row <= rows-trd && (a.Row < trd-1 || abs(dl) <= abs(dr)) {
+		d = dl
+	}
+	lay.head[base] += d
+	return abs(d)
 }
 
 func (lay *layout) dist(row int) int {

@@ -149,6 +149,9 @@ var capturePool = sync.Pool{New: func() interface{} { return telemetry.NewCaptur
 func (m *Memory) runGroup(g batchGroup, plans []execPlan, results []Result) *telemetry.CaptureSink {
 	capture := capturePool.Get().(*telemetry.CaptureSink)
 	groupRec := telemetry.NewCaptureRecorder(m.cfg, capture)
+	// Take the cfg-class mutex (inside Recorder) before the shard locks:
+	// cfg-class mutexes order strictly before shard mutexes.
+	restore := m.Recorder()
 	shards, unlock, err := m.lockOrdered(g.bases)
 	if err != nil {
 		for _, ri := range g.reqs {
@@ -158,7 +161,6 @@ func (m *Memory) runGroup(g batchGroup, plans []execPlan, results []Result) *tel
 		return nil
 	}
 	defer unlock()
-	restore := m.Recorder()
 	for _, sh := range shards {
 		sh.setRecorder(groupRec)
 	}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/isa"
@@ -414,6 +415,60 @@ func TestStatsSafeDuringBatch(t *testing.T) {
 	if got, want := m.Recorder().Cycle(), m.Stats().Cycles(); got != uint64(want) {
 		t.Errorf("recorder cycle %d != stats cycles %d after batches", got, want)
 	}
+}
+
+// TestRecorderSafeDuringBatch pins the lock-ordering fix in runGroup:
+// the cfg-class mutex (taken by Recorder) must be acquired before the
+// group's shard locks, never under them. Hammering Recorder from
+// another goroutine while parallel groups run keeps cfgMu contended
+// through the exact window runGroup uses it; a reintroduced inversion
+// shows up here as a -race report or a watchdog timeout instead of a
+// silent latent deadlock.
+func TestRecorderSafeDuringBatch(t *testing.T) {
+	cfg := params.DefaultConfig()
+	g := cfg.Geometry
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Request, 0, 8)
+	for s := 0; s < 8; s++ {
+		reqs = append(reqs, addRequest(t, m, g, 0, s, 100+s))
+	}
+	m.SetWorkers(4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := m.Recorder()
+			m.SetTelemetry(rec) // cfgMu write path, same recorder back
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 5; round++ {
+			for i, r := range m.ExecuteBatch(reqs) {
+				if r.Err != nil {
+					t.Errorf("round %d request %d: %v", round, i, r.Err)
+				}
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("batch execution wedged while cfg-class mutex was contended; check runGroup's lock order (cfg before shard)")
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestBatchWithFaultInjectorSerializes: with an injector attached the

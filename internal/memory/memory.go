@@ -314,6 +314,7 @@ func (m *Memory) lockOrdered(bases []isa.Addr) ([]*shard, func(), error) {
 		shards[i] = sh
 	}
 	for _, sh := range shards {
+		//coruscantvet:ignore lockorder -- the sanctioned helper itself: bases are sorted by Linear, so the pairwise order is global
 		sh.mu.Lock()
 	}
 	unlock := func() {
@@ -477,8 +478,12 @@ func (m *Memory) SetFaultProfile(p FaultProfile) {
 	}
 	m.cfgMu.Unlock()
 	for _, sh := range m.snapshotShards() {
+		// Build the injector before taking the shard lock: injectorFor
+		// reads cfg state under cfgMu, and cfg-class mutexes order
+		// strictly before shard locks.
+		inj := m.injectorFor(sh.base)
 		sh.mu.Lock()
-		sh.d.SetFaultInjector(m.injectorFor(sh.base))
+		sh.d.SetFaultInjector(inj)
 		sh.mu.Unlock()
 	}
 }
