@@ -5,9 +5,9 @@
 GO ?= go
 BIN := bin
 
-.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-parallel bench-resilient bench-compile
+.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-profile bench-parallel bench-resilient bench-compile
 
-ci: lint build race race-obs fuzz bench bench-obs bench-parallel bench-resilient bench-compile
+ci: lint build race race-obs fuzz bench bench-obs bench-profile bench-parallel bench-resilient bench-compile
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +64,7 @@ race:
 # sweep can miss.
 race-obs:
 	$(GO) test -race -count=2 ./internal/memory ./internal/telemetry \
+		./internal/telemetry/profile \
 		./internal/isa ./internal/workloads/cnn ./internal/workloads/bitmapidx
 
 # fuzz gives each native fuzz target a short deterministic smoke run;
@@ -101,6 +102,14 @@ bench-resilient:
 # BENCH_obs.json.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry' -benchmem .
+
+# bench-profile measures the hardware-profiler overhead guard: the same
+# hot ops with no recorder (the disabled path must stay within noise of
+# the bench-obs disabled numbers — the profiler is a sink, the hooks
+# did not grow) and with the spatial profiler attached. Reference
+# numbers are recorded in BENCH_profile.json.
+bench-profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkProfile' -benchmem .
 
 # bench-compile measures the pimc compiler on a fixed three-program
 # corpus: compile latency per optimization level, and the measured cost

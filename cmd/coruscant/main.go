@@ -23,8 +23,19 @@
 //	                                 # https://ui.perfetto.dev
 //	coruscant -jsonl out.jsonl demo  # one JSON event per line
 //	coruscant -metrics demo          # text metrics report on exit
-//	coruscant -debug-addr :8080 all  # /debug/vars + /debug/pprof server
+//	coruscant -debug-addr :8080 all  # /debug/vars + /debug/pprof +
+//	                                 # /metrics (Prometheus) server
 //	coruscant -cpuprofile cpu.pb all # runtime profiles
+//
+// Any recorder-backed run also feeds the racetrack hardware profiler
+// (internal/telemetry/profile): per-DBC wear, head occupancy and
+// shift-distance heatmaps. With -debug-addr the profiler serves
+// Prometheus text exposition at /metrics, which the live terminal
+// heatmap polls:
+//
+//	coruscant -debug-addr :8080 batch &   # long-running profiled work
+//	coruscant top :8080                   # live per-DBC heatmap
+//	coruscant -top-count 1 top :8080      # one scrape, then exit
 package main
 
 import (
@@ -36,6 +47,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/dbc"
 	"repro/internal/experiments"
@@ -46,6 +60,7 @@ import (
 	"repro/internal/reliability"
 	"repro/internal/resilient"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/profile"
 )
 
 func main() {
@@ -71,6 +86,9 @@ func run(args []string) error {
 	retries := fs.Int("retries", -1, "campaign: retry budget override (-1 = policy default)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "campaign: detected faults per DBC before quarantine (0 = never)")
 	seed := fs.Int64("seed", 1, "campaign: workload and fault-stream seed")
+	topInterval := fs.Duration("top-interval", 2*time.Second, "top: poll interval")
+	topN := fs.Int("top-n", 16, "top: show at most this many DBCs (0 = all)")
+	topCount := fs.Int("top-count", 0, "top: number of polls before exiting (0 = forever)")
 	fs.Usage = func() {
 		usage()
 		fmt.Println("flags:")
@@ -96,27 +114,19 @@ func run(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *debugAddr != "" {
-		// Expose expvar (/debug/vars) and pprof (/debug/pprof) for the
-		// duration of the run; telemetry metrics publish there too.
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "coruscant: debug server:", err)
-			}
-		}()
-	}
-
 	// Assemble the telemetry recorder when any observability output is
 	// requested; a nil recorder keeps the disabled path free.
 	var sinks []telemetry.Sink
 	var closers []*os.File
+	var chrome *telemetry.ChromeSink
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			return err
 		}
 		closers = append(closers, f)
-		sinks = append(sinks, telemetry.NewChromeSink(f))
+		chrome = telemetry.NewChromeSink(f)
+		sinks = append(sinks, chrome)
 	}
 	if *jsonlPath != "" {
 		f, err := os.Create(*jsonlPath)
@@ -128,8 +138,28 @@ func run(args []string) error {
 	}
 	var rec *telemetry.Recorder
 	if len(sinks) > 0 || *metrics || *debugAddr != "" {
+		// Every recorder-backed run also feeds the hardware profiler;
+		// with a Chrome sink attached its per-DBC counters stream into
+		// the trace as Perfetto counter tracks.
+		var opts []profile.Option
+		if chrome != nil {
+			opts = append(opts, profile.WithChromeCounters(chrome, 64))
+		}
+		prof := profile.New(params.DefaultConfig(), opts...)
+		mountMetrics(prof)
+		sinks = append(sinks, prof)
 		rec = telemetry.NewRecorder(params.DefaultConfig(), sinks...)
 		rec.Metrics().PublishExpvar("coruscant.telemetry")
+	}
+	if *debugAddr != "" {
+		// Expose expvar (/debug/vars), pprof (/debug/pprof) and the
+		// profiler's Prometheus exposition (/metrics) for the duration
+		// of the run; telemetry metrics publish there too.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "coruscant: debug server:", err)
+			}
+		}()
 	}
 
 	camp := campaignFlags{
@@ -137,7 +167,8 @@ func run(args []string) error {
 		policy: *policySpec, retries: *retries,
 		quarantineAfter: *quarantineAfter, seed: *seed, workers: *workers,
 	}
-	runErr := dispatch(args, rec, *workers, camp)
+	top := topFlags{interval: *topInterval, n: *topN, count: *topCount}
+	runErr := dispatch(args, rec, *workers, camp, top)
 
 	if err := rec.Close(); err != nil && runErr == nil {
 		runErr = err
@@ -165,11 +196,49 @@ func run(args []string) error {
 	return runErr
 }
 
+// mountMetrics publishes the profiler's Prometheus exposition at
+// /metrics on the default mux. The handler is registered once per
+// process and delegates through a swappable pointer, so repeated run()
+// calls (tests) never double-register.
+var (
+	metricsMu   sync.Mutex
+	metricsProf *profile.Profiler
+	metricsOnce sync.Once
+)
+
+func mountMetrics(p *profile.Profiler) {
+	metricsMu.Lock()
+	metricsProf = p
+	metricsMu.Unlock()
+	metricsOnce.Do(func() {
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			metricsMu.Lock()
+			p := metricsProf
+			metricsMu.Unlock()
+			if p == nil {
+				http.NotFound(w, r)
+				return
+			}
+			p.Handler().ServeHTTP(w, r)
+		})
+	})
+}
+
 // dispatch runs the positional subcommands with the (possibly nil)
-// telemetry recorder.
-func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaignFlags) error {
-	for _, arg := range args {
+// telemetry recorder. The loop is indexed because `top` consumes the
+// following argument as its scrape target.
+func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaignFlags, top topFlags) error {
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
 		switch arg {
+		case "top":
+			if i+1 >= len(args) {
+				return fmt.Errorf("top needs a target (host:port or URL of a -debug-addr server)")
+			}
+			i++
+			if err := runTop(args[i], top); err != nil {
+				return err
+			}
 		case "help", "-h", "--help":
 			usage()
 		case "list":
@@ -244,8 +313,64 @@ func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaign
 }
 
 func usage() {
-	fmt.Println("usage: coruscant [flags] [all|demo|batch|campaign|svg|json|list|<experiment>...]")
+	fmt.Println("usage: coruscant [flags] [all|demo|batch|campaign|svg|json|list|top <target>|<experiment>...]")
 	fmt.Println("experiments:", experiments.IDs())
+}
+
+// topFlags carries the top subcommand's flag values.
+type topFlags struct {
+	interval time.Duration
+	n        int
+	count    int
+}
+
+// topTarget normalizes a top scrape target: a bare host:port (or
+// ":8080") gets the http scheme and the /metrics path of the
+// -debug-addr server; full URLs pass through.
+func topTarget(target string) string {
+	if !strings.Contains(target, "://") {
+		if strings.HasPrefix(target, ":") {
+			target = "localhost" + target
+		}
+		target = "http://" + target
+	}
+	if i := strings.Index(target, "://"); !strings.Contains(target[i+3:], "/") {
+		target += "/metrics"
+	}
+	return target
+}
+
+// runTop polls the profiler's Prometheus endpoint and renders the live
+// per-DBC terminal heatmap: utilization, shift and wear counters, the
+// hottest row, and align-distance p50/p95.
+func runTop(target string, f topFlags) error {
+	url := topTarget(target)
+	for poll := 0; ; poll++ {
+		if f.count > 0 && poll >= f.count {
+			return nil
+		}
+		if poll > 0 {
+			time.Sleep(f.interval)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return fmt.Errorf("top: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return fmt.Errorf("top: %s returned %s", url, resp.Status)
+		}
+		samples, err := profile.ParsePrometheus(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("top: %s: %w", url, err)
+		}
+		if f.count != 1 {
+			fmt.Print("\033[2J\033[H") // clear screen between polls
+		}
+		fmt.Printf("coruscant top — %s — every %v\n\n", url, f.interval)
+		profile.RenderTop(os.Stdout, profile.TopFromSamples(samples), f.n)
+	}
 }
 
 // campaignFlags carries the campaign subcommand's flag values.

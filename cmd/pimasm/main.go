@@ -37,8 +37,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -49,6 +51,7 @@ import (
 	"repro/internal/params"
 	"repro/internal/pim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/profile"
 )
 
 func main() {
@@ -66,6 +69,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel controller lanes for exec")
 	level := fs.Int("O", 1, "pimc placement level: 0 naive, 1 placement-aware")
 	dump := fs.Bool("dump", false, "print each pimc compiler pass's output")
+	prof := fs.Bool("profile", false, "print the placement model's predicted vs profiled measured shift steps per DBC (program files only)")
 	fs.Usage = func() {
 		fmt.Println("usage: pimasm [flags] asm \"<op> <addr> [bs=N] [k=N]\" | dis <hexword> | ops | vet <file>... | compile <file> | exec <instr>...|<file>")
 		fmt.Println("flags:")
@@ -124,15 +128,18 @@ func run(args []string) error {
 		if len(args) < 2 {
 			return fmt.Errorf("compile needs a program file")
 		}
-		return compileProg(cfg, args[1], *level, *dump, *tracePath, *jsonlPath, *metrics, false)
+		return compileProg(cfg, args[1], *level, *dump, *tracePath, *jsonlPath, *metrics, false, *prof)
 	case "exec":
 		if len(args) < 2 {
 			return fmt.Errorf("exec needs instruction strings or a program file")
 		}
 		if len(args) == 2 {
 			if _, err := os.Stat(args[1]); err == nil {
-				return compileProg(cfg, args[1], *level, *dump, *tracePath, *jsonlPath, *metrics, true)
+				return compileProg(cfg, args[1], *level, *dump, *tracePath, *jsonlPath, *metrics, true, *prof)
 			}
+		}
+		if *prof {
+			return fmt.Errorf("-profile compares the placement model against a profiled run, so it needs a program file")
 		}
 		return exec(cfg, args[1:], *tracePath, *jsonlPath, *metrics, *workers)
 	default:
@@ -165,8 +172,9 @@ func vetProgs(cfg params.Config, paths []string) error {
 }
 
 // newRecorder wires the telemetry flags into a recorder (nil when no
-// flag asked for one) plus the files to close afterwards.
-func newRecorder(cfg params.Config, tracePath, jsonlPath string, metrics bool) (*telemetry.Recorder, []*os.File, error) {
+// flag asked for one) plus the files to close afterwards. Extra sinks
+// (the hardware profiler) force recorder creation.
+func newRecorder(cfg params.Config, tracePath, jsonlPath string, metrics bool, extra ...telemetry.Sink) (*telemetry.Recorder, []*os.File, error) {
 	var sinks []telemetry.Sink
 	var files []*os.File
 	if tracePath != "" {
@@ -188,6 +196,7 @@ func newRecorder(cfg params.Config, tracePath, jsonlPath string, metrics bool) (
 		files = append(files, f)
 		sinks = append(sinks, telemetry.NewJSONLSink(f))
 	}
+	sinks = append(sinks, extra...)
 	var rec *telemetry.Recorder
 	if len(sinks) > 0 || metrics {
 		rec = telemetry.NewRecorder(cfg, sinks...)
@@ -198,12 +207,18 @@ func newRecorder(cfg params.Config, tracePath, jsonlPath string, metrics bool) (
 // compileProg compiles a pimasm program file through pimc and, when run
 // is set, executes the plan on a fresh memory with deterministic input
 // rows and prints every stored output.
-func compileProg(cfg params.Config, path string, level int, dump bool, tracePath, jsonlPath string, metrics, run bool) error {
+func compileProg(cfg params.Config, path string, level int, dump bool, tracePath, jsonlPath string, metrics, run, profiled bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	rec, files, err := newRecorder(cfg, tracePath, jsonlPath, metrics)
+	var prof *profile.Profiler
+	var extra []telemetry.Sink
+	if profiled && run {
+		prof = profile.New(cfg)
+		extra = append(extra, prof)
+	}
+	rec, files, err := newRecorder(cfg, tracePath, jsonlPath, metrics, extra...)
 	if err != nil {
 		return err
 	}
@@ -229,6 +244,9 @@ func compileProg(cfg params.Config, path string, level int, dump bool, tracePath
 				res.Naive.PortShifts-res.Stats.PortShifts)
 		}
 		if !run {
+			if profiled {
+				writeProfileReport(os.Stdout, res.ShiftsByDBC, nil)
+			}
 			if !dump {
 				fmt.Print(res.Plan.String())
 			}
@@ -273,6 +291,9 @@ func compileProg(cfg params.Config, path string, level int, dump bool, tracePath
 		moves, stats := m.Moves(), m.Stats()
 		fmt.Printf("measured: %d row copies, %d shift steps, %d cycles\n",
 			moves.RowCopies, stats.ShiftSteps, stats.Cycles())
+		if prof != nil {
+			writeProfileReport(os.Stdout, res.ShiftsByDBC, prof.ShiftStepsBySource())
+		}
 		return nil
 	}()
 	if err := rec.Close(); err != nil && runErr == nil {
@@ -401,4 +422,47 @@ func preview(vals []uint64, n int) []uint64 {
 		return vals
 	}
 	return vals[:n]
+}
+
+// writeProfileReport prints the model-vs-measured shift table per DBC:
+// the placement cost model's predicted align steps against the shift
+// steps the hardware profiler measured during the run. measured may be
+// nil (compile without exec), which prints the prediction column only.
+// The two sides are joined on the isa.DBCSource name, so staging DBCs
+// the model priced and DBCs only the runtime touched both show up.
+func writeProfileReport(w io.Writer, model map[string]int, measured map[string]uint64) {
+	names := make(map[string]bool, len(model)+len(measured))
+	for n := range model {
+		names[n] = true
+	}
+	for n := range measured {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	if measured == nil {
+		fmt.Fprintln(w, "profile: predicted shift steps per DBC")
+		fmt.Fprintf(w, "  %-20s %8s\n", "DBC", "MODEL")
+		total := 0
+		for _, n := range sorted {
+			fmt.Fprintf(w, "  %-20s %8d\n", n, model[n])
+			total += model[n]
+		}
+		fmt.Fprintf(w, "  %-20s %8d\n", "total", total)
+		return
+	}
+	fmt.Fprintln(w, "profile: model vs measured shift steps per DBC")
+	fmt.Fprintf(w, "  %-20s %8s %8s %8s\n", "DBC", "MODEL", "MEASURED", "DELTA")
+	var mTotal, sTotal int64
+	for _, n := range sorted {
+		mod, meas := int64(model[n]), int64(measured[n])
+		fmt.Fprintf(w, "  %-20s %8d %8d %+8d\n", n, mod, meas, meas-mod)
+		mTotal += mod
+		sTotal += meas
+	}
+	fmt.Fprintf(w, "  %-20s %8d %8d %+8d\n", "total", mTotal, sTotal, sTotal-mTotal)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -146,4 +147,65 @@ func TestRunExecErrors(t *testing.T) {
 			t.Errorf("args %v accepted", args)
 		}
 	}
+}
+
+// TestRunExecProfile checks the -profile model-vs-measured report:
+// exec prints both columns, compile only the prediction column, and
+// the flag is rejected for raw instruction streams (there is no
+// placement model to compare against).
+func TestRunExecProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.pim")
+	if err := os.WriteFile(path, []byte(testProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := run([]string{"-profile", "exec", path}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "model vs measured shift steps per DBC") {
+		t.Errorf("exec -profile output lacks the comparison table:\n%s", out)
+	}
+	for _, col := range []string{"MODEL", "MEASURED", "DELTA", "total"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("exec -profile output lacks %q:\n%s", col, out)
+		}
+	}
+
+	out = captureStdout(t, func() {
+		if err := run([]string{"-profile", "compile", path}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(out, "predicted shift steps per DBC") {
+		t.Errorf("compile -profile output lacks the prediction table:\n%s", out)
+	}
+	if strings.Contains(out, "MEASURED") {
+		t.Errorf("compile -profile must not claim measurements:\n%s", out)
+	}
+
+	if err := run([]string{"-profile", "exec", "add b2.s10.t0.d15.r0 bs=8 k=3"}); err == nil {
+		t.Error("-profile accepted for a raw instruction stream")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected into a pipe and
+// returns what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
 }

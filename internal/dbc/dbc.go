@@ -125,6 +125,9 @@ func (d *DBC) PeekRow(r int) Row {
 // Offset returns the current shift displacement of the lockstepped wires.
 func (d *DBC) Offset() int { return d.pa.Offset() }
 
+// OffsetBounds returns the legal excursion of Offset.
+func (d *DBC) OffsetBounds() (lo, hi int) { return d.pa.OffsetBounds() }
+
 // Shift moves all nanowires by steps positions (positive = right), one
 // traced control step per position. With a fault injector attached, each
 // step may over- or under-shoot; CORUSCANT assumes orthogonal alignment
@@ -150,7 +153,11 @@ func (d *DBC) Shift(steps int) error {
 			}
 		}
 		d.tracer.Shift(d.width)
-		d.rec.Step(d.src, telemetry.OpShift, d.width)
+		if d.rec != nil {
+			// The explicit nil guard keeps the disabled path at one
+			// branch: Offset() is only computed when somebody listens.
+			d.rec.StepShift(d.src, d.width, d.pa.Offset())
+		}
 	}
 	return nil
 }
@@ -201,7 +208,17 @@ func (d *DBC) ReadPortInto(s device.Side, out Row) {
 	d.checkRow(out)
 	d.pa.ReadPort(s, out.Words)
 	d.tracer.Read(d.width)
-	d.rec.Step(d.src, telemetry.OpRead, d.width)
+	if d.rec != nil {
+		d.rec.StepPort(d.src, telemetry.OpRead, d.width, d.pa.RowAtPort(s), portOf(s))
+	}
+}
+
+// portOf maps a device port side to the telemetry Pos encoding.
+func portOf(s device.Side) int {
+	if s == device.Left {
+		return telemetry.PortLeft
+	}
+	return telemetry.PortRight
 }
 
 // WritePort writes the full row under the port (one traced step).
@@ -209,7 +226,9 @@ func (d *DBC) WritePort(s device.Side, bits Row) {
 	d.checkRow(bits)
 	d.pa.WritePort(s, bits.Words)
 	d.tracer.Write(d.width)
-	d.rec.Step(d.src, telemetry.OpWrite, d.width)
+	if d.rec != nil {
+		d.rec.StepPort(d.src, telemetry.OpWrite, d.width, d.pa.RowAtPort(s), portOf(s))
+	}
 }
 
 // WriteScatter performs, in one traced control step, a set of port writes
@@ -217,11 +236,37 @@ func (d *DBC) WritePort(s device.Side, bits Row) {
 // of Fig. 6 where S, C and C' are written simultaneously to the left port
 // of wire k, the right port of wire k+1 and the left port of wire k+2.
 func (d *DBC) WriteScatter(writes []PortBit) {
+	left, right := false, false
 	for _, pw := range writes {
 		d.pa.SetPortBit(pw.Side, pw.Wire, pw.Bit)
+		if pw.Side == device.Left {
+			left = true
+		} else {
+			right = true
+		}
 	}
 	d.tracer.Write(len(writes))
-	d.rec.Step(d.src, telemetry.OpWrite, len(writes))
+	if d.rec != nil {
+		d.stepScatter(len(writes), left, right)
+	}
+}
+
+// stepScatter records one scatter-write control step with wear
+// attribution: the touched row(s) are whatever sits under the used
+// port(s). With both ports written the event carries the left-port row
+// and PortBoth — the right-port row is TRD-1 rows further, which the
+// profiler reconstructs from the geometry.
+func (d *DBC) stepScatter(count int, left, right bool) {
+	switch {
+	case left && right:
+		d.rec.StepPort(d.src, telemetry.OpWrite, count, d.pa.RowAtPort(device.Left), telemetry.PortBoth)
+	case right:
+		d.rec.StepPort(d.src, telemetry.OpWrite, count, d.pa.RowAtPort(device.Right), telemetry.PortRight)
+	default:
+		// Left-only, or an empty scatter (count 0) that still costs the
+		// control step: attribute to the left port like the carry chain.
+		d.rec.StepPort(d.src, telemetry.OpWrite, count, d.pa.RowAtPort(device.Left), telemetry.PortLeft)
+	}
 }
 
 // PortBit names a single-bit port write target for WriteScatter.
@@ -395,7 +440,9 @@ func (d *DBC) WriteScatterPlanes(left, leftMask, right, rightMask []uint64, coun
 	d.pa.WritePortMasked(device.Left, left, leftMask)
 	d.pa.WritePortMasked(device.Right, right, rightMask)
 	d.tracer.Write(count)
-	d.rec.Step(d.src, telemetry.OpWrite, count)
+	if d.rec != nil {
+		d.stepScatter(count, leftMask != nil, rightMask != nil)
+	}
 }
 
 // TW performs a transverse write of a full row (§IV-B): on every wire the
@@ -406,7 +453,9 @@ func (d *DBC) TW(bits Row) {
 	d.checkRow(bits)
 	d.pa.TW(bits.Words)
 	d.tracer.TW(d.width)
-	d.rec.Step(d.src, telemetry.OpTW, d.width)
+	if d.rec != nil {
+		d.rec.StepPort(d.src, telemetry.OpTW, d.width, d.pa.RowAtPort(device.Left), telemetry.PortLeft)
+	}
 }
 
 // WindowRow maps window position i (0 = left port) to the data row

@@ -101,6 +101,15 @@ func (w *Nanowire) Offset() int {
 	return w.start - rest
 }
 
+// OffsetBounds returns the legal excursion of Offset: the most negative
+// and most positive displacements the overhead domains allow (the
+// reference-model counterpart of PlaneArray.OffsetBounds).
+func (w *Nanowire) OffsetBounds() (lo, hi int) {
+	pl, _ := params.PortPlacement(w.rows, w.trd)
+	rest := w.portL - pl
+	return w.minS - rest, w.maxS - rest
+}
+
 // rowPhys returns the physical index currently holding data row r.
 func (w *Nanowire) rowPhys(r int) int { return w.start + r }
 

@@ -29,6 +29,7 @@ type PlaneArray struct {
 	portL, portR int // physical plane indices of the access ports
 
 	start int // physical plane currently holding data row 0
+	rest  int // start value at rest (zero offset), cached for Offset
 	minS  int // smallest legal start
 	maxS  int // largest legal start
 
@@ -68,6 +69,7 @@ func NewPlaneArray(wires, rows int, trd params.TRD) (*PlaneArray, error) {
 		portL: pl + leftOver,
 		portR: pr + leftOver,
 		start: leftOver,
+		rest:  leftOver,
 		minS:  0,
 		maxS:  leftOver + rightOver,
 		tail:  tailMask(wires),
@@ -115,9 +117,27 @@ func (pa *PlaneArray) plane(p int) []uint64 {
 
 // Offset returns the current shift displacement of the lockstepped data
 // region from its rest position (positive = right), as Nanowire.Offset.
+// It is two loads and a subtract, cheap enough for the telemetry shift
+// hook to call once per recorded shift step.
 func (pa *PlaneArray) Offset() int {
-	pl, _ := params.PortPlacement(pa.rows, pa.trd)
-	return pa.start - (pa.portL - pl)
+	return pa.start - pa.rest
+}
+
+// OffsetBounds returns the legal excursion of Offset: the most negative
+// and most positive displacements the overhead domains allow. The
+// hardware profiler uses it to scale head-position occupancy rendering.
+func (pa *PlaneArray) OffsetBounds() (lo, hi int) {
+	return pa.minS - pa.rest, pa.maxS - pa.rest
+}
+
+// OffsetRange returns the legal head-offset excursion of a wire of the
+// given geometry without building one: the OffsetBounds any
+// PlaneArray/Nanowire of that shape would report. Consumers that only
+// see the telemetry stream (the hardware profiler) use it to bound the
+// head-position axis.
+func OffsetRange(rows int, trd params.TRD) (lo, hi int) {
+	pl, pr := params.PortPlacement(rows, trd)
+	return -(rows - 1 - pr), pl
 }
 
 // checkRow panics on an out-of-range data row index.

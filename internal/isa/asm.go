@@ -128,6 +128,15 @@ func FormatAddr(a Addr) string {
 	return fmt.Sprintf("b%d.s%d.t%d.d%d.r%d", a.Bank, a.Subarray, a.Tile, a.DBC, a.Row)
 }
 
+// DBCSource names the DBC holding the address by its coordinates
+// without the row — "b2.s10.t0.d15" — the telemetry source label
+// memory.Memory assigns each cluster. The compiler's per-DBC shift
+// predictions and the hardware profiler's measured per-DBC counters
+// are joined on this string.
+func DBCSource(a Addr) string {
+	return fmt.Sprintf("b%d.s%d.t%d.d%d", a.Bank, a.Subarray, a.Tile, a.DBC)
+}
+
 // OpByName resolves an assembly mnemonic to its opcode.
 func OpByName(name string) (OpCode, bool) {
 	op, ok := opByName[strings.ToLower(name)]

@@ -60,6 +60,11 @@ type Result struct {
 	Outputs []Output
 	Stats   PlanStats // cost model of the emitted plan
 	Naive   PlanStats // cost model of the naive layout (Level >= 1 only)
+
+	// ShiftsByDBC splits Stats.PortShifts per DBC, keyed by the
+	// telemetry source name (isa.DBCSource) — the prediction side of
+	// the `pimasm exec -profile` model-vs-measured comparison.
+	ShiftsByDBC map[string]int
 }
 
 // Compile parses, legalizes, places and schedules a pimasm program
@@ -129,7 +134,7 @@ func Compile(src string, cfg params.Config, opt Options) (*Result, error) {
 	done()
 	dump("schedule", plan.String)
 
-	res := &Result{Plan: plan, Stats: plan.Stats}
+	res := &Result{Plan: plan, Stats: plan.Stats, ShiftsByDBC: lay.shiftsBySource()}
 	for _, n := range prog.nodes {
 		switch n.kind {
 		case nLoad:

@@ -36,9 +36,23 @@ type layout struct {
 	stageRows []isa.Addr // allocated-but-unused rows of the current staging DBC
 	stageSeq  int        // enumeration cursor over candidate staging DBCs
 
-	head map[isa.Addr]int // per-DBC data offset of the racetrack head
+	head    map[isa.Addr]int // per-DBC data offset of the racetrack head
+	shiftBy map[isa.Addr]int // per-DBC share of stats.PortShifts
 
 	stats PlanStats
+}
+
+// shiftsBySource exports the per-DBC shift predictions keyed by the
+// telemetry source name memory.Memory assigns the cluster, so they
+// join directly against the hardware profiler's measured counters.
+func (lay *layout) shiftsBySource() map[string]int {
+	out := make(map[string]int, len(lay.shiftBy))
+	for base, n := range lay.shiftBy {
+		if n > 0 {
+			out[isa.DBCSource(base)] = n
+		}
+	}
+	return out
 }
 
 // rowOwner remembers which allocator a recyclable home row came from,
@@ -121,6 +135,7 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int, recycle bool)
 		free:    make(map[isa.Addr][]int),
 		userDBC: make(map[isa.Addr]bool),
 		head:    make(map[isa.Addr]int),
+		shiftBy: make(map[isa.Addr]int),
 	}
 
 	// The program's own rows (and their whole DBCs) are off-limits to
@@ -346,6 +361,7 @@ func (lay *layout) access(a isa.Addr) int {
 		d = dl
 	}
 	lay.head[base] += d
+	lay.shiftBy[base] += abs(d)
 	return abs(d)
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/params"
 	"repro/internal/pim"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/profile"
 )
 
 // pimAddr returns the PIM-enabled DBC of the given bank/subarray under
@@ -518,6 +520,62 @@ func TestBatchWithFaultInjectorSerializes(t *testing.T) {
 		}
 		if !got.Equal(want) {
 			t.Errorf("DBC %d: faulted batch differs from faulted serial run", s)
+		}
+	}
+}
+
+// TestBatchProfilerSnapshotEqualsSerial is the hardware profiler's
+// capture-replay acceptance test: with the spatial profiler attached
+// as a sink, a parallel ExecuteBatch must produce a per-DBC snapshot —
+// wear maps, head occupancy, per-port shift-distance histograms,
+// energy — bit-identical to a serial run, because group captures
+// replay the spatially-attributed events verbatim in program order.
+func TestBatchProfilerSnapshotEqualsSerial(t *testing.T) {
+	cfg := params.DefaultConfig()
+	g := cfg.Geometry
+	const nDBC = 8
+
+	run := func(parallel bool) *profile.Profiler {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := profile.New(cfg)
+		m.SetTelemetry(telemetry.NewRecorder(cfg, prof))
+		reqs := make([]Request, 0, nDBC)
+		for s := 0; s < nDBC; s++ {
+			reqs = append(reqs, addRequest(t, m, g, 0, s, s))
+		}
+		if parallel {
+			m.SetWorkers(8)
+			for i, r := range m.ExecuteBatch(reqs) {
+				if r.Err != nil {
+					t.Fatalf("request %d: %v", i, r.Err)
+				}
+			}
+		} else {
+			for i, r := range reqs {
+				if _, err := m.Execute(r.In, r.Operands, r.Dst); err != nil {
+					t.Fatalf("request %d: %v", i, err)
+				}
+			}
+		}
+		return prof
+	}
+
+	serial := run(false).Snapshot()
+	par := run(true).Snapshot()
+	if len(serial) == 0 {
+		t.Fatal("serial run profiled no sources")
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("profiler snapshots differ between serial and parallel runs")
+		for i := range serial {
+			if i < len(par) && !reflect.DeepEqual(serial[i], par[i]) {
+				t.Errorf("first divergence at %s:\nserial   %+v\nparallel %+v",
+					serial[i].Src, serial[i], par[i])
+				break
+			}
 		}
 	}
 }

@@ -224,7 +224,7 @@ func (m *Memory) Workers() int {
 // srcFor names a DBC's telemetry source after its coordinates, e.g.
 // "b0.s1.t2.d3" — one Chrome-trace lane per touched DBC.
 func srcFor(base isa.Addr) telemetry.Source {
-	return telemetry.Source(fmt.Sprintf("b%d.s%d.t%d.d%d", base.Bank, base.Subarray, base.Tile, base.DBC))
+	return telemetry.Source(isa.DBCSource(base))
 }
 
 // dbcBase strips the row from an address, keying the containing DBC.

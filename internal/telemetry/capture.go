@@ -74,7 +74,10 @@ func (r *Recorder) Replay(events []Event) {
 	for _, e := range events {
 		switch e.Phase {
 		case PhaseStep:
-			r.step(e.Src, e.Op, e.Wires)
+			// Spatial attribution (Row/Pos) rides along verbatim so the
+			// profiler sees an identical stream from a captured-then-
+			// replayed batch and a serial run.
+			r.step(e.Src, e.Op, e.Wires, e.Row, e.Pos)
 		case PhaseBegin:
 			//coruscantvet:ignore spanbalance -- replay mirrors recorded Begin/End pairs verbatim; balance was checked at capture time
 			r.Begin(e.Src, e.Name)

@@ -104,10 +104,27 @@ func (s *ChromeSink) Emit(e Event) {
 	t := s.tid(e.Src)
 	switch e.Phase {
 	case PhaseStep:
+		args := map[string]any{"wires": e.Wires, "energy_pj": e.EnergyPJ}
+		// Spatial attribution, when present, rides in extra args so
+		// Perfetto tooltips show where the step landed. Unattributed
+		// events keep the original schema exactly.
+		if e.Row > 0 {
+			args["row"] = e.Row - 1
+			switch e.Pos {
+			case PortLeft:
+				args["port"] = "left"
+			case PortRight:
+				args["port"] = "right"
+			case PortBoth:
+				args["port"] = "both"
+			}
+		} else if e.Pos > 0 {
+			args["head"] = e.Pos - PosBias
+		}
 		s.write(chromeEvent{
 			Name: e.Op.String(), Cat: "primitive", Ph: "X", Ts: e.Cycle, Dur: &one,
 			Pid: chromePid, Tid: t,
-			Args: map[string]any{"wires": e.Wires, "energy_pj": e.EnergyPJ},
+			Args: args,
 		})
 	case PhaseBegin:
 		s.write(chromeEvent{Name: e.Name, Cat: "span", Ph: "B", Ts: e.Cycle, Pid: chromePid, Tid: t})
@@ -130,6 +147,32 @@ func (s *ChromeSink) Emit(e Event) {
 			Scope: "t", Args: map[string]any{"wires": e.Wires},
 		})
 	}
+}
+
+// EmitCounter writes a counter-phase ('C') sample on the source's
+// lane: name is the counter track and values its series (Perfetto
+// renders each series as a stacked heatline). Timestamps must be
+// non-decreasing per source, like every other event of the lane; the
+// profiler derives them from event cycles, which satisfy this by
+// construction. Empty values are dropped — a counter record without
+// args is invalid trace_event JSON.
+func (s *ChromeSink) EmitCounter(src Source, ts uint64, name string, values map[string]float64) {
+	if len(values) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	s.write(chromeEvent{
+		Name: name, Cat: "counter", Ph: "C", Ts: ts,
+		Pid: chromePid, Tid: s.tid(src), Args: args,
+	})
 }
 
 // Close terminates the JSON array and flushes. Emits after Close are

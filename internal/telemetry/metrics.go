@@ -12,9 +12,13 @@ import (
 
 // Hist is a log2-bucketed histogram of non-negative integer samples:
 // bucket 0 counts zeros, bucket i counts values in [2^(i-1), 2^i), and
-// the last bucket absorbs everything larger.
+// the last bucket absorbs everything larger. Alongside the buckets it
+// keeps the exact sum and maximum, so the summary accessors (Sum, Max,
+// Mean, P50, P95) don't lose more precision than the bucketing itself.
 type Hist struct {
 	Buckets [18]uint64
+	SumV    uint64 // exact sum of all observed samples
+	MaxV    uint64 // exact maximum observed sample
 }
 
 // Observe adds one sample.
@@ -24,6 +28,10 @@ func (h *Hist) Observe(v uint64) {
 		i = len(h.Buckets) - 1
 	}
 	h.Buckets[i]++
+	h.SumV += v
+	if v > h.MaxV {
+		h.MaxV = v
+	}
 }
 
 // Total returns the number of samples observed.
@@ -34,6 +42,64 @@ func (h Hist) Total() uint64 {
 	}
 	return n
 }
+
+// Sum returns the exact sum of the observed samples.
+func (h Hist) Sum() uint64 { return h.SumV }
+
+// Max returns the exact maximum observed sample (0 when empty).
+func (h Hist) Max() uint64 { return h.MaxV }
+
+// Mean returns the exact mean of the observed samples (0 when empty).
+func (h Hist) Mean() float64 {
+	n := h.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.SumV) / float64(n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile: the
+// upper edge of the first bucket whose cumulative count reaches
+// q×Total, clamped to the exact maximum. q outside (0,1] is clamped.
+// The estimate is exact for bucket 0 (zeros) and otherwise within the
+// 2× resolution of the log2 bucketing.
+func (h Hist) Quantile(q float64) uint64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			edge := (uint64(1) << i) - 1 // largest value of [2^(i-1), 2^i)
+			if edge > h.MaxV {
+				return h.MaxV
+			}
+			return edge
+		}
+	}
+	return h.MaxV
+}
+
+// P50 returns the upper-bound median estimate (see Quantile).
+func (h Hist) P50() uint64 { return h.Quantile(0.50) }
+
+// P95 returns the upper-bound 95th-percentile estimate (see Quantile).
+func (h Hist) P95() uint64 { return h.Quantile(0.95) }
 
 // String renders the non-empty buckets compactly, e.g.
 // "[1,2):3 [4,8):1".
@@ -257,8 +323,9 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		if om.Steps == 0 {
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%-10s steps=%d wires=%d energy=%.1fpJ wires-hist=%s\n",
-			op, om.Steps, om.WiresTotal, om.EnergyPJTotal, om.WiresHist); err != nil {
+		if _, err := fmt.Fprintf(w, "%-10s steps=%d wires=%d energy=%.1fpJ wires-p50=%d p95=%d max=%d wires-hist=%s\n",
+			op, om.Steps, om.WiresTotal, om.EnergyPJTotal,
+			om.WiresHist.P50(), om.WiresHist.P95(), om.WiresHist.Max(), om.WiresHist); err != nil {
 			return err
 		}
 	}
@@ -290,8 +357,9 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		sp := m.spans[n]
-		if _, err := fmt.Fprintf(w, "%-24s count=%d cycles=%d energy=%.1fpJ cycle-hist=%s\n",
-			n, sp.Count, sp.TotalCycles, sp.TotalPJ, sp.CycleHist); err != nil {
+		if _, err := fmt.Fprintf(w, "%-24s count=%d cycles=%d energy=%.1fpJ cycle-p50=%d p95=%d max=%d cycle-hist=%s\n",
+			n, sp.Count, sp.TotalCycles, sp.TotalPJ,
+			sp.CycleHist.P50(), sp.CycleHist.P95(), sp.CycleHist.Max(), sp.CycleHist); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,179 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TopRow is the per-DBC line of the `coruscant top` view, rebuilt from
+// a scrape of the Prometheus endpoint.
+type TopRow struct {
+	DBC      string
+	Cycles   uint64  // cycle-costing control steps
+	Shifts   uint64  // shift steps
+	EnergyPJ float64 // total energy
+	Wear     uint64  // total row-write wear
+	HotRow   int     // hottest written row, -1 when unwritten
+	HotWear  uint64  // its write count
+	ShiftP50 uint64  // align-distance p50 (any port)
+	ShiftP95 uint64  // align-distance p95 (any port)
+}
+
+// cycleOps are the op labels whose steps cost a cycle (the step kinds,
+// matching telemetry's OpShift..OpStall block).
+var cycleOps = map[string]bool{
+	"shift": true, "tr": true, "write": true, "read": true,
+	"tw": true, "copy": true, "logic": true, "stall": true,
+}
+
+// TopFromSamples folds a scrape into per-DBC rows, sorted hottest
+// (most cycles) first.
+func TopFromSamples(samples []Sample) []TopRow {
+	type acc struct {
+		TopRow
+		bucket map[uint64]uint64 // le edge -> cumulative count (port="any")
+		count  uint64
+		max    uint64 // exact observed maximum (clamps bucket edges)
+	}
+	byDBC := make(map[string]*acc)
+	get := func(dbc string) *acc {
+		a := byDBC[dbc]
+		if a == nil {
+			a = &acc{TopRow: TopRow{DBC: dbc, HotRow: -1}, bucket: map[uint64]uint64{}}
+			byDBC[dbc] = a
+		}
+		return a
+	}
+	for _, s := range samples {
+		dbc := s.Labels["dbc"]
+		if dbc == "" {
+			continue
+		}
+		a := get(dbc)
+		switch s.Name {
+		case "coruscant_dbc_steps_total":
+			if cycleOps[s.Labels["op"]] {
+				a.Cycles += uint64(s.Value)
+			}
+		case "coruscant_dbc_shift_steps_total":
+			a.Shifts = uint64(s.Value)
+		case "coruscant_dbc_energy_picojoules_total":
+			a.EnergyPJ += s.Value
+		case "coruscant_dbc_row_writes_total":
+			n := uint64(s.Value)
+			a.Wear += n
+			if n > a.HotWear {
+				if row, err := strconv.Atoi(s.Labels["row"]); err == nil {
+					a.HotRow, a.HotWear = row, n
+				}
+			}
+		case "coruscant_dbc_shift_distance_steps_bucket":
+			if s.Labels["port"] != "any" {
+				break
+			}
+			if s.Labels["le"] == "+Inf" {
+				a.count = uint64(s.Value)
+				break
+			}
+			if le, err := strconv.ParseUint(s.Labels["le"], 10, 64); err == nil {
+				a.bucket[le] = uint64(s.Value)
+			}
+		case "coruscant_dbc_shift_distance_steps_max":
+			if s.Labels["port"] == "any" {
+				a.max = uint64(s.Value)
+			}
+		}
+	}
+	rows := make([]TopRow, 0, len(byDBC))
+	for _, a := range byDBC {
+		a.ShiftP50 = quantileFromBuckets(a.bucket, a.count, 0.50, a.max)
+		a.ShiftP95 = quantileFromBuckets(a.bucket, a.count, 0.95, a.max)
+		rows = append(rows, a.TopRow)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Cycles != rows[j].Cycles {
+			return rows[i].Cycles > rows[j].Cycles
+		}
+		return rows[i].DBC < rows[j].DBC
+	})
+	return rows
+}
+
+// quantileFromBuckets estimates a quantile from cumulative le-edge
+// buckets the same way telemetry.Hist.Quantile does: the upper edge of
+// the first bucket whose cumulative count reaches the rank, clamped to
+// the exact observed maximum (the _max gauge).
+func quantileFromBuckets(buckets map[uint64]uint64, total uint64, q float64, max uint64) uint64 {
+	if total == 0 || len(buckets) == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(total) + 0.999999)
+	if rank == 0 {
+		rank = 1
+	}
+	edges := make([]uint64, 0, len(buckets))
+	for le := range buckets {
+		edges = append(edges, le)
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	est := edges[len(edges)-1]
+	for _, le := range edges {
+		if buckets[le] >= rank {
+			est = le
+			break
+		}
+	}
+	if max > 0 && est > max {
+		est = max
+	}
+	return est
+}
+
+// RenderTop writes the terminal heatmap view: one line per DBC sorted
+// by cycles, with a utilization bar (cycles relative to the busiest
+// DBC), shift/wear counters, the hottest row, and align-distance
+// p50/p95. n limits the number of rows (0 = all).
+func RenderTop(w io.Writer, rows []TopRow, n int) {
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "no profiled activity yet")
+		return
+	}
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	var maxCycles uint64
+	for _, r := range rows {
+		if r.Cycles > maxCycles {
+			maxCycles = r.Cycles
+		}
+	}
+	fmt.Fprintf(w, "%-24s %-12s %10s %10s %10s %12s %10s %6s %6s\n",
+		"DBC", "UTIL", "CYCLES", "SHIFTS", "WEAR", "ENERGY(pJ)", "HOT-ROW", "P50", "P95")
+	for _, r := range rows {
+		hot := "-"
+		if r.HotRow >= 0 {
+			hot = fmt.Sprintf("r%d:%d", r.HotRow, r.HotWear)
+		}
+		fmt.Fprintf(w, "%-24s %-12s %10d %10d %10d %12.1f %10s %6d %6d\n",
+			r.DBC, bar(r.Cycles, maxCycles, 10), r.Cycles, r.Shifts, r.Wear,
+			r.EnergyPJ, hot, r.ShiftP50, r.ShiftP95)
+	}
+}
+
+// bar renders a width-cell utilization bar of v relative to max.
+func bar(v, max uint64, width int) string {
+	if max == 0 {
+		return strings.Repeat(" ", width)
+	}
+	full := int(float64(width) * float64(v) / float64(max))
+	if full > width {
+		full = width
+	}
+	if full == 0 && v > 0 {
+		full = 1
+	}
+	return strings.Repeat("█", full) + strings.Repeat("·", width-full)
+}

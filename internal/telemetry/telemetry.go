@@ -59,6 +59,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of event kinds, for consumers (the hardware
+// profiler) sizing per-op tables indexed by Op.
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	"shift", "tr", "write", "read", "tw", "copy", "logic", "stall",
 	"fault", "row-read", "row-write", "row-copy", "mark", "span",
@@ -88,6 +92,23 @@ const (
 	PhaseInstant              // zero-duration tagged event (fault, row move)
 )
 
+// Spatial attribution constants for Event.Row / Event.Pos. Both fields
+// use a +1 bias so the Event zero value means "no spatial detail" and
+// every pre-existing emitter stays valid unchanged.
+const (
+	// PortLeft..PortBoth are the Pos values of an attributed
+	// access-port step: which port(s) the step touched.
+	PortLeft  = 1 + iota // left access port
+	PortRight            // right access port
+	PortBoth             // both ports in one step (scatter writes)
+
+	// PosBias biases the head offset carried in Pos by shift steps:
+	// Pos = offset + PosBias. Legal offsets are bounded by the track's
+	// overhead domains, far below the bias, so Pos > 0 always holds for
+	// an attributed shift and Pos == 0 still means "not attributed".
+	PosBias = 1 << 20
+)
+
 // Event is one telemetry record.
 type Event struct {
 	Op    Op     // event kind
@@ -99,6 +120,15 @@ type Event struct {
 	// EnergyPJ is the energy delta of this step in picojoules, from the
 	// same per-primitive table trace.Stats.EnergyPJ uses.
 	EnergyPJ float64
+	// Row and Pos carry optional spatial attribution for the hardware
+	// profiler (telemetry/profile); zero means "not attributed". For
+	// access-port steps (OpRead/OpWrite/OpTW and scatter OpWrite), Row
+	// is the 1-based data row under the (left, for PortBoth) accessed
+	// port and Pos one of PortLeft/PortRight/PortBoth. For OpShift
+	// steps Pos is the head offset after the step biased by PosBias.
+	// Events recorded through the plain Step/Move hooks leave both zero.
+	Row int
+	Pos int
 }
 
 // Sink consumes the event stream. Implementations must be safe for use
@@ -172,10 +202,38 @@ func (r *Recorder) Step(src Source, op Op, wires int) {
 	if r == nil {
 		return
 	}
-	r.step(src, op, wires)
+	r.step(src, op, wires, 0, 0)
 }
 
-func (r *Recorder) step(src Source, op Op, wires int) {
+// StepShift records one OpShift control step carrying the head offset
+// after the step, the spatial form of Step the profiler's head-position
+// occupancy is built on. Callers on the hot path should guard the call
+// (and the offset computation) behind their own nil-recorder check so
+// the disabled engine keeps its single-branch overhead contract.
+func (r *Recorder) StepShift(src Source, wires, offset int) {
+	if r == nil {
+		return
+	}
+	r.step(src, OpShift, wires, 0, offset+PosBias)
+}
+
+// StepPort records one access-port control step (OpRead, OpWrite or
+// OpTW) carrying the data row under the accessed port and which port
+// was used (PortLeft, PortRight or PortBoth — for PortBoth row names
+// the left-port row; the right-port row sits TRD-1 rows further). A
+// negative row (overhead domain under the port) records unattributed.
+func (r *Recorder) StepPort(src Source, op Op, wires, row, port int) {
+	if r == nil {
+		return
+	}
+	if row < 0 {
+		r.step(src, op, wires, 0, 0)
+		return
+	}
+	r.step(src, op, wires, row+1, port)
+}
+
+func (r *Recorder) step(src Source, op Op, wires, row, pos int) {
 	r.mu.Lock()
 	e := Event{
 		Op:       op,
@@ -184,6 +242,8 @@ func (r *Recorder) step(src Source, op Op, wires int) {
 		Cycle:    r.cycle,
 		Wires:    wires,
 		EnergyPJ: r.stepEnergy(op, wires),
+		Row:      row,
+		Pos:      pos,
 	}
 	r.cycle++
 	r.totalPJ += e.EnergyPJ
@@ -222,7 +282,7 @@ func (r *Recorder) Stall(src Source, n int) {
 		return
 	}
 	for i := 0; i < n; i++ {
-		r.step(src, OpStall, 0)
+		r.step(src, OpStall, 0, 0, 0)
 	}
 }
 

@@ -22,7 +22,8 @@ type ChromeRecord struct {
 // ValidateChromeTrace decodes a trace_event JSON array and checks the
 // invariants Perfetto relies on: required fields present, timestamps
 // monotonically non-decreasing per thread lane, complete events carry a
-// duration, instants carry a scope, and B/E span events are matched
+// duration, instants carry a scope, counter ('C') samples carry at
+// least one series value in args, and B/E span events are matched
 // per lane in stack order. It returns the decoded records.
 func ValidateChromeTrace(data []byte) ([]ChromeRecord, error) {
 	var records []ChromeRecord
@@ -65,6 +66,13 @@ func ValidateChromeTrace(data []byte) ([]ChromeRecord, error) {
 		case "i":
 			if rec.Scope == "" {
 				return nil, fmt.Errorf("telemetry: record %d (%s): instant without scope", i, rec.Name)
+			}
+		case "C":
+			// Counter samples must carry at least one series value —
+			// Perfetto drops (and chrome://tracing rejects) counters
+			// without args. Per-lane ts monotonicity was checked above.
+			if len(rec.Args) == 0 {
+				return nil, fmt.Errorf("telemetry: record %d (%s): counter without args", i, rec.Name)
 			}
 		default:
 			return nil, fmt.Errorf("telemetry: record %d: unexpected phase %q", i, rec.Ph)
