@@ -5,9 +5,9 @@
 GO ?= go
 BIN := bin
 
-.PHONY: ci vet lint audit build test race race-obs fuzz bench bench-obs bench-profile bench-parallel bench-resilient bench-compile
+.PHONY: ci vet lint audit build test race race-obs fuzz alloc-budget bench bench-obs bench-profile bench-parallel bench-resilient bench-compile bench-pipeline
 
-ci: lint build race race-obs fuzz bench bench-obs bench-profile bench-parallel bench-resilient bench-compile
+ci: lint build race race-obs fuzz alloc-budget bench bench-obs bench-profile bench-parallel bench-resilient bench-compile bench-pipeline
 
 vet:
 	$(GO) vet ./...
@@ -81,6 +81,14 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkDBC|BenchmarkBulk|BenchmarkPIM|BenchmarkAdd' -benchmem ./...
 
+# alloc-budget is the allocation-regression gate: every hot kernel's
+# allocs/op is pinned to the number recorded in BENCH_plane.json /
+# BENCH_parallel.json (TestAllocBudget, alloc_budget_test.go). A change
+# that makes any kernel allocate more per call fails ci even when the
+# wall-clock columns are too noisy to notice.
+alloc-budget:
+	$(GO) test -run 'TestAllocBudget' -count=1 -v .
+
 # bench-parallel measures the bank-parallel batch path: one ExecuteBatch
 # of independent adds across banks/subarrays at worker counts 1/2/4/8
 # against the request-at-a-time serial loop. Reference numbers (and the
@@ -110,6 +118,14 @@ bench-obs:
 # numbers are recorded in BENCH_profile.json.
 bench-profile:
 	$(GO) test -run '^$$' -bench 'BenchmarkProfile' -benchmem .
+
+# bench-pipeline measures the pipelined -O2 schedule against -O1 over
+# the example corpus: makespan (critical-path cycles) and cycles (serial
+# sum) as custom metrics. Reference numbers (and the >=10% corpus
+# makespan reduction, also pinned by compile's TestPipelinedCorpus) are
+# recorded in BENCH_pipeline.json.
+bench-pipeline:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipeline' -benchmem .
 
 # bench-compile measures the pimc compiler on a fixed three-program
 # corpus: compile latency per optimization level, and the measured cost

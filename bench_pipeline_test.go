@@ -1,0 +1,86 @@
+// Pipelined-schedule benchmarks (recorded in BENCH_pipeline.json): every
+// example pimasm program compiled at -O1 (placement-aware, level-barrier
+// schedule) and -O2 (pipelined windows) and executed on a fresh memory.
+// ns/op tracks end-to-end compile+run latency; the interesting outputs
+// are the custom metrics — `makespan` (critical-path cycles, what -O2
+// shrinks by overlapping staging with compute) and `cycles` (the serial
+// device-cycle sum, which pipelining must NOT change: the same work is
+// done, only scheduled wider).
+package coruscant
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/isa/compile"
+	"repro/internal/memory"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// pipelineRun compiles src at the given level, seeds its load rows
+// deterministically, runs the plan, and returns the run's telemetry
+// cycle count and makespan.
+func pipelineRun(tb testing.TB, cfg params.Config, src string, level int) (uint64, uint64) {
+	tb.Helper()
+	res, err := compile.Compile(src, cfg, compile.Options{Level: level})
+	if err != nil {
+		tb.Fatalf("compile -O%d: %v", level, err)
+	}
+	m, err := memory.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g := cfg.Geometry
+	inputs := append([]compile.Output(nil), res.Inputs...)
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Addr.Linear(g) < inputs[j].Addr.Linear(g) })
+	for i, in := range inputs {
+		rng := rand.New(rand.NewSource(int64(i)*2654435761 + 99))
+		lanes := make([]uint64, g.TrackWidth/8)
+		for l := range lanes {
+			lanes[l] = rng.Uint64() & 0xFF
+		}
+		if err := m.WriteRow(in.Addr, pim.MustPackLanes(lanes, 8, g.TrackWidth)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := res.Plan.Run(m); err != nil {
+		tb.Fatalf("run -O%d: %v", level, err)
+	}
+	return m.Recorder().Cycle(), m.Recorder().Makespan()
+}
+
+// BenchmarkPipeline runs the example corpus at -O1 and -O2 and reports
+// makespan and cycles alongside wall-clock compile+run cost. The -O2
+// rows' makespan against the matching -O1 rows is the pinned claim
+// (also asserted by compile's TestPipelinedCorpus: never worse per
+// program, ≥10% shorter over the corpus).
+func BenchmarkPipeline(b *testing.B) {
+	files, err := filepath.Glob(filepath.Join("examples", "pimasm", "*.pimasm"))
+	if err != nil || len(files) == 0 {
+		b.Fatalf("example corpus not found: %v", err)
+	}
+	cfg := params.DefaultConfig()
+	for _, f := range files {
+		srcBytes, err := os.ReadFile(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := string(srcBytes)
+		name := filepath.Base(f)
+		for _, level := range []int{1, 2} {
+			b.Run(fmt.Sprintf("%s/O%d", name, level), func(b *testing.B) {
+				var cycles, makespan uint64
+				for i := 0; i < b.N; i++ {
+					cycles, makespan = pipelineRun(b, cfg, src, level)
+				}
+				b.ReportMetric(float64(makespan), "makespan")
+				b.ReportMetric(float64(cycles), "cycles")
+			})
+		}
+	}
+}

@@ -26,8 +26,12 @@
 //
 // exec with a program file (or compile, which stops before running)
 // feeds the pimc compiler: -O selects the placement level (0 = naive
-// hand-placed layout, 1 = placement-aware; default 1) and -dump prints
-// each compiler pass's output. Telemetry flags apply to both modes:
+// hand-placed layout, 1 = placement-aware, 2 = pipelined batch windows
+// with overlapped staging; default 1) and -dump prints each compiler
+// pass's output. The measured line reports both total cycles and the
+// makespan — the critical-path cycles after batch windows overlap
+// disjoint lanes; -O 2 exists to drive the makespan down. Telemetry
+// flags apply to both modes:
 //
 //	pimasm -trace out.json exec "add b2.s10.t0.d15.r0 bs=8 k=3"
 //	pimasm -metrics -O 1 -dump compile prog.pim
@@ -67,7 +71,7 @@ func run(args []string) error {
 	jsonlPath := fs.String("jsonl", "", "write exec telemetry events as JSON lines")
 	metrics := fs.Bool("metrics", false, "print the telemetry metrics report after exec")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel controller lanes for exec")
-	level := fs.Int("O", 1, "pimc placement level: 0 naive, 1 placement-aware")
+	level := fs.Int("O", 1, "pimc placement level: 0 naive, 1 placement-aware, 2 pipelined windows")
 	dump := fs.Bool("dump", false, "print each pimc compiler pass's output")
 	prof := fs.Bool("profile", false, "print the placement model's predicted vs profiled measured shift steps per DBC (program files only)")
 	fs.Usage = func() {
@@ -289,8 +293,8 @@ func compileProg(cfg params.Config, path string, level int, dump bool, tracePath
 			}
 		}
 		moves, stats := m.Moves(), m.Stats()
-		fmt.Printf("measured: %d row copies, %d shift steps, %d cycles\n",
-			moves.RowCopies, stats.ShiftSteps, stats.Cycles())
+		fmt.Printf("measured: %d row copies, %d shift steps, %d cycles, makespan %d\n",
+			moves.RowCopies, stats.ShiftSteps, stats.Cycles(), m.Recorder().Makespan())
 		if prof != nil {
 			writeProfileReport(os.Stdout, res.ShiftsByDBC, prof.ShiftStepsBySource())
 		}

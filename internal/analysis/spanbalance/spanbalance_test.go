@@ -8,5 +8,5 @@ import (
 )
 
 func TestSpanBalance(t *testing.T) {
-	analyzertest.Run(t, "testdata", spanbalance.Analyzer, "telemetry", "a")
+	analyzertest.Run(t, "testdata", spanbalance.Analyzer, "telemetry", "a", "replay")
 }

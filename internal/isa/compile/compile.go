@@ -21,7 +21,10 @@ const DefaultExecDBCs = 4
 type Options struct {
 	// Level selects the placement strategy: 0 compiles the naive
 	// hand-placed layout (one PIM DBC, everything staged), 1 the
-	// placement-aware layout. Higher levels behave like 1.
+	// placement-aware layout with level-barrier batches, 2 the
+	// pipelined schedule (staging and store traffic folded into the
+	// batch windows, overlapping with compute — same results, lower
+	// makespan). Higher levels behave like 2.
 	Level int
 	// ExecDBCs bounds the PIM DBCs the -O1 placement uses per level
 	// (default DefaultExecDBCs, clamped to the geometry).
@@ -122,7 +125,7 @@ func Compile(src string, cfg params.Config, opt Options) (*Result, error) {
 		execDBCs = DefaultExecDBCs
 	}
 	done = pass("place")
-	lay, err := prog.place(cfg, opt.Level >= 1, execDBCs, !opt.NoRecycle)
+	lay, err := prog.place(cfg, opt.Level, execDBCs, !opt.NoRecycle)
 	done()
 	if err != nil {
 		return nil, err
@@ -130,8 +133,11 @@ func Compile(src string, cfg params.Config, opt Options) (*Result, error) {
 	dump("place", func() string { return dumpPlacement(prog, lay) })
 
 	done = pass("schedule")
-	plan := buildPlan(prog, lay)
+	plan, err := buildPlan(prog, lay)
 	done()
+	if err != nil {
+		return nil, err
+	}
 	dump("schedule", plan.String)
 
 	res := &Result{Plan: plan, Stats: plan.Stats, ShiftsByDBC: lay.shiftsBySource()}
@@ -184,7 +190,7 @@ func (p *Program) cloneShape() *Program {
 }
 
 func (p *Program) priceNaive(cfg params.Config) (PlanStats, error) {
-	lay, err := p.place(cfg, false, 1, false)
+	lay, err := p.place(cfg, 0, 1, false)
 	if err != nil {
 		return PlanStats{}, err
 	}

@@ -1,0 +1,96 @@
+package compile
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/memory"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// corpusRun compiles one example program at the given level, seeds its
+// load rows deterministically, runs it, and returns the memory plus
+// the run's telemetry cycle count and makespan.
+func corpusRun(t *testing.T, cfg params.Config, src string, level int) (*memory.Memory, *Result, uint64, uint64) {
+	t.Helper()
+	res, err := Compile(src, cfg, Options{Level: level})
+	if err != nil {
+		t.Fatalf("compile -O%d: %v", level, err)
+	}
+	m, err := memory.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := cfg.Geometry.TrackWidth
+	inputs := append([]Output(nil), res.Inputs...)
+	g := cfg.Geometry
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Addr.Linear(g) < inputs[j].Addr.Linear(g) })
+	for i, in := range inputs {
+		rng := rand.New(rand.NewSource(int64(i)*2654435761 + 99))
+		lanes := make([]uint64, width/8)
+		for l := range lanes {
+			lanes[l] = rng.Uint64() & 0xFF
+		}
+		if err := m.WriteRow(in.Addr, pim.MustPackLanes(lanes, 8, width)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := res.Plan.Run(m); err != nil {
+		t.Fatalf("run -O%d: %v", level, err)
+	}
+	return m, res, m.Recorder().Cycle(), m.Recorder().Makespan()
+}
+
+// TestPipelinedCorpus runs every example program through -O0, -O1 and
+// the pipelined -O2 schedule, asserts the stored rows are bit-identical
+// across levels, and pins the makespan claim: per program -O2's
+// critical path is never longer than -O1's, and over the corpus it is
+// at least 10% shorter.
+func TestPipelinedCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "..", "examples", "pimasm", "*.pimasm"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("example corpus not found: %v", err)
+	}
+	cfg := testCfg(params.TRD3)
+	var totalO1, totalO2 uint64
+	for _, f := range files {
+		name := filepath.Base(f)
+		srcBytes, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(srcBytes)
+
+		m0, res, _, _ := corpusRun(t, cfg, src, 0)
+		m1, _, _, msO1 := corpusRun(t, cfg, src, 1)
+		m2, _, _, msO2 := corpusRun(t, cfg, src, 2)
+		for _, out := range res.Outputs {
+			r0, err0 := m0.ReadRow(out.Addr)
+			r1, err1 := m1.ReadRow(out.Addr)
+			r2, err2 := m2.ReadRow(out.Addr)
+			if err0 != nil || err1 != nil || err2 != nil {
+				t.Fatalf("%s: read %s: %v %v %v", name, isa.FormatAddr(out.Addr), err0, err1, err2)
+			}
+			if !r1.Equal(r0) {
+				t.Errorf("%s: output %%%s differs between -O0 and -O1", name, out.Name)
+			}
+			if !r2.Equal(r0) {
+				t.Errorf("%s: output %%%s differs between -O0 and -O2", name, out.Name)
+			}
+		}
+		t.Logf("%s: makespan -O1 %d, -O2 %d", name, msO1, msO2)
+		if msO2 > msO1 {
+			t.Errorf("%s: -O2 makespan %d exceeds -O1's %d", name, msO2, msO1)
+		}
+		totalO1 += msO1
+		totalO2 += msO2
+	}
+	if totalO2*10 > totalO1*9 {
+		t.Errorf("corpus makespan: -O2 %d vs -O1 %d — reduction below the pinned 10%%", totalO2, totalO1)
+	}
+}

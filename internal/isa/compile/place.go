@@ -25,6 +25,7 @@ type PlanStats struct {
 // holds with the fewest row-buffer crossings.
 type layout struct {
 	opt      bool
+	pipeline bool // -O2: staging spread for overlapped batch windows
 	recycle  bool
 	geo      params.Geometry
 	trd      params.TRD
@@ -35,6 +36,12 @@ type layout struct {
 
 	stageRows []isa.Addr // allocated-but-unused rows of the current staging DBC
 	stageSeq  int        // enumeration cursor over candidate staging DBCs
+
+	// availFrom is the earliest schedule-window index (see buildPipelined's
+	// window numbering) from which a recycled free row may be rewritten:
+	// its previous owner's last reader has run by then. Rows never handed
+	// out have no entry (available from window 0).
+	availFrom map[isa.Addr]int
 
 	head    map[isa.Addr]int // per-DBC data offset of the racetrack head
 	shiftBy map[isa.Addr]int // per-DBC share of stats.PortShifts
@@ -118,24 +125,31 @@ func sideOrder(rows []int, total int, trd params.TRD) []int {
 
 // place assigns every value a home row and every op an executing DBC.
 //
-// The optimizing layout (opt) keeps same-bank loads in place, homes
-// results in the executing DBC's non-window rows nearest the access
-// ports, folds first stores into request destinations, and spreads each
-// DAG level over execDBCs PIM DBCs. The naive layout models hand-placed
-// execution: one PIM DBC, every input copied to sequential staging rows
-// (far from the ports), every store an explicit copy — the baseline the
-// differential harness and the bench compare against.
-func (p *Program) place(cfg params.Config, opt bool, execDBCs int, recycle bool) (*layout, error) {
+// The optimizing layout (level >= 1) keeps same-bank loads in place,
+// homes results in the executing DBC's non-window rows nearest the
+// access ports, folds first stores into request destinations, and
+// spreads each DAG level over execDBCs PIM DBCs. At level >= 2 the
+// staging allocator additionally round-robins its rows across several
+// staging DBCs, so the pipelined schedule's staging lanes land on
+// disjoint footprints and run concurrently inside a batch window. The
+// naive layout (level 0) models hand-placed execution: one PIM DBC,
+// every input copied to sequential staging rows (far from the ports),
+// every store an explicit copy — the baseline the differential harness
+// and the bench compare against.
+func (p *Program) place(cfg params.Config, level int, execDBCs int, recycle bool) (*layout, error) {
 	g := cfg.Geometry
+	opt := level >= 1
 	lay := &layout{
-		opt:     opt,
-		recycle: opt && recycle,
-		geo:     g,
-		trd:     cfg.TRD,
-		free:    make(map[isa.Addr][]int),
-		userDBC: make(map[isa.Addr]bool),
-		head:    make(map[isa.Addr]int),
-		shiftBy: make(map[isa.Addr]int),
+		opt:       opt,
+		pipeline:  level >= 2,
+		recycle:   opt && recycle,
+		geo:       g,
+		trd:       cfg.TRD,
+		free:      make(map[isa.Addr][]int),
+		userDBC:   make(map[isa.Addr]bool),
+		availFrom: make(map[isa.Addr]int),
+		head:      make(map[isa.Addr]int),
+		shiftBy:   make(map[isa.Addr]int),
 	}
 
 	// The program's own rows (and their whole DBCs) are off-limits to
@@ -270,6 +284,12 @@ func (p *Program) place(cfg params.Config, opt bool, execDBCs int, recycle bool)
 				lay.stageRows = append([]isa.Addr{a}, lay.stageRows...)
 			} else {
 				lay.free[own.base] = append([]int{d.home.Row}, lay.free[own.base]...)
+				// The dead value's last reader ran in the previous
+				// level's compute window (index 2(lv-1)-1 in the -O2
+				// window numbering); the row is rewritable from there.
+				a := own.base
+				a.Row = d.home.Row
+				lay.availFrom[a] = max(0, 2*lv-3)
 			}
 		}
 
@@ -380,16 +400,89 @@ func (lay *layout) takeFree(base isa.Addr) (isa.Addr, bool) {
 	return base, true
 }
 
+// takePrivate pops the port-nearest free row of the DBC that is
+// rewritable from schedule window win on. Rows recycled by place() stay
+// live until their previous owner's last reader has run, so a
+// privatization write scheduled into an earlier window must skip them
+// instead of clobbering a still-live home (takeFree cannot tell).
+func (lay *layout) takePrivate(base isa.Addr, win int) (isa.Addr, bool) {
+	rows := lay.free[base]
+	for i, r := range rows {
+		a := base
+		a.Row = r
+		if lay.availFrom[a] <= win {
+			lay.free[base] = append(rows[:i:i], rows[i+1:]...)
+			return a, true
+		}
+	}
+	return isa.Addr{}, false
+}
+
+// stageSpread is how many staging DBCs the pipelined (-O2) allocator
+// interleaves: consecutive stageRow calls land on different DBCs, so
+// the staging requests of one batch window have disjoint footprints
+// and become parallel lanes instead of one serial chain.
+const stageSpread = 4
+
 // stageRow allocates a row in a non-PIM staging DBC of the exec bank.
 // The optimizing layout hands rows out nearest-port-first; the naive
 // layout sequentially from row 0, modeling placement-unaware staging.
+// The pipelined layout refills from stageSpread DBCs at once, rows
+// interleaved round-robin.
 func (lay *layout) stageRow() (isa.Addr, error) {
-	for len(lay.stageRows) == 0 {
-		g := lay.geo
-		perSub := g.TilesPerSubarray * g.DBCsPerTile
-		if lay.stageSeq >= g.SubarraysPerBank*perSub {
+	if len(lay.stageRows) == 0 {
+		want := 1
+		if lay.pipeline {
+			want = stageSpread
+		}
+		var queues [][]isa.Addr
+		for len(queues) < want {
+			base, ok := lay.nextStageDBC()
+			if !ok {
+				break
+			}
+			rows := make([]int, lay.geo.RowsPerDBC)
+			for r := range rows {
+				rows[r] = r
+			}
+			if lay.opt {
+				rows = sideOrder(rows, lay.geo.RowsPerDBC, lay.trd)
+			}
+			q := make([]isa.Addr, len(rows))
+			for i, r := range rows {
+				a := base
+				a.Row = r
+				q[i] = a
+			}
+			queues = append(queues, q)
+		}
+		if len(queues) == 0 {
 			return isa.Addr{}, fmt.Errorf("pimc: staging rows exhausted in bank %d", lay.execBank)
 		}
+		for i := 0; ; i++ {
+			took := false
+			for _, q := range queues {
+				if i < len(q) {
+					lay.stageRows = append(lay.stageRows, q[i])
+					took = true
+				}
+			}
+			if !took {
+				break
+			}
+		}
+	}
+	a := lay.stageRows[0]
+	lay.stageRows = lay.stageRows[1:]
+	return a, nil
+}
+
+// nextStageDBC advances the staging-DBC cursor to the next usable
+// (non-PIM, non-user) DBC of the exec bank.
+func (lay *layout) nextStageDBC() (isa.Addr, bool) {
+	g := lay.geo
+	perSub := g.TilesPerSubarray * g.DBCsPerTile
+	for lay.stageSeq < g.SubarraysPerBank*perSub {
 		seq := lay.stageSeq
 		lay.stageSeq++
 		base := isa.Addr{
@@ -401,20 +494,7 @@ func (lay *layout) stageRow() (isa.Addr, error) {
 		if base.IsPIMEnabled(g) || lay.userDBC[base] {
 			continue
 		}
-		rows := make([]int, g.RowsPerDBC)
-		for r := range rows {
-			rows[r] = r
-		}
-		if lay.opt {
-			rows = sideOrder(rows, g.RowsPerDBC, lay.trd)
-		}
-		for _, r := range rows {
-			a := base
-			a.Row = r
-			lay.stageRows = append(lay.stageRows, a)
-		}
+		return base, true
 	}
-	a := lay.stageRows[0]
-	lay.stageRows = lay.stageRows[1:]
-	return a, nil
+	return isa.Addr{}, false
 }

@@ -305,31 +305,50 @@ func (m *Memory) shardFor(a isa.Addr) (*shard, error) {
 // duplicate-free; sortBases provides that. The returned unlock releases
 // in reverse order.
 func (m *Memory) lockOrdered(bases []isa.Addr) ([]*shard, func(), error) {
-	shards := make([]*shard, len(bases))
-	for i, b := range bases {
+	shards, err := m.lockInto(make([]*shard, 0, len(bases)), bases)
+	if err != nil {
+		return nil, nil, err
+	}
+	return shards, func() { unlockShards(shards) }, nil
+}
+
+// lockInto is lockOrdered on a caller-owned buffer: shards are appended
+// to dst (reusing its capacity) and locked in order, with no unlock
+// closure allocated — the batch fast path's per-group locking primitive.
+// On error nothing is locked. Callers release with unlockShards.
+func (m *Memory) lockInto(dst []*shard, bases []isa.Addr) ([]*shard, error) {
+	for _, b := range bases {
 		sh, err := m.shardFor(b)
 		if err != nil {
-			return nil, nil, err
+			return dst[:0], err
 		}
-		shards[i] = sh
+		dst = append(dst, sh)
 	}
-	for _, sh := range shards {
+	for _, sh := range dst {
 		//coruscantvet:ignore lockorder -- the sanctioned helper itself: bases are sorted by Linear, so the pairwise order is global
 		sh.mu.Lock()
 	}
-	unlock := func() {
-		for i := len(shards) - 1; i >= 0; i-- {
-			shards[i].mu.Unlock()
-		}
+	return dst, nil
+}
+
+// unlockShards releases a lockInto set in reverse acquisition order.
+func unlockShards(shards []*shard) {
+	for i := len(shards) - 1; i >= 0; i-- {
+		shards[i].mu.Unlock()
 	}
-	return shards, unlock, nil
 }
 
 // sortBases deduplicates and orders DBC base addresses by their global
 // linear index — the lock acquisition order.
 func (m *Memory) sortBases(bases []isa.Addr) []isa.Addr {
 	g := m.cfg.Geometry
-	sort.Slice(bases, func(i, j int) bool { return bases[i].Linear(g) < bases[j].Linear(g) })
+	// Insertion sort: lock sets are tiny (≤ operands+2), and sort.Slice
+	// costs an allocation per call — visible on the batch planning path.
+	for i := 1; i < len(bases); i++ {
+		for j := i; j > 0 && bases[j].Linear(g) < bases[j-1].Linear(g); j-- {
+			bases[j], bases[j-1] = bases[j-1], bases[j]
+		}
+	}
 	out := bases[:0]
 	for i, b := range bases {
 		if i == 0 || b != bases[i-1] {
@@ -406,23 +425,34 @@ func (m *Memory) CopyRow(src, dst isa.Addr) error {
 		return err
 	}
 	defer unlock()
-	byBase := func(b isa.Addr) *shard {
-		for _, sh := range shards {
-			if sh.base == b {
-				return sh
-			}
-		}
-		return nil
-	}
-	row, err := byBase(dbcBase(src)).readRow(src)
+	_, err = copyLocked(shards, src, dst)
+	return err
+}
+
+// copyLocked is CopyRow's body with the shard locks already held:
+// activate-read at src, activate-write at dst, and the row-buffer move
+// instant — the same event stream in the same order. shards must hold
+// the lock set covering both addresses.
+func copyLocked(shards []*shard, src, dst isa.Addr) (dbc.Row, error) {
+	row, err := shardByBase(shards, dbcBase(src)).readRow(src)
 	if err != nil {
-		return err
+		return dbc.Row{}, err
 	}
-	dstSh := byBase(dbcBase(dst))
+	dstSh := shardByBase(shards, dbcBase(dst))
 	if err := dstSh.writeRow(dst, row); err != nil {
-		return err
+		return dbc.Row{}, err
 	}
 	dstSh.recorder().Move(srcFor(dbcBase(dst)), telemetry.OpRowCopy, row.N)
+	return row, nil
+}
+
+// shardByBase resolves a DBC base within a locked shard set.
+func shardByBase(shards []*shard, b isa.Addr) *shard {
+	for _, sh := range shards {
+		if sh.base == b {
+			return sh
+		}
+	}
 	return nil
 }
 
@@ -541,19 +571,72 @@ func (m *Memory) Recovery() resilient.Policy {
 	return m.pol
 }
 
-// execPlan is a fully validated cpim execution: every address checked,
+// execPlan is a fully validated batch request: every address checked,
 // the bank-staging rule enforced, and the lock set precomputed — all
 // before any lock is taken, so an invalid request fails without
-// touching (or blocking) any shard.
+// touching (or blocking) any shard. Planning reads only the immutable
+// geometry (quarantine is checked at lock time, in shardFor), so plans
+// stay valid across executions and can be memoized (see PlanBatch).
 type execPlan struct {
+	kind     RequestKind
 	in       isa.Instruction
 	operands []isa.Addr
 	dst      isa.Addr
+	src      isa.Addr   // KindCopy: source row
+	row      dbc.Row    // KindWrite: payload
 	bases    []isa.Addr // sorted, deduplicated lock set
 }
 
-// planExecute validates the request upfront and returns its plan.
-func (m *Memory) planExecute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) (execPlan, error) {
+// planRequest validates one batch request of any kind and returns its
+// plan (planExecute generalized to copy and write requests). buf, when
+// non-nil, is an empty slice whose backing array the returned plan's
+// lock set reuses — the batch planner passes each pooled plan's
+// previous bases array so steady-state planning allocates nothing.
+func (m *Memory) planRequest(r Request, buf []isa.Addr) (execPlan, error) {
+	switch r.Kind {
+	case KindExec:
+		return m.planExecute(r.In, r.Operands, r.Dst, buf)
+	case KindCopy:
+		if err := m.checkAddr(r.Src); err != nil {
+			return execPlan{}, err
+		}
+		if err := m.checkAddr(r.Dst); err != nil {
+			return execPlan{}, err
+		}
+		return execPlan{
+			kind: KindCopy, src: r.Src, dst: r.Dst,
+			bases: m.sortBases(append(buf, dbcBase(r.Src), dbcBase(r.Dst))),
+		}, nil
+	case KindWrite:
+		if err := m.checkAddr(r.Dst); err != nil {
+			return execPlan{}, err
+		}
+		if r.Row.N != m.cfg.Geometry.TrackWidth {
+			return execPlan{}, fmt.Errorf("memory: row width %d, want %d", r.Row.N, m.cfg.Geometry.TrackWidth)
+		}
+		return execPlan{kind: KindWrite, dst: r.Dst, row: r.Row, bases: append(buf, dbcBase(r.Dst))}, nil
+	default:
+		return execPlan{}, fmt.Errorf("memory: unknown request kind %d", r.Kind)
+	}
+}
+
+// runRequest executes a validated plan of any kind over its locked
+// shards, mirroring the serial primitives exactly: KindExec is runPlan,
+// KindCopy is CopyRow's locked body, KindWrite is WriteRow's.
+func (m *Memory) runRequest(p execPlan, shards []*shard) (dbc.Row, error) {
+	switch p.kind {
+	case KindCopy:
+		return copyLocked(shards, p.src, p.dst)
+	case KindWrite:
+		return p.row, shardByBase(shards, dbcBase(p.dst)).writeRow(p.dst, p.row)
+	default:
+		return m.runPlan(p, shards)
+	}
+}
+
+// planExecute validates the request upfront and returns its plan. The
+// plan's lock set is built on buf's backing array when one is passed.
+func (m *Memory) planExecute(in isa.Instruction, operands []isa.Addr, dst isa.Addr, buf []isa.Addr) (execPlan, error) {
 	if err := in.Validate(m.cfg.Geometry, m.cfg.TRD); err != nil {
 		return execPlan{}, err
 	}
@@ -577,8 +660,12 @@ func (m *Memory) planExecute(in isa.Instruction, operands []isa.Addr, dst isa.Ad
 	if err := m.checkAddr(dst); err != nil {
 		return execPlan{}, err
 	}
-	bases := make([]isa.Addr, 0, len(operands)+2)
-	bases = append(bases, dbcBase(in.Src))
+	if buf == nil {
+		// One right-sized allocation for the one-shot Execute path;
+		// batch planning passes a pooled buffer instead.
+		buf = make([]isa.Addr, 0, len(operands)+2)
+	}
+	bases := append(buf, dbcBase(in.Src))
 	for i, a := range operands {
 		if err := m.checkAddr(a); err != nil {
 			return execPlan{}, fmt.Errorf("memory: operand %d: %w", i, err)
@@ -602,20 +689,12 @@ func (m *Memory) planExecute(in isa.Instruction, operands []isa.Addr, dst isa.Ad
 // executor when one is installed), write the result. shards holds the
 // plan's lock set (all locks held by the caller).
 func (m *Memory) runPlan(p execPlan, shards []*shard) (dbc.Row, error) {
-	byBase := func(b isa.Addr) *shard {
-		for _, sh := range shards {
-			if sh.base == b {
-				return sh
-			}
-		}
-		return nil
-	}
-	execSh := byBase(dbcBase(p.in.Src))
+	execSh := shardByBase(shards, dbcBase(p.in.Src))
 	u := execSh.u
 	defer execSh.recorder().Span(srcFor(execSh.base), "exec-"+p.in.Op.String())()
 	rows := make([]dbc.Row, len(p.operands))
 	for i, a := range p.operands {
-		row, err := byBase(dbcBase(a)).readRow(a)
+		row, err := shardByBase(shards, dbcBase(a)).readRow(a)
 		if err != nil {
 			return dbc.Row{}, fmt.Errorf("memory: operand %d: %w", i, err)
 		}
@@ -646,7 +725,7 @@ func (m *Memory) runPlan(p execPlan, shards []*shard) (dbc.Row, error) {
 	if err != nil {
 		return dbc.Row{}, err
 	}
-	if err := byBase(dbcBase(p.dst)).writeRow(p.dst, result); err != nil {
+	if err := shardByBase(shards, dbcBase(p.dst)).writeRow(p.dst, result); err != nil {
 		return dbc.Row{}, err
 	}
 	return result, nil
@@ -698,7 +777,7 @@ func dispatchOp(u *pim.Unit, in isa.Instruction, rows []dbc.Row) (dbc.Row, error
 // (stage them with CopyRow first). The involved shard locks are then
 // acquired in address order and held for the whole operation.
 func (m *Memory) Execute(in isa.Instruction, operands []isa.Addr, dst isa.Addr) (dbc.Row, error) {
-	p, err := m.planExecute(in, operands, dst)
+	p, err := m.planExecute(in, operands, dst, nil)
 	if err != nil {
 		return dbc.Row{}, err
 	}

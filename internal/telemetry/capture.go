@@ -84,9 +84,15 @@ func (r *Recorder) Replay(events []Event) {
 		case PhaseEnd:
 			r.End(e.Src)
 		case PhaseInstant:
-			if e.Op == OpFault {
+			switch {
+			case e.Op == OpWindow:
+				// Window markers replay onto this recorder's makespan
+				// timeline (and out to its sinks), so a captured batch
+				// group's lane structure survives the merge.
+				r.window(e.Name)
+			case e.Op == OpFault:
 				r.Fault(e.Src, e.Name, e.Wires)
-			} else {
+			default:
 				r.instant(e.Src, e.Op, e.Name, e.Wires)
 			}
 		}

@@ -96,6 +96,12 @@ var one = uint64(1)
 
 // Emit converts and streams one telemetry event.
 func (s *ChromeSink) Emit(e Event) {
+	if e.Op == OpWindow {
+		// Scheduling annotations, not device activity: window markers
+		// carry no source and would only clutter the timeline; the
+		// makespan they encode is exported as a counter by callers.
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

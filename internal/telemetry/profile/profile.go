@@ -127,6 +127,12 @@ func (p *Profiler) src(s telemetry.Source) *dbcProf {
 
 // Emit folds one telemetry event into the spatial aggregate (Sink).
 func (p *Profiler) Emit(e telemetry.Event) {
+	if e.Op == telemetry.OpWindow {
+		// Window markers are scheduling annotations with no source or
+		// device work; folding them in would fabricate an unattributed
+		// DBC and make windowed and serial snapshots diverge.
+		return
+	}
 	p.mu.Lock()
 	d := p.src(e.Src)
 	if e.Cycle > d.lastCycle {
@@ -213,7 +219,18 @@ func (p *Profiler) sampleCounters(src telemetry.Source, d *dbcProf) {
 		"shift_steps": float64(d.steps[telemetry.OpShift]),
 		"row_writes":  float64(sum(d.rowWrites)),
 		"energy_pj":   d.totalPJ,
+		"busy_cycles": float64(d.busyCycles()),
 	})
+}
+
+// busyCycles sums the source's control-step cycles — the per-DBC busy
+// timeline the makespan accounting maximizes over.
+func (d *dbcProf) busyCycles() uint64 {
+	var n uint64
+	for op := telemetry.OpShift; op <= telemetry.OpStall; op++ {
+		n += d.steps[op]
+	}
+	return n
 }
 
 func sum(v []uint64) uint64 {

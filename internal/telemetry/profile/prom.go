@@ -66,6 +66,14 @@ func (p *Profiler) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	writeHeader(bw, "coruscant_dbc_busy_cycles_total", "counter",
+		"Control-step cycles per DBC — the busy timeline makespan accounting maximizes over.")
+	for _, s := range snaps {
+		if s.Cycles > 0 {
+			fmt.Fprintf(bw, "coruscant_dbc_busy_cycles_total{dbc=%q} %d\n", s.Src, s.Cycles)
+		}
+	}
+
 	writeHeader(bw, "coruscant_dbc_row_reads_total", "counter",
 		"Access-port reads per DBC data row.")
 	for _, s := range snaps {

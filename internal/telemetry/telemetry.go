@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"repro/internal/params"
+	"repro/internal/trace"
 )
 
 // Op enumerates the event kinds of the telemetry stream: the device
@@ -55,6 +56,7 @@ const (
 	OpRowCopy            // row-buffer transfer between DBCs
 	OpMark               // zero-duration tagged control event (retry, giveup, quarantine)
 	OpSpan               // higher-level operation span (Begin/End pair)
+	OpWindow             // parallelism-window marker (begin/lane/end, makespan accounting)
 
 	numOps
 )
@@ -65,8 +67,21 @@ const NumOps = int(numOps)
 
 var opNames = [numOps]string{
 	"shift", "tr", "write", "read", "tw", "copy", "logic", "stall",
-	"fault", "row-read", "row-write", "row-copy", "mark", "span",
+	"fault", "row-read", "row-write", "row-copy", "mark", "span", "window",
 }
+
+// Window-marker names carried in Event.Name by OpWindow instants. The
+// markers drive the recorder's makespan timeline (trace.Timeline):
+// begin opens a parallelism window, lane starts a new concurrent lane
+// inside it, end commits the longest lane. They are scheduling
+// annotations, not device activity — Metrics, the Chrome exporter and
+// the hardware profiler all skip them, so aggregate totals stay equal
+// between windowed and serial runs of the same work.
+const (
+	WindowMarkBegin = "begin"
+	WindowMarkLane  = "lane"
+	WindowMarkEnd   = "end"
+)
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {
@@ -153,6 +168,7 @@ type Sink interface {
 type Recorder struct {
 	mu      sync.Mutex
 	cycle   uint64
+	tl      trace.Timeline // per-window critical-path accounting
 	totalPJ float64
 	energy  params.Energy
 	trd     params.TRD
@@ -246,6 +262,7 @@ func (r *Recorder) step(src Source, op Op, wires, row, pos int) {
 		Pos:      pos,
 	}
 	r.cycle++
+	r.tl.Step()
 	r.totalPJ += e.EnergyPJ
 	r.metrics.record(e)
 	for _, s := range r.sinks {
@@ -376,6 +393,72 @@ func (r *Recorder) Span(src Source, name string) func() {
 	}
 	r.Begin(src, name)
 	return func() { r.End(src) }
+}
+
+// WindowBegin opens a parallelism window on the makespan timeline and
+// emits the marker to the sinks (so capture-replayed streams reproduce
+// the timeline exactly). The cycle clock is untouched: window markers
+// are scheduling annotations, not device activity. ExecuteBatch is the
+// canonical emitter — one window per batch, one lane per independent
+// request group.
+func (r *Recorder) WindowBegin() {
+	if r == nil {
+		return
+	}
+	r.window(WindowMarkBegin)
+}
+
+// WindowLane starts a new concurrent lane of the open window: steps
+// recorded until the next lane (or the window's end) are charged from
+// the window's opening cycle, concurrent with every other lane.
+func (r *Recorder) WindowLane() {
+	if r == nil {
+		return
+	}
+	r.window(WindowMarkLane)
+}
+
+// WindowEnd closes the open window, committing its longest lane to the
+// makespan frontier.
+func (r *Recorder) WindowEnd() {
+	if r == nil {
+		return
+	}
+	r.window(WindowMarkEnd)
+}
+
+// window applies one marker to the timeline and emits it. Markers skip
+// Metrics on purpose: they carry no device work, and aggregate totals
+// must stay identical between windowed and serial runs.
+func (r *Recorder) window(mark string) {
+	r.mu.Lock()
+	switch mark {
+	case WindowMarkBegin:
+		r.tl.WindowBegin()
+	case WindowMarkLane:
+		r.tl.Lane()
+	case WindowMarkEnd:
+		r.tl.WindowEnd()
+	}
+	e := Event{Op: OpWindow, Phase: PhaseInstant, Name: mark, Cycle: r.cycle}
+	for _, s := range r.sinks {
+		s.Emit(e)
+	}
+	r.mu.Unlock()
+}
+
+// Makespan returns the critical-path cycle count of the recorded
+// stream: like Cycle, but stretches bracketed by window markers cost
+// only their longest lane. With no windows recorded, Makespan equals
+// Cycle exactly. The value is deterministic — a pure function of the
+// event stream, independent of worker count or host scheduling.
+func (r *Recorder) Makespan() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tl.Makespan()
 }
 
 // Cycle returns the current value of the cycle clock: the number of

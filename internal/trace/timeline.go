@@ -1,0 +1,99 @@
+package trace
+
+// Timeline models the critical-path cycle count of an operation stream
+// that is partly parallel across DBCs. Where Stats.Cycles() charges one
+// cycle per control step no matter which DBC executed it — the serial
+// sum — a Timeline distinguishes serial stretches from parallelism
+// windows: inside a window, steps are grouped into lanes (one lane per
+// independent request group), lanes start together at the window's
+// opening cycle, and the window as a whole costs only its longest lane.
+// The resulting Makespan is the latency a banked PIM memory actually
+// delivers when disjoint DBC groups run concurrently, while Cycles
+// remains the device-work (and energy-proportional) total.
+//
+// The accounting is deterministic and worker-count independent: it is a
+// pure function of the event stream's window markers, not of how the
+// host happened to schedule goroutines. A stream with no windows has
+// Makespan == steps recorded, matching Stats.Cycles() exactly.
+//
+// The zero value is ready to use. Timeline is plain state with no
+// locking; the telemetry Recorder advances it under its own mutex.
+type Timeline struct {
+	frontier uint64 // critical-path cycles committed so far
+	winStart uint64 // frontier when the open window began
+	winMax   uint64 // longest lane seen in the open window
+	lane     uint64 // cycle cursor of the current lane
+	depth    int    // open-window nesting depth (only the outermost counts)
+}
+
+// Step advances the timeline by one control step: serially outside a
+// window, on the current lane inside one.
+func (t *Timeline) Step() {
+	if t.depth == 0 {
+		t.frontier++
+		return
+	}
+	t.lane++
+	if t.lane > t.winMax {
+		t.winMax = t.lane
+	}
+}
+
+// WindowBegin opens a parallelism window at the current frontier.
+// Nested windows fold into the outermost one: a batch issued while a
+// window is already open contributes to the enclosing lane, which is
+// the conservative (serial) reading of a schedule the marker stream
+// cannot prove parallel.
+func (t *Timeline) WindowBegin() {
+	t.depth++
+	if t.depth > 1 {
+		return
+	}
+	t.winStart = t.frontier
+	t.winMax = t.frontier
+	t.lane = t.frontier
+}
+
+// Lane starts a new lane of the open window: subsequent steps are
+// charged from the window's opening cycle again, concurrent with every
+// other lane. Outside a window (or in a nested one) Lane is a no-op.
+func (t *Timeline) Lane() {
+	if t.depth != 1 {
+		return
+	}
+	if t.lane > t.winMax {
+		t.winMax = t.lane
+	}
+	t.lane = t.winStart
+}
+
+// WindowEnd closes the window, committing the longest lane to the
+// frontier. Unmatched ends are ignored.
+func (t *Timeline) WindowEnd() {
+	if t.depth == 0 {
+		return
+	}
+	t.depth--
+	if t.depth > 0 {
+		return
+	}
+	if t.lane > t.winMax {
+		t.winMax = t.lane
+	}
+	t.frontier = t.winMax
+}
+
+// Makespan returns the critical-path cycle count: committed frontier
+// plus, while a window is open, the longest lane in flight.
+func (t *Timeline) Makespan() uint64 {
+	if t.depth == 0 {
+		return t.frontier
+	}
+	if t.lane > t.winMax {
+		return t.lane
+	}
+	return t.winMax
+}
+
+// Reset returns the timeline to its zero state.
+func (t *Timeline) Reset() { *t = Timeline{} }

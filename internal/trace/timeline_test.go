@@ -1,0 +1,99 @@
+package trace
+
+import "testing"
+
+func steps(t *Timeline, n int) {
+	for i := 0; i < n; i++ {
+		t.Step()
+	}
+}
+
+func TestTimelineSerialEqualsSteps(t *testing.T) {
+	var tl Timeline
+	steps(&tl, 17)
+	if got := tl.Makespan(); got != 17 {
+		t.Fatalf("serial makespan = %d, want 17", got)
+	}
+}
+
+func TestTimelineWindowTakesLongestLane(t *testing.T) {
+	var tl Timeline
+	steps(&tl, 5) // serial prologue
+	tl.WindowBegin()
+	tl.Lane()
+	steps(&tl, 3)
+	tl.Lane()
+	steps(&tl, 9) // critical lane
+	tl.Lane()
+	steps(&tl, 4)
+	tl.WindowEnd()
+	steps(&tl, 2) // serial epilogue
+	if got := tl.Makespan(); got != 5+9+2 {
+		t.Fatalf("makespan = %d, want %d", got, 5+9+2)
+	}
+}
+
+func TestTimelineOpenWindowReportsInFlightLane(t *testing.T) {
+	var tl Timeline
+	tl.WindowBegin()
+	steps(&tl, 4)
+	tl.Lane()
+	steps(&tl, 2)
+	if got := tl.Makespan(); got != 4 {
+		t.Fatalf("open-window makespan = %d, want 4 (longest lane so far)", got)
+	}
+	tl.WindowEnd()
+	if got := tl.Makespan(); got != 4 {
+		t.Fatalf("closed-window makespan = %d, want 4", got)
+	}
+}
+
+func TestTimelineNestedWindowsFoldIntoOuter(t *testing.T) {
+	var tl Timeline
+	tl.WindowBegin()
+	steps(&tl, 2)
+	tl.WindowBegin() // nested: contributes to the enclosing lane
+	steps(&tl, 3)
+	tl.WindowEnd()
+	steps(&tl, 1)
+	tl.Lane()
+	steps(&tl, 4)
+	tl.WindowEnd()
+	if got := tl.Makespan(); got != 6 {
+		t.Fatalf("nested makespan = %d, want 6 (2+3+1 lane)", got)
+	}
+}
+
+func TestTimelineUnmatchedEndIgnored(t *testing.T) {
+	var tl Timeline
+	tl.WindowEnd()
+	tl.Lane()
+	steps(&tl, 3)
+	if got := tl.Makespan(); got != 3 {
+		t.Fatalf("makespan = %d, want 3", got)
+	}
+}
+
+func TestTimelineEmptyWindowCostsNothing(t *testing.T) {
+	var tl Timeline
+	steps(&tl, 2)
+	tl.WindowBegin()
+	tl.WindowEnd()
+	if got := tl.Makespan(); got != 2 {
+		t.Fatalf("makespan = %d, want 2", got)
+	}
+}
+
+func TestTimelineReset(t *testing.T) {
+	var tl Timeline
+	tl.WindowBegin()
+	steps(&tl, 5)
+	tl.Reset()
+	if got := tl.Makespan(); got != 0 {
+		t.Fatalf("makespan after reset = %d, want 0", got)
+	}
+	steps(&tl, 1)
+	if got := tl.Makespan(); got != 1 {
+		t.Fatalf("makespan = %d, want 1", got)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package coruscant
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation inflates per-call allocation counts;
+// TestAllocBudget only pins budgets in non-race builds.
+const raceEnabled = true
