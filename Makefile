@@ -5,9 +5,9 @@
 GO ?= go
 BIN := bin
 
-.PHONY: ci vet lint audit build test race race-obs fuzz alloc-budget bench bench-obs bench-profile bench-parallel bench-resilient bench-compile bench-pipeline
+.PHONY: ci vet lint audit build test race race-obs fuzz alloc-budget bench bench-obs bench-profile bench-parallel bench-resilient bench-compile bench-pipeline bench-serve
 
-ci: lint build race race-obs fuzz alloc-budget bench bench-obs bench-profile bench-parallel bench-resilient bench-compile bench-pipeline
+ci: lint build race race-obs fuzz alloc-budget bench bench-obs bench-profile bench-parallel bench-resilient bench-compile bench-pipeline bench-serve
 
 vet:
 	$(GO) vet ./...
@@ -64,7 +64,7 @@ race:
 # sweep can miss.
 race-obs:
 	$(GO) test -race -count=2 ./internal/memory ./internal/telemetry \
-		./internal/telemetry/profile \
+		./internal/telemetry/profile ./internal/service ./cmd/coruscantd \
 		./internal/isa ./internal/workloads/cnn ./internal/workloads/bitmapidx
 
 # fuzz gives each native fuzz target a short deterministic smoke run;
@@ -126,6 +126,15 @@ bench-profile:
 # recorded in BENCH_pipeline.json.
 bench-pipeline:
 	$(GO) test -run '^$$' -bench 'BenchmarkPipeline' -benchmem .
+
+# bench-serve measures the coruscantd serving path end-to-end: the
+# mixed RunLoad workload over real HTTP against an in-process 2-shard
+# server at batch worker counts 1 vs 4, every read bit-checked against
+# serial mirrors. req/s and client-observed p50/p95 come out as custom
+# metrics. Reference numbers (and the single-core-host caveat) are
+# recorded in BENCH_serve.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchmem .
 
 # bench-compile measures the pimc compiler on a fixed three-program
 # corpus: compile latency per optimization level, and the measured cost

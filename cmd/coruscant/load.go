@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/params"
+	"repro/internal/service"
+)
+
+// loadFlags carries the load subcommand's flag values.
+type loadFlags struct {
+	clients      int
+	requests     int
+	blocksize    int
+	compileEvery int
+	seed         int64
+}
+
+// loadTarget normalizes a coruscantd base URL: bare host:port or
+// ":7917" gets the scheme, paths are stripped.
+func loadTarget(target string) string {
+	if !strings.Contains(target, "://") {
+		if strings.HasPrefix(target, ":") {
+			target = "localhost" + target
+		}
+		target = "http://" + target
+	}
+	return strings.TrimRight(target, "/")
+}
+
+// runLoad soaks a running coruscantd with the mixed service workload:
+// concurrent clients, disjoint bank slices, every read bit-checked
+// against a private serial mirror. The device model is taken from the
+// server's own /v1/health geometry, so the mirrors match the shards.
+func runLoad(target string, lf loadFlags) error {
+	base := loadTarget(target)
+	h, err := service.NewClient(base, nil).Health(context.Background())
+	if err != nil {
+		return fmt.Errorf("load: health probe of %s: %w", base, err)
+	}
+	device := params.DefaultConfig()
+	g := &device.Geometry
+	g.Banks = h.Geometry.Banks
+	g.SubarraysPerBank = h.Geometry.SubarraysPerBank
+	g.TilesPerSubarray = h.Geometry.TilesPerSubarray
+	g.DBCsPerTile = h.Geometry.DBCsPerTile
+	g.PIMDBCsPerTile = h.Geometry.PIMDBCsPerTile
+	g.PIMTilesPerSub = h.Geometry.PIMTilesPerSub
+	g.TrackWidth = h.Geometry.TrackWidth
+	g.RowsPerDBC = h.Geometry.RowsPerDBC
+	if err := device.Validate(); err != nil {
+		return fmt.Errorf("load: server geometry: %w", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "load: %s — %d shard(s), %d clients x %d requests\n",
+		base, h.Shards, lf.clients, lf.requests)
+	rep, err := service.RunLoad(context.Background(), service.LoadConfig{
+		Base:         base,
+		Device:       device,
+		Shards:       h.Shards,
+		Clients:      lf.clients,
+		Requests:     lf.requests,
+		Blocksize:    lf.blocksize,
+		CompileEvery: lf.compileEvery,
+		Seed:         lf.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clients         %d\n", rep.Clients)
+	fmt.Printf("requests ok     %d (%.0f req/s)\n", rep.Sent, rep.ReqPerS)
+	fmt.Printf("bit checks      %d (%d mismatches)\n", rep.BitChecks, rep.Mismatch)
+	fmt.Printf("latency         p50 %v  p95 %v\n", rep.P50, rep.P95)
+	fmt.Printf("backpressure    quota %d  overload %d  retries %d\n",
+		rep.QuotaRejected, rep.OverloadRejected, rep.Retries)
+	fmt.Printf("errors          %d\n", rep.Errors)
+	fmt.Printf("elapsed         %v\n", rep.Elapsed)
+	if rep.Mismatch > 0 {
+		return fmt.Errorf("load: %d bit-identity mismatches against serial execution", rep.Mismatch)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("load: %d requests failed", rep.Errors)
+	}
+	return nil
+}

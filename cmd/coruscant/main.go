@@ -36,6 +36,15 @@
 //	coruscant -debug-addr :8080 batch &   # long-running profiled work
 //	coruscant top :8080                   # live per-DBC heatmap
 //	coruscant -top-count 1 top :8080      # one scrape, then exit
+//
+// Against a running coruscantd (see cmd/coruscantd), top renders one
+// utilization line per (shard, DBC), and the load generator soaks the
+// service with mixed traffic, bit-checking every read against a
+// private serial mirror:
+//
+//	coruscantd -shards 4 &
+//	coruscant -load-clients 8 -load-requests 2000 load :7917
+//	coruscant top :7917
 package main
 
 import (
@@ -89,6 +98,10 @@ func run(args []string) error {
 	topInterval := fs.Duration("top-interval", 2*time.Second, "top: poll interval")
 	topN := fs.Int("top-n", 16, "top: show at most this many DBCs (0 = all)")
 	topCount := fs.Int("top-count", 0, "top: number of polls before exiting (0 = forever)")
+	loadClients := fs.Int("load-clients", 4, "load: concurrent clients")
+	loadRequests := fs.Int("load-requests", 500, "load: requests per client")
+	loadBlocksize := fs.Int("load-blocksize", 8, "load: lane width of generated arithmetic")
+	loadCompileEvery := fs.Int("load-compile-every", 16, "load: every n-th request compiles a pimasm kernel (-1 = never)")
 	fs.Usage = func() {
 		usage()
 		fmt.Println("flags:")
@@ -168,7 +181,11 @@ func run(args []string) error {
 		quarantineAfter: *quarantineAfter, seed: *seed, workers: *workers,
 	}
 	top := topFlags{interval: *topInterval, n: *topN, count: *topCount}
-	runErr := dispatch(args, rec, *workers, camp, top)
+	load := loadFlags{
+		clients: *loadClients, requests: *loadRequests,
+		blocksize: *loadBlocksize, compileEvery: *loadCompileEvery, seed: *seed,
+	}
+	runErr := dispatch(args, rec, *workers, camp, top, load)
 
 	if err := rec.Close(); err != nil && runErr == nil {
 		runErr = err
@@ -227,7 +244,7 @@ func mountMetrics(p *profile.Profiler) {
 // dispatch runs the positional subcommands with the (possibly nil)
 // telemetry recorder. The loop is indexed because `top` consumes the
 // following argument as its scrape target.
-func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaignFlags, top topFlags) error {
+func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaignFlags, top topFlags, load loadFlags) error {
 	for i := 0; i < len(args); i++ {
 		arg := args[i]
 		switch arg {
@@ -237,6 +254,14 @@ func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaign
 			}
 			i++
 			if err := runTop(args[i], top); err != nil {
+				return err
+			}
+		case "load":
+			if i+1 >= len(args) {
+				return fmt.Errorf("load needs a target (host:port or URL of a coruscantd)")
+			}
+			i++
+			if err := runLoad(args[i], load); err != nil {
 				return err
 			}
 		case "help", "-h", "--help":
@@ -313,7 +338,7 @@ func dispatch(args []string, rec *telemetry.Recorder, workers int, camp campaign
 }
 
 func usage() {
-	fmt.Println("usage: coruscant [flags] [all|demo|batch|campaign|svg|json|list|top <target>|<experiment>...]")
+	fmt.Println("usage: coruscant [flags] [all|demo|batch|campaign|svg|json|list|top <target>|load <target>|<experiment>...]")
 	fmt.Println("experiments:", experiments.IDs())
 }
 

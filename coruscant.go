@@ -38,6 +38,7 @@ package coruscant
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/dbc"
 	"repro/internal/device"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/params"
 	"repro/internal/pim"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -322,6 +324,61 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONLSink(w) }
 // file in https://ui.perfetto.dev or chrome://tracing (1 µs = 1 device
 // cycle).
 func NewChromeSink(w io.Writer) *ChromeSink { return telemetry.NewChromeSink(w) }
+
+// Service: the PIM-as-a-service layer behind cmd/coruscantd — a
+// ShardPool (see NewShardPool) fronted by the versioned /v1 HTTP API
+// with admission control, per-tenant quotas, request coalescing and
+// graceful drain. internal/service documents the wire schema and its
+// grow-only versioning policy.
+type (
+	// ServiceConfig sizes a service server: device, shards, workers,
+	// queue depth, coalescing window, per-tenant quotas, telemetry.
+	ServiceConfig = service.Config
+	// ServiceServer owns the shard pool and serves the /v1 API.
+	ServiceServer = service.Server
+	// ServiceClient is the typed HTTP client for a running server.
+	ServiceClient = service.Client
+	// ServiceRequest is one wire operation (write/copy/read or cpim).
+	ServiceRequest = service.Request
+	// ServiceAddr locates a row in a shard's hierarchy on the wire.
+	ServiceAddr = service.Addr
+	// ServiceExecuteRequest wraps one ServiceRequest with its tenant
+	// and optional explicit shard.
+	ServiceExecuteRequest = service.ExecuteRequest
+	// ServiceBatchRequest is an ordered batch for one shard,
+	// bit-identical to serial execution.
+	ServiceBatchRequest = service.BatchRequest
+	// ServiceCounters is the server's admission/completion accounting.
+	ServiceCounters = service.Counters
+)
+
+// NewServiceServer builds and starts a service server over its own
+// shard pool. Drain it before discarding.
+func NewServiceServer(cfg ServiceConfig) (*ServiceServer, error) { return service.NewServer(cfg) }
+
+// NewServiceClient returns a typed client for a coruscantd base URL;
+// httpc nil means http.DefaultClient.
+func NewServiceClient(base string, httpc *http.Client) *ServiceClient {
+	return service.NewClient(base, httpc)
+}
+
+// Service error taxonomy (wire code in parentheses); test with
+// errors.Is. The envelope maps the engine sentinels too — see
+// internal/service's contract table.
+var (
+	// ErrServiceBadRequest reports a malformed or unroutable request
+	// (bad_request, 400).
+	ErrServiceBadRequest = service.ErrBadRequest
+	// ErrServiceQuota reports an exhausted per-tenant token bucket
+	// (quota_exhausted, 429 + Retry-After).
+	ErrServiceQuota = service.ErrQuota
+	// ErrServiceOverloaded reports a full admission queue
+	// (overloaded, 429 + Retry-After).
+	ErrServiceOverloaded = service.ErrOverloaded
+	// ErrServiceDraining reports a server in graceful shutdown
+	// (draining, 503).
+	ErrServiceDraining = service.ErrDraining
+)
 
 // Experiments.
 type (

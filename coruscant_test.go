@@ -1,7 +1,9 @@
 package coruscant_test
 
 import (
+	"context"
 	"errors"
+	"net/http/httptest"
 	"testing"
 
 	coruscant "repro"
@@ -235,6 +237,97 @@ func TestFacadeLanePool(t *testing.T) {
 	}
 	if got := coruscant.UnpackLanes(results[1].Row, 16); got[0] != 8 || got[1] != 12 {
 		t.Errorf("job 1 = %v", got)
+	}
+}
+
+func TestFacadeShardPool(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	pool, err := coruscant.NewShardPool(cfg, 3,
+		coruscant.WithWorkers(2),
+		coruscant.WithRecovery(coruscant.DefaultRecoveryPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Shards() != 3 {
+		t.Fatalf("Shards = %d, want 3", pool.Shards())
+	}
+	// Shards share nothing: the same address holds different rows.
+	addr := coruscant.Addr{Tile: 1, Row: 0}
+	for i := 0; i < pool.Shards(); i++ {
+		row, err := coruscant.PackLanes([]uint64{uint64(i) + 1}, 8, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Shard(i).WriteRow(addr, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < pool.Shards(); i++ {
+		row, err := pool.Shard(i).ReadRow(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := coruscant.UnpackLanes(row, 8)[0]; got != uint64(i)+1 {
+			t.Errorf("shard %d lane 0 = %d, want %d", i, got, i+1)
+		}
+	}
+
+	// Inapplicable options fail loudly instead of being dropped.
+	if _, err := coruscant.NewShardPool(cfg, 2, coruscant.WithTelemetry(coruscant.NewRecorder(cfg))); err == nil {
+		t.Error("WithTelemetry accepted by NewShardPool")
+	}
+	if _, err := coruscant.NewShardPool(cfg, 2, coruscant.WithFaults(coruscant.NewFaultInjector(0.1, 0, 1))); err == nil {
+		t.Error("WithFaults accepted by NewShardPool")
+	}
+	if _, err := coruscant.NewShardPool(cfg, 0); err == nil {
+		t.Error("empty pool accepted")
+	}
+}
+
+func TestFacadeService(t *testing.T) {
+	cfg := coruscant.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	srv, err := coruscant.NewServiceServer(coruscant.ServiceConfig{Device: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	api := coruscant.NewServiceClient(ts.URL, nil)
+	ctx := context.Background()
+	h, err := api.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards != 2 || h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+	var c coruscant.ServiceCounters = srv.Counters()
+	if c.Accepted != 0 {
+		t.Fatalf("counters before traffic: %+v", c)
+	}
+
+	// The service sentinels round-trip the wire through the façade names.
+	quota, err := coruscant.NewServiceServer(coruscant.ServiceConfig{
+		Device: cfg, QuotaRate: 0.001, QuotaBurst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quota.Drain()
+	qs := httptest.NewServer(quota.Handler())
+	defer qs.Close()
+	qapi := coruscant.NewServiceClient(qs.URL, nil)
+	req := coruscant.ServiceRequest{Op: "read", Src: &coruscant.ServiceAddr{Tile: 1}}
+	if _, err := qapi.Execute(ctx, coruscant.ServiceExecuteRequest{Tenant: "t", Request: req}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = qapi.Execute(ctx, coruscant.ServiceExecuteRequest{Tenant: "t", Request: req})
+	if !errors.Is(err, coruscant.ErrServiceQuota) {
+		t.Fatalf("second request err = %v, want ErrServiceQuota", err)
 	}
 }
 

@@ -437,6 +437,8 @@ func reqOp(r memory.Request) string {
 		return "copy"
 	case memory.KindWrite:
 		return "write"
+	case memory.KindRead:
+		return "read"
 	default:
 		return r.In.Op.String()
 	}

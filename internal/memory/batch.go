@@ -20,11 +20,17 @@ const (
 	KindCopy
 	// KindWrite stores Row at Dst through the nearest port (WriteRow).
 	KindWrite
+	// KindRead loads the row at Src (ReadRow); the row comes back in the
+	// request's Result. Reads participate in footprint grouping like
+	// every other kind, so a read of a row another request of the batch
+	// writes observes the program-order value.
+	KindRead
 )
 
 // Request is one batch operation for ExecuteBatch. Kind selects the
-// shape: KindExec uses In/Operands/Dst, KindCopy uses Src/Dst, and
-// KindWrite uses Row/Dst. Copies and writes participate in the same
+// shape: KindExec uses In/Operands/Dst, KindCopy uses Src/Dst,
+// KindWrite uses Row/Dst, and KindRead uses Src. Copies and writes
+// participate in the same
 // footprint grouping as executions, which is what lets a compiled plan
 // hand its staging traffic and compute to one batch and still preserve
 // every data dependence (any two requests that touch a common row share
@@ -39,7 +45,7 @@ type Request struct {
 }
 
 // Result is the outcome of one batch request. For KindCopy and
-// KindWrite, Row is the moved/stored row.
+// KindWrite, Row is the moved/stored row; for KindRead, the loaded row.
 type Result struct {
 	Row dbc.Row
 	Err error

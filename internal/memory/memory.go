@@ -615,6 +615,11 @@ func (m *Memory) planRequest(r Request, buf []isa.Addr) (execPlan, error) {
 			return execPlan{}, fmt.Errorf("memory: row width %d, want %d", r.Row.N, m.cfg.Geometry.TrackWidth)
 		}
 		return execPlan{kind: KindWrite, dst: r.Dst, row: r.Row, bases: append(buf, dbcBase(r.Dst))}, nil
+	case KindRead:
+		if err := m.checkAddr(r.Src); err != nil {
+			return execPlan{}, err
+		}
+		return execPlan{kind: KindRead, src: r.Src, bases: append(buf, dbcBase(r.Src))}, nil
 	default:
 		return execPlan{}, fmt.Errorf("memory: unknown request kind %d", r.Kind)
 	}
@@ -629,6 +634,8 @@ func (m *Memory) runRequest(p execPlan, shards []*shard) (dbc.Row, error) {
 		return copyLocked(shards, p.src, p.dst)
 	case KindWrite:
 		return p.row, shardByBase(shards, dbcBase(p.dst)).writeRow(p.dst, p.row)
+	case KindRead:
+		return shardByBase(shards, dbcBase(p.src)).readRow(p.src)
 	default:
 		return m.runPlan(p, shards)
 	}

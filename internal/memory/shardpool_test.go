@@ -1,0 +1,97 @@
+package memory
+
+import (
+	"testing"
+
+	"repro/internal/dbc"
+	"repro/internal/isa"
+	"repro/internal/params"
+)
+
+func poolCfg() params.Config {
+	cfg := params.DefaultConfig()
+	cfg.Geometry.TrackWidth = 64
+	return cfg
+}
+
+// Shards are fully independent address spaces: a write to one shard is
+// invisible to every other.
+func TestPoolShardsIndependent(t *testing.T) {
+	p, err := NewPool(poolCfg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want 3", p.Shards())
+	}
+	a := isa.Addr{Bank: 0, Row: 1}
+	row := dbc.ConstRow(64, 1)
+	if err := p.Shard(0).WriteRow(a, row); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Shard(0).ReadRow(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(row) {
+		t.Fatal("shard 0 readback mismatch")
+	}
+	other, err := p.Shard(1).ReadRow(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.OnesCount() != 0 {
+		t.Fatal("write to shard 0 leaked into shard 1")
+	}
+	if p.Shard(1).MaterializedDBCs() != 1 || p.Shard(2).MaterializedDBCs() != 0 {
+		t.Fatalf("materialization leaked across shards: %d/%d/%d",
+			p.Shard(0).MaterializedDBCs(), p.Shard(1).MaterializedDBCs(), p.Shard(2).MaterializedDBCs())
+	}
+}
+
+func TestNewPoolRejectsZeroShards(t *testing.T) {
+	if _, err := NewPool(poolCfg(), 0); err == nil {
+		t.Fatal("NewPool(_, 0) succeeded, want error")
+	}
+}
+
+// KindRead loads a row through the batch path, and a read grouped with
+// a write of the same row observes the program-order value.
+func TestBatchKindRead(t *testing.T) {
+	m, err := New(poolCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := isa.Addr{Bank: 2, Row: 4}
+	seeded := dbc.ConstRow(64, 1)
+	if err := m.WriteRow(a, seeded); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := dbc.NewRow(64)
+	fresh.Set(0, 1)
+	fresh.Set(63, 1)
+	reqs := []Request{
+		{Kind: KindRead, Src: a},              // sees the pre-seeded row
+		{Kind: KindWrite, Dst: a, Row: fresh}, // same footprint: program order
+		{Kind: KindRead, Src: a},              // sees the batch's write
+	}
+	res := m.ExecuteBatch(reqs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	if !res[0].Row.Equal(seeded) {
+		t.Fatal("first read did not observe the pre-batch row")
+	}
+	if !res[2].Row.Equal(fresh) {
+		t.Fatal("second read did not observe the in-batch write in program order")
+	}
+
+	// Invalid read addresses fail in their Result, like every kind.
+	bad := m.ExecuteBatch([]Request{{Kind: KindRead, Src: isa.Addr{Bank: -1}}})
+	if bad[0].Err == nil {
+		t.Fatal("out-of-geometry read succeeded")
+	}
+}

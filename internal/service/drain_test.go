@@ -1,0 +1,101 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// flushSink records whether the drain flushed it (Sink).
+type flushSink struct{ closed atomic.Bool }
+
+func (f *flushSink) Emit(telemetry.Event) {}
+func (f *flushSink) Close() error         { f.closed.Store(true); return nil }
+
+// TestGracefulDrain holds a request in an open coalescing window,
+// drains the server mid-flight, and checks the drain contract: the
+// in-flight batch completes and answers, later requests reject with
+// ErrDraining/503, health flips to draining, accepted == completed
+// (nothing admitted was lost), and the telemetry sinks flush.
+func TestGracefulDrain(t *testing.T) {
+	sink := &flushSink{}
+	cfg := Config{
+		Device: testConfig(t), Shards: 2, Telemetry: true,
+		// A long window pins admitted work in the worker while the
+		// drain starts; drain must still deliver it.
+		CoalesceWindow: 150 * time.Millisecond, CoalesceMax: 64,
+		Sinks: func(int) []telemetry.Sink { return []telemetry.Sink{sink} },
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	api := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	shard := 0
+
+	type outcome struct {
+		resp *BatchResponse
+		err  error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		resp, err := api.Batch(ctx, BatchRequest{Shard: &shard, Requests: []Request{
+			{Op: "write", Dst: &Addr{Tile: 1}, Blocksize: 8, Values: []uint64{5, 6, 7, 8, 1, 2, 3, 4}},
+			{Op: "read", Src: &Addr{Tile: 1}, Blocksize: 8},
+		}})
+		got <- outcome{resp, err}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Inflight() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.Inflight() == 0 {
+		t.Fatal("batch never admitted")
+	}
+
+	srv.Drain() // returns only after the in-flight window executed
+
+	out := <-got
+	if out.err != nil {
+		t.Fatalf("in-flight batch lost to drain: %v", out.err)
+	}
+	if out.resp.Results[1].Values[0] != 5 {
+		t.Fatalf("drained batch read lane 0 = %d, want 5", out.resp.Results[1].Values[0])
+	}
+	_, postErr := api.Execute(ctx, ExecuteRequest{Shard: &shard,
+		Request: Request{Op: "read", Src: &Addr{Tile: 1}}})
+	if !errors.Is(postErr, ErrDraining) {
+		t.Fatalf("post-drain request err = %v, want ErrDraining", postErr)
+	}
+	var ae *APIError
+	if !errors.As(postErr, &ae) || ae.Status != 503 {
+		t.Fatalf("draining rejection = %+v, want status 503", ae)
+	}
+	h, err := api.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Fatalf("health status = %q, want draining", h.Status)
+	}
+	c := srv.Counters()
+	if c.Accepted == 0 || c.Accepted != c.Completed {
+		t.Fatalf("accepted %d / completed %d after drain", c.Accepted, c.Completed)
+	}
+	if c.RejectedDraining == 0 {
+		t.Fatal("draining rejection not counted")
+	}
+	if !sink.closed.Load() {
+		t.Fatal("telemetry sink not flushed by drain")
+	}
+	// Drain is idempotent.
+	srv.Drain()
+}

@@ -1,0 +1,412 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/isa/compile"
+	"repro/internal/memory"
+	"repro/internal/params"
+	"repro/internal/pim"
+)
+
+// LoadConfig shapes a RunLoad soak: concurrent clients firing a mixed
+// stream of bulk-bitwise/arithmetic executes, multi-op batches, row
+// writes, spot-check reads and compiled CNN-style kernels at a
+// coruscantd, each client verifying every byte it reads against a
+// private serial mirror of its slice of the memory.
+type LoadConfig struct {
+	// Base is the server address ("http://127.0.0.1:7917").
+	Base string
+	// Device must equal the server's device configuration — each
+	// client replays its traffic on a serial mirror built from it, and
+	// every read is compared bit-for-bit against the mirror.
+	Device params.Config
+	// Shards must equal the server's shard count; clients spread
+	// round-robin across shards and use disjoint banks within a shard.
+	Shards int
+	// Clients is the number of concurrent clients (default 4).
+	Clients int
+	// Requests is the request count per client (default 100).
+	Requests int
+	// Blocksize is the lane width of the generated arithmetic
+	// (default 8).
+	Blocksize int
+	// CompileEvery makes every n-th request a compiled pimasm kernel
+	// (0 disables compile traffic; default 16).
+	CompileEvery int
+	// Seed makes the whole soak deterministic.
+	Seed int64
+	// MaxRetries bounds the 429-retry loop per request (default 400).
+	MaxRetries int
+	// Tenant labels requests; each client appends its index, so quota
+	// buckets are per client.
+	Tenant string
+}
+
+func (c *LoadConfig) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 100
+	}
+	if c.Blocksize <= 0 {
+		c.Blocksize = 8
+	}
+	if c.CompileEvery < 0 {
+		c.CompileEvery = 0
+	} else if c.CompileEvery == 0 {
+		c.CompileEvery = 16
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 400
+	}
+	if c.Tenant == "" {
+		c.Tenant = "load"
+	}
+}
+
+// LoadReport is the outcome of a soak.
+type LoadReport struct {
+	Clients   int
+	Sent      uint64 // requests that eventually got a 200
+	BitChecks uint64 // rows compared bit-for-bit against the mirror
+	Mismatch  uint64 // rows that differed (must be 0)
+	Errors    uint64 // non-backpressure failures
+
+	QuotaRejected    uint64 // 429 quota_exhausted rejections observed
+	OverloadRejected uint64 // 429 overloaded rejections observed
+	Retries          uint64 // backoff-and-retry cycles taken
+
+	P50, P95 time.Duration // per-request latency over successful calls
+	Elapsed  time.Duration
+	ReqPerS  float64
+}
+
+// clientState is one soak client: a deterministic traffic source over
+// its private bank slice, with a serial mirror for bit-identity.
+type clientState struct {
+	id     int
+	shard  int
+	bank   int
+	tenant string
+	rng    *rand.Rand
+	mirror *memory.Memory
+	cfg    *LoadConfig
+
+	lat []time.Duration
+	rep LoadReport
+}
+
+// RunLoad drives the soak and aggregates the per-client reports. A
+// non-zero Mismatch means the service diverged from serial execution —
+// the one thing the whole design promises cannot happen.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	cfg.fill()
+	g := cfg.Device.Geometry
+	banksPerShard := g.Banks
+	if maxClients := cfg.Shards * banksPerShard; cfg.Clients > maxClients {
+		return nil, fmt.Errorf("service: %d clients exceed %d shards x %d banks", cfg.Clients, cfg.Shards, banksPerShard)
+	}
+	clients := make([]*clientState, cfg.Clients)
+	for i := range clients {
+		mirror, err := memory.New(cfg.Device)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = &clientState{
+			id:     i,
+			shard:  i % cfg.Shards,
+			bank:   (i / cfg.Shards) % banksPerShard,
+			tenant: fmt.Sprintf("%s-%d", cfg.Tenant, i),
+			rng:    rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+			mirror: mirror,
+			cfg:    &cfg,
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(len(clients))
+	for _, c := range clients {
+		go func(c *clientState) {
+			defer wg.Done()
+			c.run(ctx)
+		}(c)
+	}
+	wg.Wait()
+
+	total := LoadReport{Clients: cfg.Clients, Elapsed: time.Since(start)}
+	var lats []time.Duration
+	for _, c := range clients {
+		total.Sent += c.rep.Sent
+		total.BitChecks += c.rep.BitChecks
+		total.Mismatch += c.rep.Mismatch
+		total.Errors += c.rep.Errors
+		total.QuotaRejected += c.rep.QuotaRejected
+		total.OverloadRejected += c.rep.OverloadRejected
+		total.Retries += c.rep.Retries
+		lats = append(lats, c.lat...)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		total.P50 = lats[n/2]
+		total.P95 = lats[n*95/100]
+		total.ReqPerS = float64(total.Sent) / total.Elapsed.Seconds()
+	}
+	return &total, nil
+}
+
+// addr forms an address in the client's private bank.
+func (c *clientState) addr(tile, dbcIdx, row int) Addr {
+	return Addr{Bank: c.bank, Subarray: 0, Tile: tile, DBC: dbcIdx, Row: row}
+}
+
+// pimAddr is the client's bank's PIM-enabled DBC (§III-A: last
+// PIMDBCsPerTile DBCs of the first PIM tile execute in place).
+func (c *clientState) pimAddr() Addr {
+	g := c.cfg.Device.Geometry
+	return Addr{Bank: c.bank, Subarray: 0, Tile: 0, DBC: g.DBCsPerTile - g.PIMDBCsPerTile, Row: 0}
+}
+
+// lanes draws a full track of random lane values, masked to half the
+// blocksize so multiplicative ops (mult, fma) never overflow a lane.
+func (c *clientState) lanes() []uint64 {
+	g := c.cfg.Device.Geometry
+	n := g.TrackWidth / c.cfg.Blocksize
+	vals := make([]uint64, n)
+	mask := uint64(1)<<uint(c.cfg.Blocksize/2) - 1
+	for i := range vals {
+		vals[i] = c.rng.Uint64() & mask
+	}
+	return vals
+}
+
+var execOps = []string{"add", "mult", "and", "xor", "max", "or"}
+
+// run fires the client's request stream: writes seed rows, executes
+// combine them, batches mix several ops, reads spot-check rows against
+// the mirror, and every CompileEvery-th request compiles a CNN-style
+// fma+max kernel over the client's rows.
+func (c *clientState) run(ctx context.Context) {
+	api := NewClient(c.cfg.Base, nil)
+	bs := c.cfg.Blocksize
+	// Seed rows 0..3 of the data DBC so executes always have operands.
+	for r := 0; r < 4; r++ {
+		c.execute(ctx, api, Request{Op: "write", Dst: ptr(c.addr(1, 0, r)), Blocksize: bs, Values: c.lanes()})
+	}
+	for i := 4; i < c.cfg.Requests; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if c.cfg.CompileEvery > 0 && i%c.cfg.CompileEvery == 0 {
+			c.compileKernel(ctx, api)
+			continue
+		}
+		switch i % 4 {
+		case 0: // refresh a seed row
+			c.execute(ctx, api, Request{Op: "write", Dst: ptr(c.addr(1, 0, c.rng.Intn(4))), Blocksize: bs, Values: c.lanes()})
+		case 1: // bulk-bitwise / arithmetic execute into a result row
+			op := execOps[c.rng.Intn(len(execOps))]
+			a, b := c.rng.Intn(4), c.rng.Intn(4)
+			c.execute(ctx, api, Request{
+				Op: op, Src: ptr(c.pimAddr()), Blocksize: bs,
+				Operands: []Addr{c.addr(1, 0, a), c.addr(1, 0, b)},
+				Dst:      ptr(c.addr(2, 0, 4+c.rng.Intn(4))),
+			})
+		case 2: // multi-op batch: two executes feeding a read-back
+			op := execOps[c.rng.Intn(len(execOps))]
+			dst := c.addr(2, 0, 8+c.rng.Intn(4))
+			c.batch(ctx, api, []Request{
+				{Op: op, Src: ptr(c.pimAddr()), Blocksize: bs,
+					Operands: []Addr{c.addr(1, 0, c.rng.Intn(4)), c.addr(1, 0, c.rng.Intn(4))}, Dst: ptr(dst)},
+				{Op: "add", Src: ptr(c.pimAddr()), Blocksize: bs,
+					Operands: []Addr{dst, c.addr(1, 0, c.rng.Intn(4))}, Dst: ptr(c.addr(2, 0, 12))},
+				{Op: "read", Src: ptr(c.addr(2, 0, 12))},
+			})
+		case 3: // spot-check read of a random touched row
+			c.execute(ctx, api, Request{Op: "read", Src: ptr(c.addr(1, 0, c.rng.Intn(4)))})
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// backoff classifies a request error: backpressure rejections are
+// counted, slept through and retried; anything else is terminal for
+// the request.
+func (c *clientState) backoff(err error) (retry bool) {
+	var ae *APIError
+	switch {
+	case errors.Is(err, ErrQuota):
+		c.rep.QuotaRejected++
+	case errors.Is(err, ErrOverloaded):
+		c.rep.OverloadRejected++
+	case errors.Is(err, ErrDraining):
+		c.rep.Errors++
+		return false
+	default:
+		c.rep.Errors++
+		return false
+	}
+	c.rep.Retries++
+	wait := 2 * time.Millisecond
+	if errors.As(err, &ae) && ae.RetryAfterMS > 0 {
+		wait = time.Duration(ae.RetryAfterMS) * time.Millisecond
+		if wait > 250*time.Millisecond {
+			wait = 250 * time.Millisecond
+		}
+	}
+	time.Sleep(wait)
+	return true
+}
+
+// mirrorRun replays the lowered requests on the serial mirror.
+func (c *clientState) mirrorRun(reqs []Request) []memory.Result {
+	mreqs := make([]memory.Request, len(reqs))
+	for i, wr := range reqs {
+		mr, err := wr.toMemory(c.cfg.Device, pim.PackLanes)
+		if err != nil {
+			c.rep.Errors++
+			return nil
+		}
+		mreqs[i] = mr
+	}
+	return c.mirror.ExecuteBatch(mreqs)
+}
+
+// check compares a served row against the mirror's, bit for bit.
+func (c *clientState) check(got RowData, want memory.Result) {
+	c.rep.BitChecks++
+	if want.Err != nil {
+		c.rep.Mismatch++
+		return
+	}
+	row, err := got.row()
+	if err != nil || row.N != want.Row.N || len(row.Words) != len(want.Row.Words) {
+		c.rep.Mismatch++
+		return
+	}
+	for i := range row.Words {
+		if row.Words[i] != want.Row.Words[i] {
+			c.rep.Mismatch++
+			return
+		}
+	}
+}
+
+// execute sends one request with retry-on-backpressure, mirrors it,
+// and bit-checks any returned row.
+func (c *clientState) execute(ctx context.Context, api *Client, req Request) {
+	ereq := ExecuteRequest{Tenant: c.tenant, Shard: ptr(c.shard), Request: req}
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		t0 := time.Now()
+		resp, err := api.Execute(ctx, ereq)
+		if err != nil {
+			if c.backoff(err) && ctx.Err() == nil {
+				continue
+			}
+			return
+		}
+		c.lat = append(c.lat, time.Since(t0))
+		c.rep.Sent++
+		want := c.mirrorRun([]Request{req})
+		if want == nil {
+			return
+		}
+		c.check(resp.Row, want[0])
+		return
+	}
+	c.rep.Errors++ // retry budget exhausted
+}
+
+// batch sends a multi-op batch, mirrors it, and bit-checks every item.
+func (c *clientState) batch(ctx context.Context, api *Client, reqs []Request) {
+	breq := BatchRequest{Tenant: c.tenant, Shard: ptr(c.shard), Requests: reqs}
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		t0 := time.Now()
+		resp, err := api.Batch(ctx, breq)
+		if err != nil {
+			if c.backoff(err) && ctx.Err() == nil {
+				continue
+			}
+			return
+		}
+		c.lat = append(c.lat, time.Since(t0))
+		c.rep.Sent++
+		want := c.mirrorRun(reqs)
+		if want == nil {
+			return
+		}
+		for i, item := range resp.Results {
+			if item.Error != nil {
+				if want[i].Err == nil {
+					c.rep.Mismatch++
+				}
+				continue
+			}
+			if item.Row != nil {
+				c.check(*item.Row, want[i])
+			}
+		}
+		return
+	}
+	c.rep.Errors++
+}
+
+// compileKernel runs the CNN-style kernel — a fused multiply-add over
+// an input and weight row plus a bias, rectified by max — through
+// /v1/compile, then replays the same compile on the mirror and
+// bit-checks every output row.
+func (c *clientState) compileKernel(ctx context.Context, api *Client) {
+	bs := c.cfg.Blocksize
+	src := fmt.Sprintf(`; cnn-ish: y = max(fma(x, w, b), x)
+%%x = load b%[1]d.s0.t1.d0.r0
+%%w = load b%[1]d.s0.t1.d0.r1
+%%b = load b%[1]d.s0.t1.d0.r2
+%%y = fma %%x, %%w, %%b bs=%[2]d
+%%r = max %%y, %%x bs=%[2]d
+store %%r, b%[1]d.s0.t2.d1.r0
+store %%y, b%[1]d.s0.t2.d1.r1
+`, c.bank, bs)
+	creq := CompileRequest{Tenant: c.tenant, Shard: ptr(c.shard), Source: src, Level: 2}
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		t0 := time.Now()
+		resp, err := api.Compile(ctx, creq)
+		if err != nil {
+			if c.backoff(err) && ctx.Err() == nil {
+				continue
+			}
+			return
+		}
+		c.lat = append(c.lat, time.Since(t0))
+		c.rep.Sent++
+		res, err := compile.Compile(src, c.cfg.Device, compile.Options{Level: 2})
+		if err != nil {
+			c.rep.Errors++
+			return
+		}
+		if err := res.Plan.Run(c.mirror); err != nil {
+			c.rep.Errors++
+			return
+		}
+		for _, out := range resp.Outputs {
+			row, err := c.mirror.ReadRow(out.Addr.isa())
+			if err != nil {
+				c.rep.Mismatch++
+				continue
+			}
+			c.check(out.Row, memory.Result{Row: row})
+		}
+		return
+	}
+	c.rep.Errors++
+}

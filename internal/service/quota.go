@@ -1,0 +1,60 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// quotas is the per-tenant token-bucket admission gate. Each tenant
+// owns an independent bucket of `burst` tokens refilled at `rate`
+// tokens/second; a request spends one token or is rejected with the
+// time until the next token. rate <= 0 disables quotas entirely.
+//
+// Time is supplied by the owner (a monotonic clock), so tests drive
+// the buckets deterministically.
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(rate float64, burst int) *quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// take spends one token from tenant's bucket at time now. On refusal
+// it returns the wait until a token accrues — the Retry-After hint.
+func (q *quotas) take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if q == nil || q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.rate
+	return false, time.Duration(need * float64(time.Second))
+}

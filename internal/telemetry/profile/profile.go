@@ -33,6 +33,7 @@
 package profile
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -80,6 +81,10 @@ type Profiler struct {
 
 	counters     *telemetry.ChromeSink
 	counterEvery uint64
+
+	// labels is the rendered constant-label prefix (`shard="3",`) every
+	// Prometheus sample of this profiler carries; see WithLabel.
+	labels string
 }
 
 // Option configures a Profiler.
@@ -99,6 +104,18 @@ func WithChromeCounters(sink *telemetry.ChromeSink, every int) Option {
 	return func(p *Profiler) {
 		p.counters = sink
 		p.counterEvery = uint64(every)
+	}
+}
+
+// WithLabel attaches a constant label (e.g. shard="3") to every
+// Prometheus sample the profiler emits. A multi-shard service gives
+// each shard's profiler its own shard label, so a combined /metrics
+// page (WriteManyPrometheus) keeps same-named DBC series distinct —
+// and `coruscant top` renders one utilization line per (shard, DBC)
+// instead of silently merging them.
+func WithLabel(name, value string) Option {
+	return func(p *Profiler) {
+		p.labels += fmt.Sprintf("%s=%q,", name, value)
 	}
 }
 

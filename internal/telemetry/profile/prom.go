@@ -31,92 +31,129 @@ import (
 // WritePrometheus writes the profiler aggregate in Prometheus text
 // exposition format.
 func (p *Profiler) WritePrometheus(w io.Writer) error {
+	return WriteManyPrometheus(w, p)
+}
+
+// labeledSnaps is one profiler's contribution to an exposition page:
+// its snapshot plus the constant-label prefix (WithLabel) each of its
+// sample lines carries.
+type labeledSnaps struct {
+	prefix string
+	snaps  []DBCSnapshot
+}
+
+// WriteManyPrometheus writes one combined exposition page for several
+// profilers — each # HELP/# TYPE header exactly once per family, then
+// every profiler's samples. Give each profiler a distinguishing
+// constant label (WithLabel, e.g. shard="3") or their same-named DBC
+// series will collide on the page the way any two Prometheus targets
+// would.
+func WriteManyPrometheus(w io.Writer, profs ...*Profiler) error {
 	bw := bufio.NewWriter(w)
-	snaps := p.Snapshot()
+	all := make([]labeledSnaps, len(profs))
+	for i, p := range profs {
+		all[i] = labeledSnaps{prefix: p.labels, snaps: p.Snapshot()}
+	}
 
 	writeHeader(bw, "coruscant_dbc_steps_total", "counter",
 		"Control steps and instant events per DBC and op kind.")
-	for _, s := range snaps {
-		for op, n := range s.Steps {
-			if n == 0 {
-				continue
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			for op, n := range s.Steps {
+				if n == 0 {
+					continue
+				}
+				fmt.Fprintf(bw, "coruscant_dbc_steps_total{%sdbc=%q,op=%q} %d\n",
+					ls.prefix, s.Src, telemetry.Op(op), n)
 			}
-			fmt.Fprintf(bw, "coruscant_dbc_steps_total{dbc=%q,op=%q} %d\n",
-				s.Src, telemetry.Op(op), n)
 		}
 	}
 
 	writeHeader(bw, "coruscant_dbc_energy_picojoules_total", "counter",
 		"Energy per DBC and op kind, in picojoules.")
-	for _, s := range snaps {
-		for op, e := range s.EnergyPJ {
-			if e == 0 {
-				continue
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			for op, e := range s.EnergyPJ {
+				if e == 0 {
+					continue
+				}
+				fmt.Fprintf(bw, "coruscant_dbc_energy_picojoules_total{%sdbc=%q,op=%q} %s\n",
+					ls.prefix, s.Src, telemetry.Op(op), formatFloat(e))
 			}
-			fmt.Fprintf(bw, "coruscant_dbc_energy_picojoules_total{dbc=%q,op=%q} %s\n",
-				s.Src, telemetry.Op(op), formatFloat(e))
 		}
 	}
 
 	writeHeader(bw, "coruscant_dbc_shift_steps_total", "counter",
 		"Domain-wall shift steps per DBC (whole-wire wear).")
-	for _, s := range snaps {
-		if n := s.ShiftSteps(); n > 0 {
-			fmt.Fprintf(bw, "coruscant_dbc_shift_steps_total{dbc=%q} %d\n", s.Src, n)
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			if n := s.ShiftSteps(); n > 0 {
+				fmt.Fprintf(bw, "coruscant_dbc_shift_steps_total{%sdbc=%q} %d\n", ls.prefix, s.Src, n)
+			}
 		}
 	}
 
 	writeHeader(bw, "coruscant_dbc_busy_cycles_total", "counter",
 		"Control-step cycles per DBC — the busy timeline makespan accounting maximizes over.")
-	for _, s := range snaps {
-		if s.Cycles > 0 {
-			fmt.Fprintf(bw, "coruscant_dbc_busy_cycles_total{dbc=%q} %d\n", s.Src, s.Cycles)
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			if s.Cycles > 0 {
+				fmt.Fprintf(bw, "coruscant_dbc_busy_cycles_total{%sdbc=%q} %d\n", ls.prefix, s.Src, s.Cycles)
+			}
 		}
 	}
 
 	writeHeader(bw, "coruscant_dbc_row_reads_total", "counter",
 		"Access-port reads per DBC data row.")
-	for _, s := range snaps {
-		for row, n := range s.RowReads {
-			if n > 0 {
-				fmt.Fprintf(bw, "coruscant_dbc_row_reads_total{dbc=%q,row=\"%d\"} %d\n",
-					s.Src, row, n)
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			for row, n := range s.RowReads {
+				if n > 0 {
+					fmt.Fprintf(bw, "coruscant_dbc_row_reads_total{%sdbc=%q,row=\"%d\"} %d\n",
+						ls.prefix, s.Src, row, n)
+				}
 			}
 		}
 	}
 
 	writeHeader(bw, "coruscant_dbc_row_writes_total", "counter",
 		"Write wear (port writes and transverse writes) per DBC data row.")
-	for _, s := range snaps {
-		for row, n := range s.RowWrites {
-			if n > 0 {
-				fmt.Fprintf(bw, "coruscant_dbc_row_writes_total{dbc=%q,row=\"%d\"} %d\n",
-					s.Src, row, n)
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			for row, n := range s.RowWrites {
+				if n > 0 {
+					fmt.Fprintf(bw, "coruscant_dbc_row_writes_total{%sdbc=%q,row=\"%d\"} %d\n",
+						ls.prefix, s.Src, row, n)
+				}
 			}
 		}
 	}
 
 	writeHeader(bw, "coruscant_dbc_head_occupancy_cycles_total", "counter",
 		"Shift steps ending with the access-port heads at each offset.")
-	for _, s := range snaps {
-		offs := make([]int, 0, len(s.Occupancy))
-		for off := range s.Occupancy {
-			offs = append(offs, off)
-		}
-		sort.Ints(offs)
-		for _, off := range offs {
-			fmt.Fprintf(bw, "coruscant_dbc_head_occupancy_cycles_total{dbc=%q,offset=\"%d\"} %d\n",
-				s.Src, off, s.Occupancy[off])
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			offs := make([]int, 0, len(s.Occupancy))
+			for off := range s.Occupancy {
+				offs = append(offs, off)
+			}
+			sort.Ints(offs)
+			for _, off := range offs {
+				fmt.Fprintf(bw, "coruscant_dbc_head_occupancy_cycles_total{%sdbc=%q,offset=\"%d\"} %d\n",
+					ls.prefix, s.Src, off, s.Occupancy[off])
+			}
 		}
 	}
 
 	writeHeader(bw, "coruscant_dbc_shift_distance_steps", "histogram",
 		"Align distance (consecutive shift-step run length) per access port.")
-	for _, s := range snaps {
-		for port := 0; port < numPorts; port++ {
-			writeHist(bw, s.Src, portNames[port], &s.PortDist[port])
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			for port := 0; port < numPorts; port++ {
+				writeHist(bw, ls.prefix, s.Src, portNames[port], &s.PortDist[port])
+			}
+			writeHist(bw, ls.prefix, s.Src, "any", &s.ShiftDist)
 		}
-		writeHist(bw, s.Src, "any", &s.ShiftDist)
 	}
 
 	// The exact maximum alongside the log2 histogram: scrapers clamp
@@ -124,16 +161,18 @@ func (p *Profiler) WritePrometheus(w io.Writer) error {
 	// telemetry.Hist.Quantile does.
 	writeHeader(bw, "coruscant_dbc_shift_distance_steps_max", "gauge",
 		"Largest observed align distance per access port.")
-	for _, s := range snaps {
-		for port := 0; port < numPorts; port++ {
-			if s.PortDist[port].Total() > 0 {
-				fmt.Fprintf(bw, "coruscant_dbc_shift_distance_steps_max{dbc=%q,port=%q} %d\n",
-					s.Src, portNames[port], s.PortDist[port].Max())
+	for _, ls := range all {
+		for _, s := range ls.snaps {
+			for port := 0; port < numPorts; port++ {
+				if s.PortDist[port].Total() > 0 {
+					fmt.Fprintf(bw, "coruscant_dbc_shift_distance_steps_max{%sdbc=%q,port=%q} %d\n",
+						ls.prefix, s.Src, portNames[port], s.PortDist[port].Max())
+				}
 			}
-		}
-		if s.ShiftDist.Total() > 0 {
-			fmt.Fprintf(bw, "coruscant_dbc_shift_distance_steps_max{dbc=%q,port=\"any\"} %d\n",
-				s.Src, s.ShiftDist.Max())
+			if s.ShiftDist.Total() > 0 {
+				fmt.Fprintf(bw, "coruscant_dbc_shift_distance_steps_max{%sdbc=%q,port=\"any\"} %d\n",
+					ls.prefix, s.Src, s.ShiftDist.Max())
+			}
 		}
 	}
 
@@ -147,7 +186,7 @@ func writeHeader(w io.Writer, name, kind, help string) {
 // writeHist renders one telemetry.Hist as a cumulative Prometheus
 // histogram. Bucket i of the log2 histogram holds values with
 // bit-length i, i.e. values <= (1<<i)-1, which becomes the le= edge.
-func writeHist(w io.Writer, dbc, port string, h *telemetry.Hist) {
+func writeHist(w io.Writer, prefix, dbc, port string, h *telemetry.Hist) {
 	total := h.Total()
 	if total == 0 {
 		return
@@ -159,15 +198,15 @@ func writeHist(w io.Writer, dbc, port string, h *telemetry.Hist) {
 			continue
 		}
 		upper := uint64(1)<<uint(i) - 1
-		fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_bucket{dbc=%q,port=%q,le=\"%d\"} %d\n",
-			dbc, port, upper, cum)
+		fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_bucket{%sdbc=%q,port=%q,le=\"%d\"} %d\n",
+			prefix, dbc, port, upper, cum)
 	}
-	fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_bucket{dbc=%q,port=%q,le=\"+Inf\"} %d\n",
-		dbc, port, total)
-	fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_sum{dbc=%q,port=%q} %d\n",
-		dbc, port, h.Sum())
-	fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_count{dbc=%q,port=%q} %d\n",
-		dbc, port, total)
+	fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_bucket{%sdbc=%q,port=%q,le=\"+Inf\"} %d\n",
+		prefix, dbc, port, total)
+	fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_sum{%sdbc=%q,port=%q} %d\n",
+		prefix, dbc, port, h.Sum())
+	fmt.Fprintf(w, "coruscant_dbc_shift_distance_steps_count{%sdbc=%q,port=%q} %d\n",
+		prefix, dbc, port, total)
 }
 
 // formatFloat renders an energy value without exponent notation and
@@ -242,7 +281,7 @@ func ParsePrometheus(r io.Reader) ([]Sample, error) {
 			if !ok {
 				return nil, fmt.Errorf("profile: line %d: histogram bucket without le label", line)
 			}
-			key := family + "|" + s.Labels["dbc"] + "|" + s.Labels["port"]
+			key := family + "|" + s.Labels["shard"] + "|" + s.Labels["dbc"] + "|" + s.Labels["port"]
 			if prev, seen := lastCum[key]; seen && s.Value < prev {
 				return nil, fmt.Errorf("profile: line %d: bucket le=%q count %g below previous %g (not cumulative)",
 					line, le, s.Value, prev)

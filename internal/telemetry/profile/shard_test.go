@@ -1,0 +1,104 @@
+package profile_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/profile"
+)
+
+// TestShardedExpositionKeepsShardsDistinct drives two shard-labelled
+// profilers over identically-named DBCs, writes one combined /metrics
+// page, and checks the whole pipeline keeps the shards apart: the page
+// parses (one header per family, cumulative buckets per shard), and
+// the top view renders one row per (shard, DBC) instead of silently
+// merging same-named series — the multi-shard coruscantd regression.
+func TestShardedExpositionKeepsShardsDistinct(t *testing.T) {
+	cfg := params.DefaultConfig()
+	p0 := profile.New(cfg, profile.WithLabel("shard", "0"))
+	p1 := profile.New(cfg, profile.WithLabel("shard", "1"))
+	// Same DBC source names on both shards — the collision case.
+	workload(t, cfg, telemetry.NewRecorder(cfg, p0))
+	workload(t, cfg, telemetry.NewRecorder(cfg, p1))
+	workload(t, cfg, telemetry.NewRecorder(cfg, p1)) // shard 1 twice as busy
+
+	var buf bytes.Buffer
+	if err := profile.WriteManyPrometheus(&buf, p0, p1); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if n := strings.Count(page, "# TYPE coruscant_dbc_steps_total"); n != 1 {
+		t.Fatalf("combined page declares coruscant_dbc_steps_total %d times, want 1", n)
+	}
+	samples, err := profile.ParsePrometheus(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := profile.TopFromSamples(samples)
+	if len(rows) != 4 {
+		t.Fatalf("top rows = %d, want 4 (2 DBCs x 2 shards)", len(rows))
+	}
+	perShard := map[string]map[string]uint64{}
+	for _, r := range rows {
+		if r.Shard == "" {
+			t.Fatalf("row %q lost its shard label", r.DBC)
+		}
+		if perShard[r.Shard] == nil {
+			perShard[r.Shard] = map[string]uint64{}
+		}
+		perShard[r.Shard][r.DBC] = r.Cycles
+	}
+	if len(perShard) != 2 {
+		t.Fatalf("shards in top = %d, want 2", len(perShard))
+	}
+	// Shard 1 ran the workload twice, so for each DBC its cycle count
+	// must be exactly double shard 0's — any merge would break this.
+	for dbcName, c0 := range perShard["0"] {
+		c1, ok := perShard["1"][dbcName]
+		if !ok {
+			t.Fatalf("shard 1 lacks DBC %q", dbcName)
+		}
+		if c1 != 2*c0 {
+			t.Errorf("%s: shard1 cycles %d, want exactly 2x shard0's %d", dbcName, c1, c0)
+		}
+	}
+
+	var out bytes.Buffer
+	profile.RenderTop(&out, rows, 0)
+	text := out.String()
+	for _, want := range []string{"s0/b0.s0.t0.d0", "s1/b0.s0.t0.d0", "s0/b0.s0.t0.d1", "s1/b0.s0.t0.d1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered top lacks %s:\n%s", want, text)
+		}
+	}
+}
+
+// TestUnshardedPageUnchanged: a single unlabelled profiler still
+// produces shard-free sample lines and top rows (the pre-sharding
+// scrape format), so old pages keep parsing and rendering identically.
+func TestUnshardedPageUnchanged(t *testing.T) {
+	cfg := params.DefaultConfig()
+	p := profile.New(cfg)
+	workload(t, cfg, telemetry.NewRecorder(cfg, p))
+
+	var buf bytes.Buffer
+	if err := p.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "shard=") {
+		t.Fatal("unlabelled profiler emitted a shard label")
+	}
+	samples, err := profile.ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range profile.TopFromSamples(samples) {
+		if r.Shard != "" {
+			t.Fatalf("unsharded row %q got shard %q", r.DBC, r.Shard)
+		}
+	}
+}

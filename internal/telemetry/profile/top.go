@@ -11,6 +11,7 @@ import (
 // TopRow is the per-DBC line of the `coruscant top` view, rebuilt from
 // a scrape of the Prometheus endpoint.
 type TopRow struct {
+	Shard    string // shard label of a coruscantd /metrics page; "" when unsharded
 	DBC      string
 	Cycles   uint64  // cycle-costing control steps
 	Shifts   uint64  // shift steps
@@ -30,7 +31,10 @@ var cycleOps = map[string]bool{
 }
 
 // TopFromSamples folds a scrape into per-DBC rows, sorted hottest
-// (most cycles) first.
+// (most cycles) first. Rows are keyed by (shard, dbc): a coruscantd
+// /metrics page labels every sample with its shard, and two shards'
+// same-named DBCs are distinct hardware — merging them would hide
+// per-shard utilization skew, the thing top exists to show.
 func TopFromSamples(samples []Sample) []TopRow {
 	type acc struct {
 		TopRow
@@ -39,11 +43,12 @@ func TopFromSamples(samples []Sample) []TopRow {
 		max    uint64 // exact observed maximum (clamps bucket edges)
 	}
 	byDBC := make(map[string]*acc)
-	get := func(dbc string) *acc {
-		a := byDBC[dbc]
+	get := func(shard, dbc string) *acc {
+		key := shard + "|" + dbc
+		a := byDBC[key]
 		if a == nil {
-			a = &acc{TopRow: TopRow{DBC: dbc, HotRow: -1}, bucket: map[uint64]uint64{}}
-			byDBC[dbc] = a
+			a = &acc{TopRow: TopRow{Shard: shard, DBC: dbc, HotRow: -1}, bucket: map[uint64]uint64{}}
+			byDBC[key] = a
 		}
 		return a
 	}
@@ -52,7 +57,7 @@ func TopFromSamples(samples []Sample) []TopRow {
 		if dbc == "" {
 			continue
 		}
-		a := get(dbc)
+		a := get(s.Labels["shard"], dbc)
 		switch s.Name {
 		case "coruscant_dbc_steps_total":
 			if cycleOps[s.Labels["op"]] {
@@ -97,6 +102,9 @@ func TopFromSamples(samples []Sample) []TopRow {
 		if rows[i].Cycles != rows[j].Cycles {
 			return rows[i].Cycles > rows[j].Cycles
 		}
+		if rows[i].Shard != rows[j].Shard {
+			return rows[i].Shard < rows[j].Shard
+		}
 		return rows[i].DBC < rows[j].DBC
 	})
 	return rows
@@ -132,10 +140,12 @@ func quantileFromBuckets(buckets map[uint64]uint64, total uint64, q float64, max
 	return est
 }
 
-// RenderTop writes the terminal heatmap view: one line per DBC sorted
-// by cycles, with a utilization bar (cycles relative to the busiest
-// DBC), shift/wear counters, the hottest row, and align-distance
-// p50/p95. n limits the number of rows (0 = all).
+// RenderTop writes the terminal heatmap view: one line per (shard,
+// DBC) sorted by cycles, with a utilization bar (cycles relative to
+// the busiest DBC), shift/wear counters, the hottest row, and
+// align-distance p50/p95. n limits the number of rows (0 = all). On a
+// sharded page each DBC is prefixed with its shard ("s2/b0.s0.t0.d1"),
+// so a multi-shard coruscantd renders one UTIL bar per shard.
 func RenderTop(w io.Writer, rows []TopRow, n int) {
 	if len(rows) == 0 {
 		fmt.Fprintln(w, "no profiled activity yet")
@@ -157,8 +167,12 @@ func RenderTop(w io.Writer, rows []TopRow, n int) {
 		if r.HotRow >= 0 {
 			hot = fmt.Sprintf("r%d:%d", r.HotRow, r.HotWear)
 		}
+		name := r.DBC
+		if r.Shard != "" {
+			name = "s" + r.Shard + "/" + r.DBC
+		}
 		fmt.Fprintf(w, "%-24s %-12s %10d %10d %10d %12.1f %10s %6d %6d\n",
-			r.DBC, bar(r.Cycles, maxCycles, 10), r.Cycles, r.Shifts, r.Wear,
+			name, bar(r.Cycles, maxCycles, 10), r.Cycles, r.Shifts, r.Wear,
 			r.EnergyPJ, hot, r.ShiftP50, r.ShiftP95)
 	}
 }

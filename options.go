@@ -180,6 +180,42 @@ func NewMemory(cfg Config, opts ...Option) (*Memory, error) {
 	return m, nil
 }
 
+// ShardPool is a fixed set of independent Memory shards behind one
+// owner — the substrate of the coruscantd service front end. Shards
+// share nothing, so pool-level parallelism stacks on each shard's
+// bank-level parallelism. Routing is the caller's concern (the service
+// routes by explicit shard id or tenant hash).
+type ShardPool = memory.Pool
+
+// NewShardPool builds n independent memory shards of one
+// configuration. Accepts WithWorkers and WithRecovery, applied to
+// every shard. WithTelemetry and WithFaults are errors here: one
+// shared recorder or injector would serialize the shards — attach
+// per-shard observability through the service layer (service.Config
+// Telemetry/Sinks) or per shard via Shard(i).SetTelemetry.
+func NewShardPool(cfg Config, n int, opts ...Option) (*ShardPool, error) {
+	o := gather(opts)
+	if o.recSet {
+		return nil, fmt.Errorf("coruscant: WithTelemetry does not apply to NewShardPool (one recorder would serialize the shards; attach per shard via Shard(i).SetTelemetry or through the service layer)")
+	}
+	if o.injSet {
+		return nil, fmt.Errorf("coruscant: WithFaults does not apply to NewShardPool (attach per shard via Shard(i).SetFaultInjector)")
+	}
+	p, err := memory.NewPool(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	if o.workersSet {
+		p.SetWorkers(o.workers)
+	}
+	if o.polSet {
+		if err := p.SetRecovery(o.pol); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
 // NewController builds a cpim controller over a fresh PIM unit. Accepts
 // WithTelemetry, WithFaults and WithRecovery.
 func NewController(cfg Config, opts ...Option) (*Controller, error) {
